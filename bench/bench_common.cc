@@ -1,0 +1,57 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace frechet_motif {
+namespace bench {
+
+BenchConfig ParseBenchConfig(int argc, char** argv,
+                             const std::vector<std::int64_t>& default_lengths,
+                             const std::vector<std::int64_t>& default_xis,
+                             std::int64_t default_xi, std::int64_t default_n) {
+  Flags flags;
+  const Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "flag error: %s\n", s.ToString().c_str());
+    std::exit(2);
+  }
+  BenchConfig config;
+  config.full = flags.GetBool("full", false);
+  config.repeats = flags.GetInt("repeats", config.full ? 10 : 1);
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  config.lengths = flags.GetIntList("lengths", default_lengths);
+  config.xis = flags.GetIntList("xis", default_xis);
+  config.xi = flags.GetInt("xi", default_xi);
+  config.n = flags.GetInt("n", default_n);
+  // Keep the paper's xi/tau ratio (~3): tau=32 belongs with xi=100.
+  config.tau = flags.GetInt("tau", config.full ? 32 : 8);
+  return config;
+}
+
+Trajectory MakeBenchTrajectory(DatasetKind kind, Index length,
+                               const BenchConfig& config,
+                               std::int64_t repeat) {
+  DatasetOptions options;
+  options.length = length;
+  options.seed = config.seed + 1000003ULL * static_cast<std::uint64_t>(repeat);
+  StatusOr<Trajectory> t = MakeDataset(kind, options);
+  if (!t.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 t.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(t).value();
+}
+
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const BenchConfig& config) {
+  std::printf("=== %s: %s ===\n", figure.c_str(), description.c_str());
+  std::printf("mode=%s repeats=%lld seed=%llu\n\n",
+              config.full ? "full (paper-scale)" : "default (laptop-scale)",
+              static_cast<long long>(config.repeats),
+              static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace bench
+}  // namespace frechet_motif

@@ -1,0 +1,52 @@
+#ifndef FRECHET_MOTIF_BENCH_BENCH_COMMON_H_
+#define FRECHET_MOTIF_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "data/datasets.h"
+#include "util/flags.h"
+
+namespace frechet_motif {
+namespace bench {
+
+/// Shared bench configuration parsed from the command line.
+///
+/// Defaults are laptop-scale so the whole harness finishes in minutes;
+/// `--full` switches every sweep to the paper's settings (n up to 10000,
+/// ξ up to 400) — expect multi-hour runs for the BruteDP rows, exactly as
+/// the paper reports.
+struct BenchConfig {
+  bool full = false;
+  std::int64_t repeats = 1;     // trajectories averaged per cell ("10" in §6.1)
+  std::uint64_t seed = 42;
+  std::vector<std::int64_t> lengths;  // trajectory-length sweep
+  std::vector<std::int64_t> xis;      // minimum-motif-length sweep
+  std::int64_t xi = 0;                // fixed ξ for length sweeps
+  std::int64_t n = 0;                 // fixed n for ξ sweeps
+  std::int64_t tau = 32;
+};
+
+/// Parses flags (--full, --repeats=, --seed=, --lengths=, --xis=, --xi=,
+/// --n=, --tau=) and fills defaults appropriate for the given bench. Exits
+/// the process with a message on malformed flags.
+BenchConfig ParseBenchConfig(int argc, char** argv,
+                             const std::vector<std::int64_t>& default_lengths,
+                             const std::vector<std::int64_t>& default_xis,
+                             std::int64_t default_xi, std::int64_t default_n);
+
+/// Generates the r-th repeat trajectory for a dataset/length cell
+/// (deterministic in config.seed).
+Trajectory MakeBenchTrajectory(DatasetKind kind, Index length,
+                               const BenchConfig& config, std::int64_t repeat);
+
+/// Prints a standard bench header (figure id, settings).
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,76 @@
+// Figure 14: BTM with tight vs relaxed lower bounds, varying the minimum
+// motif length ξ (n fixed). The paper's finding: the tight bounds prune
+// slightly more, but the relaxed bounds make motif computation ~10x faster.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "geo/metric.h"
+#include "motif/btm.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig config =
+      ParseBenchConfig(argc, argv, {}, {20, 40, 60}, 0, 600);
+  if (config.full) {
+    config.xis = {100, 200, 300};
+    config.n = 5000;
+  }
+  PrintHeader("Figure 14",
+              "BTM tight vs relaxed bounds, varying minimum motif length xi",
+              config);
+
+  TablePrinter table({"xi", "pruned% (tight)", "pruned% (relaxed)",
+                      "time tight (s)", "time relaxed (s)"});
+  for (const std::int64_t xi : config.xis) {
+    double ratios[2] = {0.0, 0.0};
+    double times[2] = {0.0, 0.0};
+    for (std::int64_t r = 0; r < config.repeats; ++r) {
+      const Trajectory s = MakeBenchTrajectory(
+          DatasetKind::kGeoLifeLike, static_cast<Index>(config.n), config, r);
+      for (const bool relaxed : {false, true}) {
+        BtmOptions options;
+        options.motif.min_length_xi = static_cast<Index>(xi);
+        options.relaxed = relaxed;
+        MotifStats stats;
+        Timer timer;
+        const StatusOr<MotifResult> result =
+            BtmMotif(s, Haversine(), options, &stats);
+        if (!result.ok()) {
+          std::fprintf(stderr, "BTM failed: %s\n",
+                       result.status().ToString().c_str());
+          return 2;
+        }
+        times[relaxed ? 1 : 0] += timer.ElapsedSeconds();
+        ratios[relaxed ? 1 : 0] +=
+            1.0 - static_cast<double>(stats.subsets_evaluated) /
+                      static_cast<double>(stats.total_subsets);
+      }
+    }
+    const double k = static_cast<double>(config.repeats);
+    table.AddRow({TablePrinter::Fmt(xi),
+                  TablePrinter::FmtPercent(ratios[0] / k, 2),
+                  TablePrinter::FmtPercent(ratios[1] / k, 2),
+                  TablePrinter::Fmt(times[0] / k, 3),
+                  TablePrinter::Fmt(times[1] / k, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper Fig 14): response time grows with xi for both\n"
+      "variants; relaxed stays roughly an order of magnitude faster.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace frechet_motif
+
+int main(int argc, char** argv) {
+  return frechet_motif::bench::Main(argc, argv);
+}

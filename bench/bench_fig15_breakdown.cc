@@ -1,0 +1,118 @@
+// Figure 15: breakdown of the candidate subsets pruned by each lower bound
+// (LB_cell, rLB_cross, rLB_band) and the fraction that required an exact
+// DFD computation — once varying n (a) and once varying ξ (b).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "geo/metric.h"
+#include "motif/btm.h"
+#include "util/table_printer.h"
+
+namespace frechet_motif {
+namespace bench {
+namespace {
+
+struct Breakdown {
+  double cell = 0.0;
+  double cross = 0.0;
+  double band = 0.0;
+  double dfd = 0.0;
+};
+
+Breakdown Run(const Trajectory& s, Index xi) {
+  BtmOptions options;
+  options.motif.min_length_xi = xi;
+  options.collect_breakdown = true;
+  MotifStats stats;
+  const StatusOr<MotifResult> r = BtmMotif(s, Haversine(), options, &stats);
+  if (!r.ok()) {
+    std::fprintf(stderr, "BTM failed: %s\n", r.status().ToString().c_str());
+    std::exit(2);
+  }
+  Breakdown b;
+  const double total = static_cast<double>(stats.total_subsets);
+  b.cell = stats.pruned_by_cell / total;
+  b.cross = stats.pruned_by_cross / total;
+  b.band = stats.pruned_by_band / total;
+  b.dfd = 1.0 - b.cell - b.cross - b.band;
+  return b;
+}
+
+void PrintTable(const char* label, const std::vector<std::int64_t>& xs,
+                const std::vector<Breakdown>& rows) {
+  TablePrinter table({label, "LBcell", "rLBcross", "rLBband", "DFD"});
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    table.AddRow({TablePrinter::Fmt(xs[k]),
+                  TablePrinter::FmtPercent(rows[k].cell, 2),
+                  TablePrinter::FmtPercent(rows[k].cross, 2),
+                  TablePrinter::FmtPercent(rows[k].band, 2),
+                  TablePrinter::FmtPercent(rows[k].dfd, 2)});
+  }
+  table.Print(std::cout);
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config =
+      ParseBenchConfig(argc, argv, {300, 600, 1000}, {20, 40, 60}, 30, 600);
+  if (config.full) {
+    config.lengths = {1000, 5000, 10000};
+    config.xis = {100, 200, 300};
+    config.xi = 100;
+    config.n = 5000;
+  }
+  PrintHeader("Figure 15", "pruning-ratio breakdown per bound type", config);
+
+  std::printf("(a) varying trajectory length n (xi=%lld)\n",
+              static_cast<long long>(config.xi));
+  std::vector<Breakdown> rows_n;
+  for (const std::int64_t n : config.lengths) {
+    Breakdown acc;
+    for (std::int64_t r = 0; r < config.repeats; ++r) {
+      const Breakdown b = Run(
+          MakeBenchTrajectory(DatasetKind::kGeoLifeLike,
+                              static_cast<Index>(n), config, r),
+          static_cast<Index>(config.xi));
+      acc.cell += b.cell / config.repeats;
+      acc.cross += b.cross / config.repeats;
+      acc.band += b.band / config.repeats;
+      acc.dfd += b.dfd / config.repeats;
+    }
+    rows_n.push_back(acc);
+  }
+  PrintTable("n", config.lengths, rows_n);
+
+  std::printf("\n(b) varying minimum motif length xi (n=%lld)\n",
+              static_cast<long long>(config.n));
+  std::vector<Breakdown> rows_xi;
+  for (const std::int64_t xi : config.xis) {
+    Breakdown acc;
+    for (std::int64_t r = 0; r < config.repeats; ++r) {
+      const Breakdown b = Run(
+          MakeBenchTrajectory(DatasetKind::kGeoLifeLike,
+                              static_cast<Index>(config.n), config, r),
+          static_cast<Index>(xi));
+      acc.cell += b.cell / config.repeats;
+      acc.cross += b.cross / config.repeats;
+      acc.band += b.band / config.repeats;
+      acc.dfd += b.dfd / config.repeats;
+    }
+    rows_xi.push_back(acc);
+  }
+  PrintTable("xi", config.xis, rows_xi);
+
+  std::printf(
+      "\nExpected shape (paper Fig 15): LBcell dominates (>50%%); as xi\n"
+      "grows LBcell weakens and rLBband picks up the slack — the bounds\n"
+      "complement each other. Over 92%% pruned collectively.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace frechet_motif
+
+int main(int argc, char** argv) {
+  return frechet_motif::bench::Main(argc, argv);
+}

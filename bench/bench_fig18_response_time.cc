@@ -1,0 +1,88 @@
+// Figure 18: response time vs trajectory length n for the four algorithms
+// (BruteDP, BTM, GTM, GTM*) on the three datasets. BruteDP is skipped
+// beyond a cutoff, mirroring the paper's 2-hour termination rule.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "geo/metric.h"
+#include "motif/motif.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig config =
+      ParseBenchConfig(argc, argv, {200, 400, 800, 1500}, {}, 30, 0);
+  if (config.full) {
+    config.lengths = {500, 1000, 5000, 10000};
+    config.xi = 100;
+  }
+  PrintHeader("Figure 18",
+              "response time vs n: BruteDP / BTM / GTM / GTM*, 3 datasets",
+              config);
+  // BruteDP is O(n^4); cap it like the paper caps it at 2 hours.
+  const std::int64_t brute_cutoff = config.full ? 1000 : 500;
+
+  for (const DatasetKind kind : kAllDatasetKinds) {
+    std::printf("--- %s (xi=%lld, tau=%lld) ---\n",
+                DatasetName(kind).c_str(),
+                static_cast<long long>(config.xi),
+                static_cast<long long>(config.tau));
+    TablePrinter table(
+        {"n", "BruteDP (s)", "BTM (s)", "GTM (s)", "GTM* (s)"});
+    for (const std::int64_t n : config.lengths) {
+      double times[4] = {0.0, 0.0, 0.0, 0.0};
+      bool brute_ran = n <= brute_cutoff;
+      for (std::int64_t r = 0; r < config.repeats; ++r) {
+        const Trajectory s =
+            MakeBenchTrajectory(kind, static_cast<Index>(n), config, r);
+        FindMotifOptions options;
+        options.min_length_xi = static_cast<Index>(config.xi);
+        options.group_size_tau = static_cast<Index>(config.tau);
+        const MotifAlgorithm algos[4] = {
+            MotifAlgorithm::kBruteDp, MotifAlgorithm::kBtm,
+            MotifAlgorithm::kGtm, MotifAlgorithm::kGtmStar};
+        for (int a = 0; a < 4; ++a) {
+          if (a == 0 && !brute_ran) continue;
+          options.algorithm = algos[a];
+          Timer timer;
+          const StatusOr<MotifResult> result =
+              FindMotif(s, Haversine(), options);
+          if (!result.ok()) {
+            std::fprintf(stderr, "%s failed: %s\n",
+                         AlgorithmName(algos[a]).c_str(),
+                         result.status().ToString().c_str());
+            return 2;
+          }
+          times[a] += timer.ElapsedSeconds();
+        }
+      }
+      const double k = static_cast<double>(config.repeats);
+      table.AddRow({TablePrinter::Fmt(n),
+                    brute_ran ? TablePrinter::Fmt(times[0] / k, 3)
+                              : std::string("> cutoff"),
+                    TablePrinter::Fmt(times[1] / k, 3),
+                    TablePrinter::Fmt(times[2] / k, 3),
+                    TablePrinter::Fmt(times[3] / k, 3)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig 18): BruteDP slowest by orders of\n"
+      "magnitude; GTM fastest with GTM* the runner-up; all grow with n.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace frechet_motif
+
+int main(int argc, char** argv) {
+  return frechet_motif::bench::Main(argc, argv);
+}

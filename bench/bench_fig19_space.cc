@@ -1,0 +1,75 @@
+// Figure 19: peak space consumption vs trajectory length n for BTM, GTM
+// and GTM* on the three datasets. BTM/GTM hold quadratic structures (the
+// dG matrix and the subset list); GTM* stays at O(max{(n/τ)², n}).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "geo/metric.h"
+#include "motif/btm.h"
+#include "motif/gtm.h"
+#include "motif/gtm_star.h"
+#include "util/table_printer.h"
+
+namespace frechet_motif {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig config =
+      ParseBenchConfig(argc, argv, {200, 400, 800, 1500}, {}, 30, 0);
+  if (config.full) {
+    config.lengths = {500, 1000, 5000, 10000};
+    config.xi = 100;
+  }
+  PrintHeader("Figure 19", "peak space consumption vs n (MiB)", config);
+
+  for (const DatasetKind kind : kAllDatasetKinds) {
+    std::printf("--- %s ---\n", DatasetName(kind).c_str());
+    TablePrinter table({"n", "BTM (MiB)", "GTM (MiB)", "GTM* (MiB)"});
+    for (const std::int64_t n : config.lengths) {
+      const Trajectory s =
+          MakeBenchTrajectory(kind, static_cast<Index>(n), config, 0);
+      const Index xi = static_cast<Index>(config.xi);
+      const Index tau = static_cast<Index>(config.tau);
+
+      MotifStats btm_stats;
+      BtmOptions btm;
+      btm.motif.min_length_xi = xi;
+      if (!BtmMotif(s, Haversine(), btm, &btm_stats).ok()) return 2;
+
+      MotifStats gtm_stats;
+      GtmOptions gtm;
+      gtm.motif.min_length_xi = xi;
+      gtm.group_size_tau = tau;
+      if (!GtmMotif(s, Haversine(), gtm, &gtm_stats).ok()) return 2;
+
+      MotifStats star_stats;
+      GtmStarOptions star;
+      star.motif.min_length_xi = xi;
+      star.group_size_tau = tau;
+      if (!GtmStarMotif(s, Haversine(), star, &star_stats).ok()) return 2;
+
+      table.AddRow({TablePrinter::Fmt(n),
+                    TablePrinter::Fmt(btm_stats.memory.peak_mib(), 2),
+                    TablePrinter::Fmt(gtm_stats.memory.peak_mib(), 2),
+                    TablePrinter::Fmt(star_stats.memory.peak_mib(), 2)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig 19): BTM and GTM grow quadratically with\n"
+      "n; GTM* grows roughly linearly, making it the choice for very long\n"
+      "trajectories.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace frechet_motif
+
+int main(int argc, char** argv) {
+  return frechet_motif::bench::Main(argc, argv);
+}

@@ -1,0 +1,97 @@
+// Figure 3: DTW vs DFD under non-uniform sampling. S_b is a uniformly
+// sampled copy of S_a at a fixed lateral offset; S_c traces the *same*
+// geometry as S_a at half that offset but is non-uniformly resampled
+// (denser and denser in one region). A sampling-robust measure must rank
+// S_c closer to S_a than S_b; DTW inverts the ranking once the oversampling
+// is strong enough, DFD never does.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "similarity/dtw.h"
+#include "similarity/frechet.h"
+#include "util/table_printer.h"
+
+namespace frechet_motif {
+namespace bench {
+namespace {
+
+/// Straight east-bound track of `n` points `spacing` meters apart, shifted
+/// `offset_north` meters sideways.
+Trajectory StraightTrack(const Point& origin, Index n, double spacing,
+                         double offset_north) {
+  Trajectory t;
+  for (Index i = 0; i < n; ++i) {
+    t.Append(OffsetByMeters(origin, i * spacing, offset_north),
+             static_cast<double>(i));
+  }
+  return t;
+}
+
+/// The same geometry as StraightTrack but with `factor` extra samples
+/// squeezed into the first third of the track (non-uniform sampling).
+Trajectory OversampledTrack(const Point& origin, Index n, double spacing,
+                            double offset_north, int factor) {
+  Trajectory t;
+  double clock = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double east = i * spacing;
+    t.Append(OffsetByMeters(origin, east, offset_north), clock);
+    clock += 1.0;
+    if (i < n / 3 && i + 1 < n) {
+      for (int k = 1; k <= factor; ++k) {
+        const double frac = static_cast<double>(k) / (factor + 1);
+        t.Append(OffsetByMeters(origin, east + frac * spacing, offset_north),
+                 clock);
+        clock += 1.0 / (factor + 1);
+      }
+    }
+  }
+  return t;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv, {}, {}, 0, 100);
+  PrintHeader("Figure 3", "DTW vs DFD under non-uniform sampling", config);
+
+  const Point origin = LatLon(39.9, 116.4);
+  const Index n = static_cast<Index>(config.n);
+  const Trajectory sa = StraightTrack(origin, n, 10.0, 0.0);
+  const Trajectory sb = StraightTrack(origin, n, 10.0, 20.0);
+
+  const double dtw_ab = DtwDistance(sa, sb, Haversine()).value();
+  const double dfd_ab = DiscreteFrechet(sa, sb, Haversine()).value();
+
+  TablePrinter table({"oversampling factor", "DTW(Sa,Sb)", "DTW(Sa,Sc)",
+                      "DFD(Sa,Sb) m", "DFD(Sa,Sc) m", "DTW ranking",
+                      "DFD ranking"});
+  for (const int factor : {0, 1, 2, 4, 8}) {
+    const Trajectory sc = OversampledTrack(origin, n, 10.0, 10.0, factor);
+    const double dtw_ac = DtwDistance(sa, sc, Haversine()).value();
+    const double dfd_ac = DiscreteFrechet(sa, sc, Haversine()).value();
+    table.AddRow(
+        {TablePrinter::Fmt(static_cast<std::int64_t>(factor)),
+         TablePrinter::Fmt(dtw_ab, 1), TablePrinter::Fmt(dtw_ac, 1),
+         TablePrinter::Fmt(dfd_ab, 2), TablePrinter::Fmt(dfd_ac, 2),
+         dtw_ac < dtw_ab ? "Sc closer (ok)" : "Sb closer (WRONG)",
+         dfd_ac < dfd_ab ? "Sc closer (ok)" : "Sb closer (WRONG)"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper Fig 3): Sc is geometrically closer to Sa, so\n"
+      "DFD always ranks Sc first; DTW flips to the wrong ranking as the\n"
+      "oversampling factor grows.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace frechet_motif
+
+int main(int argc, char** argv) {
+  return frechet_motif::bench::Main(argc, argv);
+}

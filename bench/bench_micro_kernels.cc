@@ -1,0 +1,95 @@
+// Microbenchmarks (google-benchmark) for the computational kernels the
+// paper's complexity analysis is built on: the haversine ground distance,
+// the O(l^2) DFD dynamic program, the relaxed-bound precomputation pass and
+// the group-envelope construction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/distance_matrix.h"
+#include "data/datasets.h"
+#include "geo/metric.h"
+#include "motif/group.h"
+#include "motif/relaxed_bounds.h"
+#include "similarity/frechet.h"
+
+namespace frechet_motif {
+namespace {
+
+Trajectory Dataset(Index n) {
+  DatasetOptions options;
+  options.length = n;
+  options.seed = 7;
+  return MakeDataset(DatasetKind::kGeoLifeLike, options).value();
+}
+
+void BM_HaversineDistance(benchmark::State& state) {
+  const Trajectory t = Dataset(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Haversine().Distance(t[0], t[1]));
+  }
+}
+BENCHMARK(BM_HaversineDistance);
+
+void BM_DiscreteFrechet(benchmark::State& state) {
+  const Index l = static_cast<Index>(state.range(0));
+  DatasetOptions options;
+  options.length = l;
+  options.seed = 1;
+  const Trajectory a =
+      MakeDataset(DatasetKind::kGeoLifeLike, options).value();
+  options.seed = 2;
+  const Trajectory b =
+      MakeDataset(DatasetKind::kGeoLifeLike, options).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscreteFrechet(a, b, Haversine()));
+  }
+  state.SetComplexityN(l);
+}
+BENCHMARK(BM_DiscreteFrechet)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_DistanceMatrixBuild(benchmark::State& state) {
+  const Trajectory t = Dataset(static_cast<Index>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistanceMatrix::Build(t, Haversine()));
+  }
+}
+BENCHMARK(BM_DistanceMatrixBuild)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_RelaxedBoundsBuild(benchmark::State& state) {
+  const Trajectory t = Dataset(static_cast<Index>(state.range(0)));
+  const DistanceMatrix dg = DistanceMatrix::Build(t, Haversine()).value();
+  MotifOptions options;
+  options.min_length_xi = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RelaxedBounds::Build(dg, options));
+  }
+}
+BENCHMARK(BM_RelaxedBoundsBuild)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GroupingBuild(benchmark::State& state) {
+  const Trajectory t = Dataset(1024);
+  const DistanceMatrix dg = DistanceMatrix::Build(t, Haversine()).value();
+  MotifOptions options;
+  options.min_length_xi = 30;
+  const Index tau = static_cast<Index>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Grouping::Build(dg, options, tau));
+  }
+}
+BENCHMARK(BM_GroupingBuild)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FrechetOnRange(benchmark::State& state) {
+  const Trajectory t = Dataset(512);
+  const DistanceMatrix dg = DistanceMatrix::Build(t, Haversine()).value();
+  const Index l = static_cast<Index>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiscreteFrechetOnRange(dg, 0, l - 1, 256, 256 + l - 1));
+  }
+}
+BENCHMARK(BM_FrechetOnRange)->Arg(32)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace frechet_motif
+
+BENCHMARK_MAIN();

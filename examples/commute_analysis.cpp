@@ -1,0 +1,110 @@
+// Human-behaviour analysis, in the spirit of the paper's Figure 1: a
+// multi-day pedestrian trace contains a repeated commute; the motif is the
+// pair of most similar subtrajectories, i.e. the commute happening twice.
+// The example discovers it, reports when each repetition happened, and
+// exports both legs as CSV for plotting.
+//
+//   ./commute_analysis [--n=3000] [--xi=60] [--out=/tmp]
+
+#include <cstdio>
+#include <string>
+
+#include "data/datasets.h"
+#include "data/io.h"
+#include "data/planted.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "motif/motif.h"
+#include "util/flags.h"
+
+namespace fm = frechet_motif;
+
+namespace {
+
+/// Formats a timestamp (seconds since recording start) as d:hh:mm:ss.
+std::string FormatClock(double seconds) {
+  const long total = static_cast<long>(seconds);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "day %ld %02ld:%02ld:%02ld",
+                total / 86400, (total % 86400) / 3600, (total % 3600) / 60,
+                total % 60);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fm::Flags flags;
+  if (!flags.Parse(argc, argv).ok()) return 2;
+  const fm::Index n = static_cast<fm::Index>(flags.GetInt("n", 3000));
+  const fm::Index xi = static_cast<fm::Index>(flags.GetInt("xi", 60));
+  const std::string out_dir = flags.GetString("out", "/tmp");
+
+  // A multi-day pedestrian trace. The GeoLife-like generator re-uses a
+  // small commute-route library across recordings, so a genuine motif
+  // exists; we additionally plant a controlled near-copy to make the
+  // demonstration deterministic.
+  const fm::StatusOr<fm::Trajectory> base = fm::MakeDataset(
+      fm::DatasetKind::kGeoLifeLike,
+      fm::DatasetOptions{.length = n, .seed = 2009});
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  const fm::StatusOr<fm::PlantedMotif> planted = fm::PlantMotif(
+      base.value(), /*segment_start=*/n / 5, /*segment_length=*/xi + 20,
+      /*gap_length=*/n / 10, /*noise_m=*/5.0, /*seed=*/10);
+  if (!planted.ok()) {
+    std::fprintf(stderr, "%s\n", planted.status().ToString().c_str());
+    return 1;
+  }
+  const fm::Trajectory& s = planted.value().trajectory;
+
+  fm::FindMotifOptions options;
+  options.min_length_xi = xi;
+  options.group_size_tau = 16;
+  options.algorithm = fm::MotifAlgorithm::kGtm;
+  const fm::StatusOr<fm::MotifResult> result =
+      fm::FindMotif(s, fm::Haversine(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const fm::MotifResult& motif = result.value();
+
+  std::printf("analyzed %d GPS samples spanning %s\n", s.size(),
+              FormatClock(s.timestamp(s.size() - 1) - s.timestamp(0)).c_str());
+  std::printf("repeated movement pattern found (DFD %.1f m):\n",
+              motif.distance);
+  std::printf("  1st occurrence: samples %d..%d, %s -> %s\n", motif.best.i,
+              motif.best.ie, FormatClock(s.timestamp(motif.best.i)).c_str(),
+              FormatClock(s.timestamp(motif.best.ie)).c_str());
+  std::printf("  2nd occurrence: samples %d..%d, %s -> %s\n", motif.best.j,
+              motif.best.je, FormatClock(s.timestamp(motif.best.j)).c_str(),
+              FormatClock(s.timestamp(motif.best.je)).c_str());
+
+  const double leg_km =
+      [&] {
+        double total = 0.0;
+        for (fm::Index k = motif.best.i; k < motif.best.ie; ++k) {
+          total += fm::GreatCircleDistanceMeters(s[k], s[k + 1]);
+        }
+        return total / 1000.0;
+      }();
+  std::printf("  route length: %.2f km\n", leg_km);
+
+  // Export both legs for plotting (e.g. with gnuplot or a notebook).
+  const std::string first_path = out_dir + "/motif_first_leg.csv";
+  const std::string second_path = out_dir + "/motif_second_leg.csv";
+  const fm::Status w1 =
+      fm::WriteCsv(s.Slice(motif.best.i, motif.best.ie), first_path);
+  const fm::Status w2 =
+      fm::WriteCsv(s.Slice(motif.best.j, motif.best.je), second_path);
+  if (!w1.ok() || !w2.ok()) {
+    std::fprintf(stderr, "export failed\n");
+    return 1;
+  }
+  std::printf("exported:\n  %s\n  %s\n", first_path.c_str(),
+              second_path.c_str());
+  return 0;
+}

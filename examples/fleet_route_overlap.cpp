@@ -1,0 +1,83 @@
+// Traffic analysis with the cross-trajectory motif variant: given the GPS
+// traces of two different delivery trucks, find the road segment the two
+// vehicles share most closely (smallest discrete Fréchet distance between
+// any pair of their subtrajectories). Useful for detecting common routes,
+// convoy behaviour or redundant tours across a fleet.
+//
+//   ./fleet_route_overlap [--n=1500] [--xi=40]
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "motif/motif.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace fm = frechet_motif;
+
+int main(int argc, char** argv) {
+  fm::Flags flags;
+  if (!flags.Parse(argc, argv).ok()) return 2;
+  const fm::Index n = static_cast<fm::Index>(flags.GetInt("n", 1500));
+  const fm::Index xi = static_cast<fm::Index>(flags.GetInt("xi", 40));
+
+  // Two trucks of the same company share the depot and road grid: generate
+  // one fleet schedule over the shared route library and split it into the
+  // two vehicles' recordings.
+  const fm::StatusOr<fm::Trajectory> fleet = fm::MakeDataset(
+      fm::DatasetKind::kTruckLike,
+      fm::DatasetOptions{.length = 2 * n, .seed = 5});
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return 1;
+  }
+  const fm::Trajectory truck_a = fleet.value().Slice(0, n - 1);
+  const fm::Trajectory truck_b = fleet.value().Slice(n, 2 * n - 1);
+
+  fm::FindMotifOptions options;
+  options.min_length_xi = xi;
+  options.group_size_tau = 16;
+  options.algorithm = fm::MotifAlgorithm::kGtm;
+
+  fm::MotifStats stats;
+  fm::Timer timer;
+  const fm::StatusOr<fm::MotifResult> result = fm::FindMotif(
+      truck_a, truck_b, fm::Haversine(), options, &stats);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const fm::MotifResult& motif = result.value();
+  const fm::Trajectory& a = truck_a;
+  const fm::Trajectory& b = truck_b;
+
+  std::printf("truck A: %d samples; truck B: %d samples\n", a.size(),
+              b.size());
+  std::printf("closest shared segment (DFD %.1f m, found in %.2f s):\n",
+              motif.distance, timer.ElapsedSeconds());
+  std::printf("  truck A samples %d..%d (%d points)\n", motif.best.i,
+              motif.best.ie, motif.first().length());
+  std::printf("  truck B samples %d..%d (%d points)\n", motif.best.j,
+              motif.best.je, motif.second().length());
+
+  double overlap_km = 0.0;
+  for (fm::Index k = motif.best.i; k < motif.best.ie; ++k) {
+    overlap_km += fm::GreatCircleDistanceMeters(a[k], a[k + 1]);
+  }
+  overlap_km /= 1000.0;
+  std::printf("  shared-route length: %.2f km\n", overlap_km);
+  // At ~30 s sampling an 11 m/s truck moves ~330 m between fixes, so a DFD
+  // below one inter-sample gap means the same road segment was driven.
+  if (motif.distance < 400.0) {
+    std::printf(
+        "  => the trucks drove the same road segment (DFD below one\n"
+        "     inter-sample gap); a planner could consolidate these tours.\n");
+  } else {
+    std::printf("  => no closely shared segment at this minimum length.\n");
+  }
+  std::printf("\n%s\n", stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Why the discrete Fréchet distance? Reproduces the arguments of the
+// paper's Figures 2-3 and Table 1 on synthetic data:
+//  (1) ED measures lock-step spatial proximity only and can prefer a pair
+//      whose movement patterns differ;
+//  (2) DTW sums matched distances and mis-ranks non-uniformly sampled
+//      trajectories, while DFD is unaffected.
+//
+//   ./measure_comparison
+
+#include <cstdio>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "similarity/dtw.h"
+#include "similarity/edr.h"
+#include "similarity/euclidean.h"
+#include "similarity/frechet.h"
+#include "similarity/lcss.h"
+
+namespace fm = frechet_motif;
+
+namespace {
+
+const fm::Point kOrigin = fm::LatLon(39.9, 116.4);
+
+/// Track through meter-frame waypoints, one sample per `step_m`.
+fm::Trajectory Track(const std::vector<fm::Point>& waypoints, double step_m) {
+  fm::Trajectory out;
+  double clock = 0.0;
+  for (std::size_t w = 0; w + 1 < waypoints.size(); ++w) {
+    const double dx = waypoints[w + 1].x - waypoints[w].x;
+    const double dy = waypoints[w + 1].y - waypoints[w].y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    const int steps = std::max(1, static_cast<int>(len / step_m));
+    for (int k = 0; k < steps; ++k) {
+      const double f = static_cast<double>(k) / steps;
+      out.Append(fm::OffsetByMeters(kOrigin, waypoints[w].x + f * dx,
+                                    waypoints[w].y + f * dy),
+                 clock);
+      clock += 1.0;
+    }
+  }
+  out.Append(fm::OffsetByMeters(kOrigin, waypoints.back().x,
+                                waypoints.back().y),
+             clock);
+  return out;
+}
+
+void PrintRow(const char* label, const fm::Trajectory& a,
+              const fm::Trajectory& b) {
+  const double dfd = fm::DiscreteFrechet(a, b, fm::Haversine()).value();
+  const double dtw = fm::DtwDistance(a, b, fm::Haversine()).value();
+  const double lcss = fm::LcssDistance(a, b, fm::Haversine(), 15.0).value();
+  const double edr =
+      fm::EdrNormalized(a, b, fm::Haversine(), 15.0).value();
+  std::printf("  %-28s DFD=%8.1f m  DTW=%10.1f  LCSS=%5.2f  EDR=%5.2f\n",
+              label, dfd, dtw, lcss, edr);
+}
+
+}  // namespace
+
+int main() {
+  // --- (1) Spatial proximity is not pattern similarity (Figure 2). -------
+  // `reversed` drives the same street as `straight` but in the opposite
+  // direction: every sample is spatially near the street, yet the movement
+  // pattern is opposite. `parallel` is a farther street driven in the same
+  // direction. ED (lock-step proximity) prefers the reversed pair; DFD
+  // recognises the opposite pattern and prefers the parallel one — the
+  // paper's Figure 2 argument.
+  const fm::Trajectory straight = Track({{0, 0}, {400, 0}}, 10.0);
+  const fm::Trajectory reversed = Track({{400, 10}, {0, 10}}, 10.0);
+  const fm::Trajectory parallel = Track({{0, 250}, {400, 250}}, 10.0);
+
+  const double ed_rev =
+      fm::EuclideanMeanDistance(straight, reversed, fm::Haversine()).value();
+  const double ed_par =
+      fm::EuclideanMeanDistance(straight, parallel, fm::Haversine()).value();
+  const double dfd_rev =
+      fm::DiscreteFrechet(straight, reversed, fm::Haversine()).value();
+  const double dfd_par =
+      fm::DiscreteFrechet(straight, parallel, fm::Haversine()).value();
+
+  std::printf("(1) spatial proximity vs movement pattern (cf. Figure 2)\n");
+  std::printf(
+      "  same street, opposite direction: mean ED=%6.1f m  DFD=%6.1f m\n",
+      ed_rev, dfd_rev);
+  std::printf(
+      "  parallel street, same direction: mean ED=%6.1f m  DFD=%6.1f m\n",
+      ed_par, dfd_par);
+  std::printf(
+      "  ED prefers the %s pair; DFD prefers the %s pair.\n\n",
+      ed_rev < ed_par ? "opposite-direction (pattern mismatch!)" : "parallel",
+      dfd_rev < dfd_par ? "opposite-direction (pattern mismatch!)"
+                        : "parallel");
+
+  // --- (2) Non-uniform sampling (Figure 3). ------------------------------
+  const fm::Trajectory sa = Track({{0, 0}, {500, 0}}, 10.0);
+  const fm::Trajectory sb = Track({{0, 25}, {500, 25}}, 10.0);
+  // Same geometry as sa at a *closer* offset, but heavily oversampled in
+  // the first 150 m (a phone logging at 10x rate in that stretch).
+  fm::Trajectory sc = Track({{0, 12}, {150, 12}}, 1.0);
+  const fm::Trajectory tail = Track({{150, 12}, {500, 12}}, 10.0);
+  for (fm::Index k = 0; k < tail.size(); ++k) {
+    sc.Append(tail[k], 1000.0 + k);
+  }
+
+  std::printf("(2) non-uniform sampling (cf. Figure 3)\n");
+  PrintRow("Sa vs Sb (uniform, 25 m off)", sa, sb);
+  PrintRow("Sa vs Sc (oversampled, 12 m)", sa, sc);
+  std::printf(
+      "  Sc is geometrically closer to Sa, and DFD agrees; DTW explodes on\n"
+      "  the oversampled stretch and ranks Sb first — the paper's argument\n"
+      "  for adopting DFD on real GPS data.\n");
+  return 0;
+}

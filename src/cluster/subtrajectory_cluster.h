@@ -1,0 +1,70 @@
+#ifndef FRECHET_MOTIF_CLUSTER_SUBTRAJECTORY_CLUSTER_H_
+#define FRECHET_MOTIF_CLUSTER_SUBTRAJECTORY_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Options for subtrajectory clustering (the paper's Section 7 outlook;
+/// in the spirit of Buchin et al.'s commuting-pattern detection [3]).
+struct ClusterOptions {
+  /// Window length in points; every candidate subtrajectory is one window.
+  Index window_length = 100;
+
+  /// Stride between candidate window starts (>= 1). Smaller strides find
+  /// better-aligned clusters at quadratically higher cost.
+  Index stride = 25;
+
+  /// Membership threshold θ (meters): a window joins a cluster when its
+  /// DFD to the cluster's reference window is <= θ.
+  double threshold_m = 100.0;
+
+  /// Minimum number of member windows (including the reference) for a
+  /// cluster to be reported.
+  int min_members = 2;
+};
+
+/// A star-shaped subtrajectory cluster: every member window is within the
+/// threshold of the reference window, and members are pairwise
+/// non-overlapping in time.
+struct SubtrajectoryCluster {
+  SubtrajectoryRef reference;
+  std::vector<SubtrajectoryRef> members;  // includes the reference
+
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+/// Counters for the clustering run.
+struct ClusterStats {
+  std::int64_t window_pairs = 0;
+  std::int64_t pruned_endpoints = 0;
+  std::int64_t decided_exact = 0;
+
+  std::string ToString() const;
+};
+
+/// Finds the largest cluster: the reference window whose non-overlapping
+/// θ-neighbourhood (greedy left-to-right selection) has the most members.
+/// Uses the endpoint lower bound before each O(L²) early-abandoning DFD
+/// decision. Returns NotFound when no cluster reaches min_members.
+StatusOr<SubtrajectoryCluster> BestSubtrajectoryCluster(
+    const Trajectory& s, const GroundMetric& metric,
+    const ClusterOptions& options, ClusterStats* stats = nullptr);
+
+/// Greedy cover: repeatedly extracts the largest cluster among windows not
+/// yet assigned to a cluster, until none reaches min_members. Clusters are
+/// pairwise window-disjoint. Returns an empty vector when nothing
+/// qualifies.
+StatusOr<std::vector<SubtrajectoryCluster>> ClusterSubtrajectories(
+    const Trajectory& s, const GroundMetric& metric,
+    const ClusterOptions& options, ClusterStats* stats = nullptr);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_CLUSTER_SUBTRAJECTORY_CLUSTER_H_

@@ -1,0 +1,60 @@
+#include "core/distance_matrix.h"
+
+namespace frechet_motif {
+
+StatusOr<DistanceMatrix> DistanceMatrix::Build(const Trajectory& s,
+                                               const Trajectory& t,
+                                               const GroundMetric& metric) {
+  if (s.empty() || t.empty()) {
+    return Status::InvalidArgument(
+        "cannot build a distance matrix over an empty trajectory");
+  }
+  const Index n = s.size();
+  const Index m = t.size();
+  std::vector<double> values(static_cast<std::size_t>(n) * m);
+  for (Index i = 0; i < n; ++i) {
+    const Point& pi = s[i];
+    double* row = values.data() + static_cast<std::size_t>(i) * m;
+    for (Index j = 0; j < m; ++j) {
+      row[j] = metric.Distance(pi, t[j]);
+    }
+  }
+  return DistanceMatrix(n, m, std::move(values));
+}
+
+StatusOr<DistanceMatrix> DistanceMatrix::Build(const Trajectory& s,
+                                               const GroundMetric& metric) {
+  return Build(s, s, metric);
+}
+
+StatusOr<DistanceMatrix> DistanceMatrix::FromValues(
+    Index rows, Index cols, std::vector<double> values) {
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("matrix dimensions must be positive");
+  }
+  if (values.size() != static_cast<std::size_t>(rows) * cols) {
+    return Status::InvalidArgument(
+        "matrix data size does not match rows*cols");
+  }
+  return DistanceMatrix(rows, cols, std::move(values));
+}
+
+namespace {
+
+std::vector<SphereVec> VectorizePoints(const Trajectory& t) {
+  std::vector<SphereVec> out;
+  out.reserve(t.size());
+  for (Index i = 0; i < t.size(); ++i) out.push_back(ToSphereVec(t[i]));
+  return out;
+}
+
+}  // namespace
+
+CachedHaversineDistance::CachedHaversineDistance(const Trajectory& s,
+                                                 const Trajectory& t)
+    : rows_vec_(VectorizePoints(s)), cols_vec_(VectorizePoints(t)) {}
+
+CachedHaversineDistance::CachedHaversineDistance(const Trajectory& s)
+    : rows_vec_(VectorizePoints(s)), cols_vec_(rows_vec_) {}
+
+}  // namespace frechet_motif

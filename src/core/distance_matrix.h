@@ -1,0 +1,135 @@
+#ifndef FRECHET_MOTIF_CORE_DISTANCE_MATRIX_H_
+#define FRECHET_MOTIF_CORE_DISTANCE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Read access to the ground-distance matrix dG[i][j] between point i of a
+/// "row" trajectory and point j of a "column" trajectory.
+///
+/// For the single-trajectory motif problem both roles are played by the same
+/// trajectory; for the two-trajectory variant they differ. Algorithms are
+/// written against this interface so that the precomputed matrix (BruteDP,
+/// BTM, GTM — the paper's O(n^2)-space design) and the on-the-fly evaluation
+/// (GTM*, Idea (i) of Section 5.5) are interchangeable.
+class DistanceProvider {
+ public:
+  virtual ~DistanceProvider() = default;
+
+  /// dG between row point i and column point j.
+  virtual double Distance(Index i, Index j) const = 0;
+
+  /// Number of row points (n).
+  virtual Index rows() const = 0;
+
+  /// Number of column points (m; equals rows() for the single-trajectory
+  /// problem).
+  virtual Index cols() const = 0;
+
+  /// Bytes of memory retained by this provider (for Figure 19 accounting).
+  virtual std::size_t MemoryBytes() const = 0;
+};
+
+/// Fully materialized dG matrix — the paper's "precompute all pairs of
+/// ground distances and store them in matrix dG[·][·]" optimization.
+class DistanceMatrix final : public DistanceProvider {
+ public:
+  /// Precomputes dG over all pairs of `s` (rows) and `t` (columns) points.
+  /// Returns InvalidArgument when either trajectory is empty.
+  static StatusOr<DistanceMatrix> Build(const Trajectory& s,
+                                        const Trajectory& t,
+                                        const GroundMetric& metric);
+
+  /// Self-distance matrix for the single-trajectory problem.
+  static StatusOr<DistanceMatrix> Build(const Trajectory& s,
+                                        const GroundMetric& metric);
+
+  /// Wraps an explicit matrix (row-major, `rows x cols`). Used by tests to
+  /// reproduce the paper's worked examples (e.g. Figure 5). Returns
+  /// InvalidArgument when the data size does not equal rows*cols or either
+  /// dimension is zero.
+  static StatusOr<DistanceMatrix> FromValues(Index rows, Index cols,
+                                             std::vector<double> values);
+
+  double Distance(Index i, Index j) const override {
+    return values_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  Index rows() const override { return rows_; }
+  Index cols() const override { return cols_; }
+  std::size_t MemoryBytes() const override {
+    return values_.capacity() * sizeof(double);
+  }
+
+ private:
+  DistanceMatrix(Index rows, Index cols, std::vector<double> values)
+      : rows_(rows), cols_(cols), values_(std::move(values)) {}
+
+  Index rows_;
+  Index cols_;
+  std::vector<double> values_;
+};
+
+/// Computes ground distances on demand from the trajectories — O(1) memory,
+/// one metric evaluation per access. This is GTM*'s Idea (i).
+class OnTheFlyDistance final : public DistanceProvider {
+ public:
+  /// Both trajectories must outlive this provider.
+  OnTheFlyDistance(const Trajectory& s, const Trajectory& t,
+                   const GroundMetric& metric)
+      : s_(s), t_(t), metric_(metric) {}
+
+  /// Single-trajectory form.
+  OnTheFlyDistance(const Trajectory& s, const GroundMetric& metric)
+      : s_(s), t_(s), metric_(metric) {}
+
+  double Distance(Index i, Index j) const override {
+    return metric_.Distance(s_[i], t_[j]);
+  }
+  Index rows() const override { return s_.size(); }
+  Index cols() const override { return t_.size(); }
+  std::size_t MemoryBytes() const override { return 0; }
+
+ private:
+  const Trajectory& s_;
+  const Trajectory& t_;
+  const GroundMetric& metric_;
+};
+
+/// On-the-fly great-circle distances with O(n+m) cached unit vectors: each
+/// point's sphere vector is precomputed once, so a distance evaluation
+/// costs one sqrt + asin instead of six trigonometric calls. Results are
+/// bit-identical to HaversineMetric (GreatCircleDistanceMeters is defined
+/// as exactly this computation), so GTM* over this provider returns the
+/// same distances as the matrix-based algorithms.
+class CachedHaversineDistance final : public DistanceProvider {
+ public:
+  /// Both trajectories must outlive this provider.
+  CachedHaversineDistance(const Trajectory& s, const Trajectory& t);
+
+  /// Single-trajectory form.
+  explicit CachedHaversineDistance(const Trajectory& s);
+
+  double Distance(Index i, Index j) const override {
+    return SphereVecDistanceMeters(rows_vec_[i], cols_vec_[j]);
+  }
+  Index rows() const override { return static_cast<Index>(rows_vec_.size()); }
+  Index cols() const override { return static_cast<Index>(cols_vec_.size()); }
+  std::size_t MemoryBytes() const override {
+    return (rows_vec_.capacity() + cols_vec_.capacity()) * sizeof(SphereVec);
+  }
+
+ private:
+  std::vector<SphereVec> rows_vec_;
+  std::vector<SphereVec> cols_vec_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_CORE_DISTANCE_MATRIX_H_

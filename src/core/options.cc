@@ -1,0 +1,53 @@
+#include "core/options.h"
+
+#include <string>
+
+namespace frechet_motif {
+
+Status ValidateMotifInput(const MotifOptions& options, Index n, Index m) {
+  const Index xi = options.min_length_xi;
+  if (xi < 1) {
+    return Status::InvalidArgument("min_length_xi must be >= 1, got " +
+                                   std::to_string(xi));
+  }
+  if (n <= 0 || m <= 0) {
+    return Status::InvalidArgument("input trajectory is empty");
+  }
+  if (options.variant == MotifVariant::kSingleTrajectory) {
+    // Tightest valid candidate: i=0, ie=ξ+1, j=ξ+2, je=2ξ+3 <= n-1.
+    const Index needed = 2 * xi + 4;
+    if (n < needed) {
+      return Status::InvalidArgument(
+          "single-trajectory motif with xi=" + std::to_string(xi) +
+          " requires n >= " + std::to_string(needed) + ", got n=" +
+          std::to_string(n));
+    }
+  } else {
+    const Index needed = xi + 2;  // i=0, ie=ξ+1 <= n-1
+    if (n < needed || m < needed) {
+      return Status::InvalidArgument(
+          "cross-trajectory motif with xi=" + std::to_string(xi) +
+          " requires both lengths >= " + std::to_string(needed));
+    }
+  }
+  return Status::Ok();
+}
+
+std::ostream& operator<<(std::ostream& os, const Candidate& c) {
+  return os << "(S[" << c.i << ".." << c.ie << "], T[" << c.j << ".." << c.je
+            << "])";
+}
+
+bool IsValidCandidate(const Candidate& c, const MotifOptions& options,
+                      Index n, Index m) {
+  const Index xi = options.min_length_xi;
+  if (c.i < 0 || c.j < 0) return false;
+  if (c.ie <= c.i + xi || c.je <= c.j + xi) return false;
+  if (c.je > m - 1 || c.ie > n - 1) return false;
+  if (options.variant == MotifVariant::kSingleTrajectory && c.ie >= c.j) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,79 @@
+#ifndef FRECHET_MOTIF_CORE_OPTIONS_H_
+#define FRECHET_MOTIF_CORE_OPTIONS_H_
+
+#include <limits>
+#include <ostream>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Which motif problem variant is being solved.
+enum class MotifVariant {
+  /// Problem 1: both subtrajectories come from the same trajectory and must
+  /// not overlap (i < ie < j < je).
+  kSingleTrajectory,
+  /// The variant of Section 3: subtrajectories come from two different
+  /// trajectories; no ordering constraint links their index ranges.
+  kCrossTrajectory,
+};
+
+/// Options shared by every motif-discovery algorithm.
+///
+/// `min_length_xi` is the paper's ξ: a candidate (i, ie, j, je) is valid iff
+/// ie > i + ξ and je > j + ξ (so each subtrajectory spans at least ξ+2
+/// points), non-overlap ie < j for the single-trajectory variant, and
+/// indices stay inside the trajectory.
+struct MotifOptions {
+  /// Minimum motif length ξ (paper default: 100). Must be >= 1.
+  Index min_length_xi = 100;
+
+  /// Problem variant.
+  MotifVariant variant = MotifVariant::kSingleTrajectory;
+};
+
+/// Validates options against input sizes `n` (rows) and `m` (columns; pass
+/// n for the single-trajectory variant). Returns InvalidArgument when no
+/// valid candidate can exist.
+Status ValidateMotifInput(const MotifOptions& options, Index n, Index m);
+
+/// A motif candidate: the pair of subtrajectories (S[i..ie], T[j..je]).
+struct Candidate {
+  Index i = 0;
+  Index ie = 0;
+  Index j = 0;
+  Index je = 0;
+
+  friend bool operator==(const Candidate& a, const Candidate& b) {
+    return a.i == b.i && a.ie == b.ie && a.j == b.j && a.je == b.je;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Candidate& c);
+
+/// True iff `c` satisfies the validity constraints for the given options and
+/// sizes (see MotifOptions).
+bool IsValidCandidate(const Candidate& c, const MotifOptions& options,
+                      Index n, Index m);
+
+/// Result of a motif search.
+struct MotifResult {
+  /// The best pair found. Meaningful only when found is true.
+  Candidate best;
+
+  /// Its exact discrete Fréchet distance.
+  double distance = std::numeric_limits<double>::infinity();
+
+  /// False iff the input admits no valid candidate (guarded by
+  /// ValidateMotifInput, so normally true).
+  bool found = false;
+
+  /// Convenience accessors for the two subtrajectories.
+  SubtrajectoryRef first() const { return {best.i, best.ie}; }
+  SubtrajectoryRef second() const { return {best.j, best.je}; }
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_CORE_OPTIONS_H_

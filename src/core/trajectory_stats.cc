@@ -1,0 +1,61 @@
+#include "core/trajectory_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace frechet_motif {
+
+std::string TrajectorySummary::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "points=%d path=%.1f m net=%.1f m duration=%.0f s speed=%.2f m/s\n"
+      "sampling period: min=%.2f s median=%.2f s max=%.2f s dropouts=%d\n"
+      "extent: x=[%.6f, %.6f] y=[%.6f, %.6f]",
+      num_points, path_length_m, net_displacement_m, duration_s,
+      mean_speed_mps, min_period_s, median_period_s, max_period_s,
+      dropout_events, min_x, max_x, min_y, max_y);
+  return buf;
+}
+
+StatusOr<TrajectorySummary> Summarize(const Trajectory& t,
+                                      const GroundMetric& metric) {
+  if (t.empty()) {
+    return Status::InvalidArgument("cannot summarize an empty trajectory");
+  }
+  TrajectorySummary out;
+  out.num_points = t.size();
+  out.min_x = out.max_x = t[0].x;
+  out.min_y = out.max_y = t[0].y;
+  for (Index i = 0; i < t.size(); ++i) {
+    out.min_x = std::min(out.min_x, t[i].x);
+    out.max_x = std::max(out.max_x, t[i].x);
+    out.min_y = std::min(out.min_y, t[i].y);
+    out.max_y = std::max(out.max_y, t[i].y);
+    if (i > 0) out.path_length_m += metric.Distance(t[i - 1], t[i]);
+  }
+  out.net_displacement_m = metric.Distance(t[0], t[t.size() - 1]);
+
+  if (t.has_timestamps() && t.size() > 1) {
+    out.duration_s = t.timestamp(t.size() - 1) - t.timestamp(0);
+    if (out.duration_s > 0.0) {
+      out.mean_speed_mps = out.path_length_m / out.duration_s;
+    }
+    std::vector<double> periods;
+    periods.reserve(t.size() - 1);
+    for (Index i = 1; i < t.size(); ++i) {
+      periods.push_back(t.timestamp(i) - t.timestamp(i - 1));
+    }
+    std::sort(periods.begin(), periods.end());
+    out.min_period_s = periods.front();
+    out.max_period_s = periods.back();
+    out.median_period_s = periods[periods.size() / 2];
+    for (const double p : periods) {
+      if (p > 3.0 * out.median_period_s) ++out.dropout_events;
+    }
+  }
+  return out;
+}
+
+}  // namespace frechet_motif

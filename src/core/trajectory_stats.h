@@ -1,0 +1,56 @@
+#ifndef FRECHET_MOTIF_CORE_TRAJECTORY_STATS_H_
+#define FRECHET_MOTIF_CORE_TRAJECTORY_STATS_H_
+
+#include <string>
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Descriptive statistics of a trajectory — the quantities the paper's
+/// Section 6.1 uses to characterize its datasets (total distance, sampling
+/// behaviour) plus the usual movement summaries. Computed in one O(n) pass.
+struct TrajectorySummary {
+  Index num_points = 0;
+
+  /// Sum of consecutive ground distances (meters).
+  double path_length_m = 0.0;
+
+  /// Straight-line distance between first and last point (meters).
+  double net_displacement_m = 0.0;
+
+  /// Recording span in seconds (0 when timestamps are absent).
+  double duration_s = 0.0;
+
+  /// Mean movement speed = path length / duration (0 without timestamps).
+  double mean_speed_mps = 0.0;
+
+  /// Sampling-period statistics (0 without timestamps). The ratio
+  /// max/median quantifies the non-uniform sampling the paper highlights.
+  double min_period_s = 0.0;
+  double median_period_s = 0.0;
+  double max_period_s = 0.0;
+
+  /// Sampling gaps exceeding 3x the median period — missing-sample events.
+  Index dropout_events = 0;
+
+  /// Geographic extent.
+  double min_x = 0.0;
+  double max_x = 0.0;
+  double min_y = 0.0;
+  double max_y = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Summarizes `t` under the given ground metric. Returns InvalidArgument
+/// for an empty trajectory.
+StatusOr<TrajectorySummary> Summarize(const Trajectory& t,
+                                      const GroundMetric& metric);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_CORE_TRAJECTORY_STATS_H_

@@ -1,0 +1,145 @@
+#include "data/datasets.h"
+
+#include <vector>
+
+#include "data/generator.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+
+namespace {
+
+/// Common recipe: build a small library of routes, then emit "recordings"
+/// that replay randomly chosen routes with noise (plus occasional free
+/// wander), concatenating until the requested length is reached. Route
+/// replays are what plants genuine motifs.
+Trajectory AssembleFromRoutes(const WalkParams& params,
+                              const std::vector<Route>& routes,
+                              double arrival_radius_m, Index length,
+                              double wander_fraction, Rng* rng) {
+  Trajectory out;
+  double clock_s = 0.0;
+  while (out.size() < length) {
+    const Index remaining = length - out.size();
+    Trajectory segment;
+    if (rng->NextBernoulli(wander_fraction)) {
+      const Index want = std::min<Index>(remaining, 80);
+      StatusOr<Trajectory> walk = GenerateWalk(params, want, clock_s, rng);
+      segment = std::move(walk).value();
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng->NextUint64(routes.size()));
+      StatusOr<Trajectory> run = FollowRoute(
+          params, routes[pick], arrival_radius_m, remaining, clock_s, rng);
+      segment = std::move(run).value();
+    }
+    clock_s = segment.timestamps().back() + 60.0;  // gap between recordings
+    out.Concatenate(segment);
+  }
+  // Concatenation may overshoot by at most one segment; trim exactly.
+  if (out.size() > length) out = out.Slice(0, length - 1);
+  return out;
+}
+
+Trajectory MakeGeoLifeLike(Index length, Rng* rng) {
+  WalkParams params;
+  params.origin = LatLon(39.9042, 116.4074);  // Beijing
+  params.mean_speed_mps = 1.4;                // walking
+  params.speed_jitter = 0.35;
+  params.turn_stddev_rad = 0.25;
+  params.base_period_s = 8.0;
+  params.period_jitter = 0.6;  // GPS-phone vs logger rate spread
+  params.dropout_probability = 0.03;
+  params.dropout_max_run = 6;
+  params.gps_noise_m = 4.0;  // GPS-phone grade receivers
+
+  // A commuter's route library: home-office, office-market, home-park.
+  std::vector<Route> routes;
+  for (int r = 0; r < 3; ++r) {
+    routes.push_back(MakeRandomRoute(10, 350.0, /*snap_to_grid_m=*/0.0, rng));
+  }
+  return AssembleFromRoutes(params, routes, /*arrival_radius_m=*/25.0, length,
+                            /*wander_fraction=*/0.25, rng);
+}
+
+Trajectory MakeTruckLike(Index length, Rng* rng) {
+  WalkParams params;
+  params.origin = LatLon(37.9838, 23.7275);  // Athens
+  params.mean_speed_mps = 11.0;              // urban truck
+  params.speed_jitter = 0.45;                // traffic
+  params.turn_stddev_rad = 0.08;             // road-constrained
+  params.base_period_s = 30.0;
+  params.period_jitter = 0.3;
+  params.dropout_probability = 0.015;
+  params.dropout_max_run = 4;
+  params.gps_noise_m = 6.0;  // urban canyons
+
+  // Depot to construction sites: routes share the depot end, so replays
+  // overlap heavily (strong motifs), like the 33-day delivery schedule.
+  std::vector<Route> routes;
+  for (int r = 0; r < 4; ++r) {
+    Route out_leg = MakeRandomRoute(8, 1500.0, /*snap_to_grid_m=*/500.0, rng);
+    routes.push_back(out_leg);
+    // The return leg retraces the outbound leg back to the depot.
+    Route back_leg(out_leg.rbegin(), out_leg.rend());
+    routes.push_back(back_leg);
+  }
+  return AssembleFromRoutes(params, routes, /*arrival_radius_m=*/120.0,
+                            length, /*wander_fraction=*/0.1, rng);
+}
+
+Trajectory MakeBaboonLike(Index length, Rng* rng) {
+  WalkParams params;
+  params.origin = LatLon(0.2922, 36.8986);  // Mpala Research Centre
+  params.mean_speed_mps = 0.9;              // troop movement
+  params.speed_jitter = 0.5;
+  params.turn_stddev_rad = 0.45;            // foraging wander
+  params.base_period_s = 1.0;               // 1 Hz collars
+  params.period_jitter = 0.05;
+  params.dropout_probability = 0.01;
+  params.dropout_max_run = 10;
+  params.gps_noise_m = 1.5;  // custom collars, open savanna
+
+  // Foraging loops leaving and returning to the sleeping site.
+  std::vector<Route> routes;
+  for (int r = 0; r < 3; ++r) {
+    Route loop = MakeRandomRoute(6, 120.0, /*snap_to_grid_m=*/0.0, rng);
+    loop.push_back(loop.front());  // close the loop at the sleeping site
+    routes.push_back(loop);
+  }
+  return AssembleFromRoutes(params, routes, /*arrival_radius_m=*/15.0, length,
+                            /*wander_fraction=*/0.35, rng);
+}
+
+}  // namespace
+
+std::string DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kGeoLifeLike:
+      return "GeoLife-like";
+    case DatasetKind::kTruckLike:
+      return "Truck-like";
+    case DatasetKind::kBaboonLike:
+      return "Wild-Baboon-like";
+  }
+  return "unknown";
+}
+
+StatusOr<Trajectory> MakeDataset(DatasetKind kind,
+                                 const DatasetOptions& options) {
+  if (options.length <= 0) {
+    return Status::InvalidArgument("dataset length must be positive");
+  }
+  Rng rng(options.seed);
+  switch (kind) {
+    case DatasetKind::kGeoLifeLike:
+      return MakeGeoLifeLike(options.length, &rng);
+    case DatasetKind::kTruckLike:
+      return MakeTruckLike(options.length, &rng);
+    case DatasetKind::kBaboonLike:
+      return MakeBaboonLike(options.length, &rng);
+  }
+  return Status::InvalidArgument("unknown dataset kind");
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,58 @@
+#ifndef FRECHET_MOTIF_DATA_DATASETS_H_
+#define FRECHET_MOTIF_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Synthetic stand-ins for the paper's three real datasets (Section 6.1).
+///
+/// The originals (GeoLife, the Athens Truck dataset, the Mpala Wild-Baboon
+/// collars) are not redistributable with this repository, so each emulator
+/// reproduces the characteristics the motif algorithms are sensitive to:
+/// spatial autocorrelation, per-dataset speed and turning profiles,
+/// non-uniform sampling rates, missing samples, and — crucially for motif
+/// discovery — route re-use, so genuine motifs exist. Longer trajectories
+/// are built by concatenating independent "recordings", exactly as the
+/// paper concatenates raw trajectories.
+enum class DatasetKind {
+  /// Pedestrian GPS a la GeoLife: ~1.4 m/s, mixed 2-40 s logger periods,
+  /// commute routes revisited on different days.
+  kGeoLifeLike,
+  /// Concrete trucks in a metropolitan grid a la the Athens Truck data:
+  /// ~11 m/s on grid-snapped roads, depot -> site -> depot round trips.
+  kTruckLike,
+  /// Wild olive baboons a la the Mpala collars: 1 Hz dense sampling,
+  /// foraging loops around a sleeping site.
+  kBaboonLike,
+};
+
+/// All three kinds, for dataset sweeps in benches/tests.
+inline constexpr DatasetKind kAllDatasetKinds[] = {
+    DatasetKind::kGeoLifeLike, DatasetKind::kTruckLike,
+    DatasetKind::kBaboonLike};
+
+/// Stable display name ("GeoLife-like", ...).
+std::string DatasetName(DatasetKind kind);
+
+/// Generation options.
+struct DatasetOptions {
+  /// Number of points n in the produced trajectory.
+  Index length = 5000;
+
+  /// PRNG seed; equal seeds give bit-identical trajectories.
+  std::uint64_t seed = 42;
+};
+
+/// Generates one trajectory of exactly `options.length` points.
+/// Returns InvalidArgument for non-positive lengths.
+StatusOr<Trajectory> MakeDataset(DatasetKind kind,
+                                 const DatasetOptions& options);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DATA_DATASETS_H_

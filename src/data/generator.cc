@@ -1,0 +1,165 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/great_circle.h"
+
+namespace frechet_motif {
+
+namespace {
+
+/// Shared stepping state for the walk models.
+struct WalkState {
+  double east_m = 0.0;
+  double north_m = 0.0;
+  double heading_rad = 0.0;
+  double time_s = 0.0;
+};
+
+/// Advances time by one (jittered) sampling period; returns the dt used.
+double AdvanceTime(const WalkParams& params, Rng* rng, WalkState* state) {
+  const double jitter =
+      rng->NextDouble(1.0 - params.period_jitter, 1.0 + params.period_jitter);
+  const double dt = std::max(0.2, params.base_period_s * jitter);
+  state->time_s += dt;
+  return dt;
+}
+
+/// Steps the position along the current heading for `dt` seconds.
+void StepPosition(const WalkParams& params, double dt, Rng* rng,
+                  WalkState* state) {
+  double speed =
+      params.mean_speed_mps *
+      (1.0 + params.speed_jitter * rng->NextGaussian());
+  speed = std::max(0.05 * params.mean_speed_mps, speed);
+  state->east_m += std::cos(state->heading_rad) * speed * dt;
+  state->north_m += std::sin(state->heading_rad) * speed * dt;
+}
+
+/// True when this sample should start a dropout run.
+bool ShouldDrop(const WalkParams& params, Rng* rng) {
+  return rng->NextBernoulli(params.dropout_probability);
+}
+
+void Emit(const WalkParams& params, const WalkState& state, Rng* rng,
+          Trajectory* out) {
+  double east = state.east_m;
+  double north = state.north_m;
+  if (params.gps_noise_m > 0.0) {
+    east += rng->NextGaussian(0.0, params.gps_noise_m);
+    north += rng->NextGaussian(0.0, params.gps_noise_m);
+  }
+  out->Append(OffsetByMeters(params.origin, east, north), state.time_s);
+}
+
+}  // namespace
+
+StatusOr<Trajectory> GenerateWalk(const WalkParams& params, Index num_points,
+                                  double start_time_s, Rng* rng) {
+  if (num_points <= 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  WalkState state;
+  state.time_s = start_time_s;
+  state.heading_rad = rng->NextDouble(0.0, 2.0 * M_PI);
+
+  Trajectory out;
+  Emit(params, state, rng, &out);
+  while (out.size() < num_points) {
+    // A dropout run advances the simulation without emitting samples.
+    if (ShouldDrop(params, rng)) {
+      const int run = static_cast<int>(
+          rng->NextInt(1, std::max(1, params.dropout_max_run)));
+      for (int k = 0; k < run; ++k) {
+        const double dt = AdvanceTime(params, rng, &state);
+        state.heading_rad += rng->NextGaussian(0.0, params.turn_stddev_rad);
+        StepPosition(params, dt, rng, &state);
+      }
+    }
+    const double dt = AdvanceTime(params, rng, &state);
+    state.heading_rad += rng->NextGaussian(0.0, params.turn_stddev_rad);
+    StepPosition(params, dt, rng, &state);
+    Emit(params, state, rng, &out);
+  }
+  return out;
+}
+
+StatusOr<Trajectory> FollowRoute(const WalkParams& params, const Route& route,
+                                 double arrival_radius_m, Index max_points,
+                                 double start_time_s, Rng* rng) {
+  if (route.empty()) {
+    return Status::InvalidArgument("route must contain waypoints");
+  }
+  if (max_points <= 0) {
+    return Status::InvalidArgument("max_points must be positive");
+  }
+  WalkState state;
+  state.time_s = start_time_s;
+  state.east_m = route.front().x;
+  state.north_m = route.front().y;
+  std::size_t next_waypoint = route.size() > 1 ? 1 : 0;
+  state.heading_rad =
+      std::atan2(route[next_waypoint].y - state.north_m,
+                 route[next_waypoint].x - state.east_m);
+
+  Trajectory out;
+  Emit(params, state, rng, &out);
+  // Safety valve against degenerate parameters (e.g. dropout probability 1):
+  // bound the number of simulation steps, not just emitted samples.
+  std::int64_t steps = 0;
+  const std::int64_t max_steps = static_cast<std::int64_t>(max_points) * 64;
+  while (out.size() < max_points && steps++ < max_steps) {
+    const Point& target = route[next_waypoint];
+    const double dx = target.x - state.east_m;
+    const double dy = target.y - state.north_m;
+    if (std::sqrt(dx * dx + dy * dy) <= arrival_radius_m) {
+      if (next_waypoint + 1 >= route.size()) break;  // arrived
+      ++next_waypoint;
+      continue;
+    }
+    // Steer toward the waypoint, with heading noise on top.
+    state.heading_rad =
+        std::atan2(dy, dx) + rng->NextGaussian(0.0, params.turn_stddev_rad);
+
+    if (ShouldDrop(params, rng)) {
+      const int run = static_cast<int>(
+          rng->NextInt(1, std::max(1, params.dropout_max_run)));
+      for (int k = 0; k < run; ++k) {
+        const double dt = AdvanceTime(params, rng, &state);
+        StepPosition(params, dt, rng, &state);
+      }
+      continue;  // re-aim before emitting the next sample
+    }
+    const double dt = AdvanceTime(params, rng, &state);
+    StepPosition(params, dt, rng, &state);
+    Emit(params, state, rng, &out);
+  }
+  return out;
+}
+
+Route MakeRandomRoute(Index num_waypoints, double leg_length_m,
+                      double snap_to_grid_m, Rng* rng) {
+  Route route;
+  route.reserve(static_cast<std::size_t>(std::max<Index>(num_waypoints, 1)));
+  double east = 0.0;
+  double north = 0.0;
+  double heading = rng->NextDouble(0.0, 2.0 * M_PI);
+  route.push_back(Point(east, north));
+  for (Index k = 1; k < num_waypoints; ++k) {
+    heading += rng->NextGaussian(0.0, 0.8);
+    const double leg = leg_length_m * rng->NextDouble(0.5, 1.5);
+    east += std::cos(heading) * leg;
+    north += std::sin(heading) * leg;
+    double wx = east;
+    double wy = north;
+    if (snap_to_grid_m > 0.0) {
+      wx = std::round(wx / snap_to_grid_m) * snap_to_grid_m;
+      wy = std::round(wy / snap_to_grid_m) * snap_to_grid_m;
+    }
+    route.push_back(Point(wx, wy));
+  }
+  return route;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,158 @@
+#include "data/io.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace frechet_motif {
+
+namespace {
+
+/// Seconds per day, for the PLT fractional-days timestamp field.
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Splits a line on commas, trimming surrounding whitespace.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    std::size_t begin = 0;
+    std::size_t end = field.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              field[begin]))) {
+      ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(field[end - 1]))) {
+      --end;
+    }
+    fields.push_back(field.substr(begin, end - begin));
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const bool timed = trajectory.has_timestamps();
+  out << (timed ? "lat,lon,timestamp\n" : "lat,lon\n");
+  char buf[128];
+  for (Index i = 0; i < trajectory.size(); ++i) {
+    const Point& p = trajectory[i];
+    if (timed) {
+      std::snprintf(buf, sizeof(buf), "%.8f,%.8f,%.3f\n", p.lat(), p.lon(),
+                    trajectory.timestamp(i));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.8f,%.8f\n", p.lat(), p.lon());
+    }
+    out << buf;
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Trajectory> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<Point> points;
+  std::vector<double> timestamps;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_timestamps = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    double lat = 0.0;
+    double lon = 0.0;
+    if (fields.size() < 2 || !ParseDouble(fields[0], &lat) ||
+        !ParseDouble(fields[1], &lon)) {
+      if (line_no == 1) continue;  // header row
+      return Status::InvalidArgument("malformed CSV row " +
+                                     std::to_string(line_no) + " in " + path);
+    }
+    points.push_back(LatLon(lat, lon));
+    if (fields.size() >= 3) {
+      double ts = 0.0;
+      if (!ParseDouble(fields[2], &ts)) {
+        return Status::InvalidArgument("malformed timestamp on row " +
+                                       std::to_string(line_no) + " in " +
+                                       path);
+      }
+      timestamps.push_back(ts);
+      saw_timestamps = true;
+    } else if (saw_timestamps) {
+      return Status::InvalidArgument("row " + std::to_string(line_no) +
+                                     " is missing a timestamp in " + path);
+    }
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  return Trajectory::Create(std::move(points), std::move(timestamps));
+}
+
+StatusOr<Trajectory> ReadPlt(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<Point> points;
+  std::vector<double> timestamps;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no <= 6) continue;  // PLT preamble
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    double lat = 0.0;
+    double lon = 0.0;
+    double days = 0.0;
+    if (fields.size() < 5 || !ParseDouble(fields[0], &lat) ||
+        !ParseDouble(fields[1], &lon) || !ParseDouble(fields[4], &days)) {
+      return Status::InvalidArgument("malformed PLT row " +
+                                     std::to_string(line_no) + " in " + path);
+    }
+    points.push_back(LatLon(lat, lon));
+    timestamps.push_back(days * kSecondsPerDay);
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  return Trajectory::Create(std::move(points), std::move(timestamps));
+}
+
+Status WritePlt(const Trajectory& trajectory, const std::string& path) {
+  if (!trajectory.has_timestamps()) {
+    return Status::InvalidArgument(
+        "PLT format requires per-point timestamps");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+      << "0,2,255,My Track,0,0,2,8421376\n0\n";
+  char buf[160];
+  for (Index i = 0; i < trajectory.size(); ++i) {
+    const Point& p = trajectory[i];
+    const double days = trajectory.timestamp(i) / kSecondsPerDay;
+    std::snprintf(buf, sizeof(buf), "%.8f,%.8f,0,0,%.9f,1899-12-30,00:00:00\n",
+                  p.lat(), p.lon(), days);
+    out << buf;
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,33 @@
+#ifndef FRECHET_MOTIF_DATA_IO_H_
+#define FRECHET_MOTIF_DATA_IO_H_
+
+#include <string>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// CSV persistence: header "lat,lon,timestamp" followed by one row per
+/// point; the timestamp column is omitted when the trajectory carries none.
+Status WriteCsv(const Trajectory& trajectory, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or any two/three numeric-column file
+/// with an optional header row). Returns IoError on filesystem problems and
+/// InvalidArgument on malformed rows.
+StatusOr<Trajectory> ReadCsv(const std::string& path);
+
+/// GeoLife PLT reader: skips the 6-line preamble, then parses rows of
+///   latitude,longitude,0,altitude_ft,days,date,time
+/// converting the fractional `days` field (days since 1899-12-30) into
+/// seconds. This makes the library a drop-in consumer of the real GeoLife
+/// corpus when it is available locally.
+StatusOr<Trajectory> ReadPlt(const std::string& path);
+
+/// Writes the GeoLife PLT format (preamble + rows), so emulated datasets
+/// can be fed to existing GeoLife tooling.
+Status WritePlt(const Trajectory& trajectory, const std::string& path);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DATA_IO_H_

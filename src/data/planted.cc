@@ -1,0 +1,65 @@
+#include "data/planted.h"
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "geo/great_circle.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+
+StatusOr<PlantedMotif> PlantMotif(const Trajectory& base, Index segment_start,
+                                  Index segment_length, Index gap_length,
+                                  double noise_m, std::uint64_t seed) {
+  if (segment_length <= 0 || gap_length <= 0) {
+    return Status::InvalidArgument("segment and gap lengths must be positive");
+  }
+  if (noise_m < 0.0) {
+    return Status::InvalidArgument("noise_m must be non-negative");
+  }
+  if (segment_start < 0 || segment_start + segment_length > base.size()) {
+    return Status::InvalidArgument("segment does not fit in the base");
+  }
+  if (!base.has_timestamps()) {
+    return Status::InvalidArgument("base trajectory must carry timestamps");
+  }
+
+  Rng rng(seed);
+  PlantedMotif out;
+  out.trajectory = base;
+  out.original = {segment_start, segment_start + segment_length - 1};
+
+  // Bridge: a fresh wander starting where the base ends, so the copy does
+  // not trivially overlap the original in time.
+  WalkParams wander;
+  wander.origin = base[base.size() - 1];
+  wander.mean_speed_mps = 1.2;
+  StatusOr<Trajectory> bridge =
+      GenerateWalk(wander, gap_length,
+                   base.timestamp(base.size() - 1) + 30.0, &rng);
+  if (!bridge.ok()) return bridge.status();
+  out.trajectory.Concatenate(bridge.value());
+
+  // Noisy copy of the segment: displace each point by a uniform offset in
+  // a disc of radius noise_m. A lock-step coupling of original and copy
+  // then matches point k with its perturbed twin, so DFD <= noise_m.
+  const Index copy_first = out.trajectory.size();
+  double clock =
+      out.trajectory.timestamp(out.trajectory.size() - 1) + 30.0;
+  for (Index k = 0; k < segment_length; ++k) {
+    const Point& p = base[segment_start + k];
+    const double angle = rng.NextDouble(0.0, 2.0 * M_PI);
+    const double radius = noise_m * std::sqrt(rng.NextDouble());
+    const Point noisy = OffsetByMeters(p, radius * std::cos(angle),
+                                       radius * std::sin(angle));
+    clock += 1.0 + rng.NextDouble();
+    out.trajectory.Append(noisy, clock);
+  }
+  out.copy = {copy_first, copy_first + segment_length - 1};
+  // 2% margin over the displacement radius absorbs the (sub-0.1%) error of
+  // the local equirectangular meter frame used to apply the offsets.
+  out.dfd_upper_bound_m = noise_m * 1.02;
+  return out;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,44 @@
+#ifndef FRECHET_MOTIF_DATA_PLANTED_H_
+#define FRECHET_MOTIF_DATA_PLANTED_H_
+
+#include <cstdint>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// A trajectory with a known ground-truth motif: a contiguous segment of
+/// the base trajectory re-appears near the end as a noisy copy.
+struct PlantedMotif {
+  Trajectory trajectory;
+
+  /// Index range of the original segment within `trajectory`.
+  SubtrajectoryRef original;
+
+  /// Index range of the noisy replanted copy.
+  SubtrajectoryRef copy;
+
+  /// Upper bound (meters) on the DFD between the two ranges: every copied
+  /// point was perturbed by at most this much, and DFD under a lock-step
+  /// coupling is at most the worst per-point displacement.
+  double dfd_upper_bound_m = 0.0;
+};
+
+/// Plants a motif in `base`: picks the segment
+/// [segment_start, segment_start + segment_length - 1], appends a bridge of
+/// `gap_length` fresh wandering points and then a copy of the segment whose
+/// points are displaced by at most `noise_m` meters each.
+///
+/// The returned upper bound lets integration tests assert that the motif
+/// search returns a distance <= bound without knowing the exact optimum.
+///
+/// Returns InvalidArgument when the segment does not fit in `base` or
+/// lengths are non-positive.
+StatusOr<PlantedMotif> PlantMotif(const Trajectory& base, Index segment_start,
+                                  Index segment_length, Index gap_length,
+                                  double noise_m, std::uint64_t seed);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DATA_PLANTED_H_

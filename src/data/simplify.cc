@@ -1,0 +1,91 @@
+#include "data/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "geo/great_circle.h"
+
+namespace frechet_motif {
+
+namespace {
+
+/// Distance (meters) from point p to the segment (a, b), all given in the
+/// local meter frame.
+double PointToSegment(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double dx = p.x - (a.x + t * abx);
+  const double dy = p.y - (a.y + t * aby);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Iterative Douglas-Peucker over the meter-frame points; marks keepers.
+void MarkKeepers(const std::vector<Point>& pts, double tolerance,
+                 std::vector<char>* keep) {
+  std::vector<std::pair<Index, Index>> stack;
+  stack.emplace_back(0, static_cast<Index>(pts.size()) - 1);
+  while (!stack.empty()) {
+    const auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last - first < 2) continue;
+    double worst = -1.0;
+    Index worst_idx = first;
+    for (Index k = first + 1; k < last; ++k) {
+      const double d = PointToSegment(pts[k], pts[first], pts[last]);
+      if (d > worst) {
+        worst = d;
+        worst_idx = k;
+      }
+    }
+    if (worst > tolerance) {
+      (*keep)[worst_idx] = 1;
+      stack.emplace_back(first, worst_idx);
+      stack.emplace_back(worst_idx, last);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Trajectory> SimplifyDouglasPeucker(const Trajectory& t,
+                                            double tolerance_m) {
+  if (t.empty()) {
+    return Status::InvalidArgument("cannot simplify an empty trajectory");
+  }
+  if (tolerance_m < 0.0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  if (t.size() <= 2) return t;
+
+  // Project into the local meter frame once.
+  std::vector<Point> meters;
+  meters.reserve(t.size());
+  const Point origin = t[0];
+  for (Index i = 0; i < t.size(); ++i) {
+    meters.push_back(MetersFromOrigin(origin, t[i]));
+  }
+
+  std::vector<char> keep(t.size(), 0);
+  keep.front() = 1;
+  keep.back() = 1;
+  MarkKeepers(meters, tolerance_m, &keep);
+
+  std::vector<Point> points;
+  std::vector<double> timestamps;
+  for (Index i = 0; i < t.size(); ++i) {
+    if (keep[i] == 0) continue;
+    points.push_back(t[i]);
+    if (t.has_timestamps()) timestamps.push_back(t.timestamp(i));
+  }
+  return Trajectory(std::move(points), std::move(timestamps));
+}
+
+}  // namespace frechet_motif

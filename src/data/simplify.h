@@ -1,0 +1,32 @@
+#ifndef FRECHET_MOTIF_DATA_SIMPLIFY_H_
+#define FRECHET_MOTIF_DATA_SIMPLIFY_H_
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Douglas-Peucker trajectory simplification with a tolerance in meters.
+///
+/// Keeps the first and last point and recursively retains the point
+/// furthest from the current chord whenever that distance exceeds the
+/// tolerance. Distances are measured in a local meter frame anchored at
+/// the trajectory's first point (adequate for the city-scale extents this
+/// library targets). Timestamps of retained points are preserved.
+///
+/// Guarantee (tested): every dropped point lies within `tolerance_m` of
+/// the segment between its surrounding retained points, so the discrete
+/// Fréchet distance between the original and a densified rendering of the
+/// simplification is O(tolerance).
+///
+/// Common preprocessing before motif discovery: a 5-10 m tolerance removes
+/// GPS jitter without disturbing the motif structure, shrinking n (and the
+/// O(n^2)+ costs) considerably.
+///
+/// Returns InvalidArgument when the input is empty or tolerance < 0.
+StatusOr<Trajectory> SimplifyDouglasPeucker(const Trajectory& t,
+                                            double tolerance_m);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DATA_SIMPLIFY_H_

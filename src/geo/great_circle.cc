@@ -1,0 +1,48 @@
+#include "geo/great_circle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frechet_motif {
+
+double DegToRad(double degrees) { return degrees * (M_PI / 180.0); }
+
+SphereVec ToSphereVec(const Point& p) {
+  const double phi = DegToRad(p.lat());
+  const double lambda = DegToRad(p.lon());
+  const double cos_phi = std::cos(phi);
+  return SphereVec{cos_phi * std::cos(lambda), cos_phi * std::sin(lambda),
+                   std::sin(phi)};
+}
+
+double SphereVecDistanceMeters(const SphereVec& a, const SphereVec& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  const double half_chord = 0.5 * std::sqrt(dx * dx + dy * dy + dz * dz);
+  // Clamp against floating-point drift before the asin.
+  return 2.0 * kEarthRadiusMeters *
+         std::asin(std::clamp(half_chord, 0.0, 1.0));
+}
+
+double GreatCircleDistanceMeters(const Point& a, const Point& b) {
+  return SphereVecDistanceMeters(ToSphereVec(a), ToSphereVec(b));
+}
+
+Point MetersFromOrigin(const Point& origin, const Point& p) {
+  const double lat0 = DegToRad(origin.lat());
+  const double east =
+      DegToRad(p.lon() - origin.lon()) * std::cos(lat0) * kEarthRadiusMeters;
+  const double north = DegToRad(p.lat() - origin.lat()) * kEarthRadiusMeters;
+  return Point(east, north);
+}
+
+Point OffsetByMeters(const Point& origin, double east_m, double north_m) {
+  const double lat0 = DegToRad(origin.lat());
+  const double dlat = north_m / kEarthRadiusMeters;
+  const double dlon = east_m / (kEarthRadiusMeters * std::cos(lat0));
+  return LatLon(origin.lat() + dlat * (180.0 / M_PI),
+                origin.lon() + dlon * (180.0 / M_PI));
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,29 @@
+#include "geo/metric.h"
+
+#include <cmath>
+
+#include "geo/great_circle.h"
+
+namespace frechet_motif {
+
+double HaversineMetric::Distance(const Point& a, const Point& b) const {
+  return GreatCircleDistanceMeters(a, b);
+}
+
+double EuclideanMetric::Distance(const Point& a, const Point& b) const {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+const GroundMetric& Haversine() {
+  static const HaversineMetric* const kInstance = new HaversineMetric();
+  return *kInstance;
+}
+
+const GroundMetric& Euclidean() {
+  static const EuclideanMetric* const kInstance = new EuclideanMetric();
+  return *kInstance;
+}
+
+}  // namespace frechet_motif

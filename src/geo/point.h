@@ -1,0 +1,49 @@
+#ifndef FRECHET_MOTIF_GEO_POINT_H_
+#define FRECHET_MOTIF_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace frechet_motif {
+
+/// A trajectory sample location.
+///
+/// The paper's Definition 1 treats each point as a latitude-longitude pair
+/// `(ϕ, λ)` measured under the great-circle ground distance, but notes the
+/// methods "are directly applicable to higher dimensions ... and other types
+/// of ground distance (e.g., Euclidean)". We therefore store two coordinates
+/// whose interpretation is chosen by the GroundMetric used:
+///  * Haversine metric: x = latitude (degrees), y = longitude (degrees).
+///  * Euclidean metric: x, y = planar coordinates (meters).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  /// Latitude accessor, for code paths that deal in geographic coordinates.
+  double lat() const { return x; }
+  /// Longitude accessor.
+  double lon() const { return y; }
+
+  /// True iff both coordinates are finite (no NaN/Inf).
+  bool IsFinite() const { return std::isfinite(x) && std::isfinite(y); }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+/// Constructs a geographic point from latitude/longitude in degrees.
+inline Point LatLon(double lat_deg, double lon_deg) {
+  return Point(lat_deg, lon_deg);
+}
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_GEO_POINT_H_

@@ -1,0 +1,73 @@
+#include "join/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frechet_motif {
+
+BoundingBox BoundingBox::Of(const Trajectory& t) {
+  BoundingBox box;
+  box.min_x = box.max_x = t[0].x;
+  box.min_y = box.max_y = t[0].y;
+  for (Index i = 1; i < t.size(); ++i) {
+    box.min_x = std::min(box.min_x, t[i].x);
+    box.max_x = std::max(box.max_x, t[i].x);
+    box.min_y = std::min(box.min_y, t[i].y);
+    box.max_y = std::max(box.max_y, t[i].y);
+  }
+  return box;
+}
+
+BoundingBox BoundingBox::Expanded(double margin) const {
+  return BoundingBox{min_x - margin, max_x + margin, min_y - margin,
+                     max_y + margin};
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  return min_x <= other.max_x && other.min_x <= max_x &&
+         min_y <= other.max_y && other.min_y <= max_y;
+}
+
+std::int32_t GridIndex::CellOf(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_));
+}
+
+StatusOr<GridIndex> GridIndex::Build(const std::vector<BoundingBox>& boxes,
+                                     double cell_size) {
+  if (!(cell_size > 0.0)) {
+    return Status::InvalidArgument("grid cell size must be positive");
+  }
+  GridIndex index;
+  index.cell_size_ = cell_size;
+  index.boxes_ = boxes;
+  for (std::size_t id = 0; id < boxes.size(); ++id) {
+    const BoundingBox& b = boxes[id];
+    for (std::int32_t cx = index.CellOf(b.min_x);
+         cx <= index.CellOf(b.max_x); ++cx) {
+      for (std::int32_t cy = index.CellOf(b.min_y);
+           cy <= index.CellOf(b.max_y); ++cy) {
+        index.cells_[CellKey(cx, cy)].push_back(id);
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<std::size_t> GridIndex::Candidates(
+    const BoundingBox& query) const {
+  std::vector<std::size_t> out;
+  for (std::int32_t cx = CellOf(query.min_x); cx <= CellOf(query.max_x);
+       ++cx) {
+    for (std::int32_t cy = CellOf(query.min_y); cy <= CellOf(query.max_y);
+         ++cy) {
+      const auto it = cells_.find(CellKey(cx, cy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace frechet_motif

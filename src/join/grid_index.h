@@ -1,0 +1,76 @@
+#ifndef FRECHET_MOTIF_JOIN_GRID_INDEX_H_
+#define FRECHET_MOTIF_JOIN_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Axis-aligned bounding box in coordinate space (latitude/longitude
+/// degrees for geographic data, meters for planar data).
+struct BoundingBox {
+  double min_x = 0.0;
+  double max_x = 0.0;
+  double min_y = 0.0;
+  double max_y = 0.0;
+
+  /// Smallest box containing `t`'s points. t must be non-empty.
+  static BoundingBox Of(const Trajectory& t);
+
+  /// This box grown by `margin` on every side.
+  BoundingBox Expanded(double margin) const;
+
+  /// True iff the boxes share at least a point.
+  bool Intersects(const BoundingBox& other) const;
+};
+
+/// A uniform spatial grid over trajectory bounding boxes — the candidate
+/// generator that turns the similarity join's O(|A|·|B|) pair enumeration
+/// into an output-sensitive one (in the spirit of the SETI-style trajectory
+/// indexing the paper cites as inspiration for its grouping).
+///
+/// Each indexed box is registered in every grid cell it overlaps; a query
+/// box reports the ids of all boxes whose cells it touches (a superset of
+/// the true intersections — callers re-check, so the index only ever
+/// *adds* candidates, never loses one).
+class GridIndex {
+ public:
+  /// Builds an index over `boxes` with the given cell size (coordinate
+  /// units, > 0). Returns InvalidArgument for a non-positive cell size.
+  static StatusOr<GridIndex> Build(const std::vector<BoundingBox>& boxes,
+                                   double cell_size);
+
+  /// Ids (positions in the build vector) of all indexed boxes that might
+  /// intersect `query`; sorted, duplicate-free. Exact superset guarantee:
+  /// contains every id whose box intersects `query`.
+  std::vector<std::size_t> Candidates(const BoundingBox& query) const;
+
+  /// Number of indexed boxes.
+  std::size_t size() const { return boxes_.size(); }
+
+  /// Number of non-empty grid cells (diagnostics).
+  std::size_t cell_count() const { return cells_.size(); }
+
+ private:
+  GridIndex() = default;
+
+  /// Packs a 2D cell coordinate into one key.
+  static std::int64_t CellKey(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::int64_t>(cx) << 32) ^
+           static_cast<std::uint32_t>(cy);
+  }
+
+  std::int32_t CellOf(double v) const;
+
+  double cell_size_ = 1.0;
+  std::vector<BoundingBox> boxes_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_JOIN_GRID_INDEX_H_

@@ -1,0 +1,88 @@
+#ifndef FRECHET_MOTIF_JOIN_SIMILARITY_JOIN_H_
+#define FRECHET_MOTIF_JOIN_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// A matching pair produced by the join: trajectories left[li] and
+/// right[ri] with DFD <= the join threshold.
+struct JoinPair {
+  std::size_t li = 0;
+  std::size_t ri = 0;
+
+  friend bool operator==(const JoinPair& a, const JoinPair& b) {
+    return a.li == b.li && a.ri == b.ri;
+  }
+};
+
+/// Counters describing how the join's pruning cascade resolved each pair.
+struct JoinStats {
+  std::int64_t pairs_total = 0;
+  /// Disqualified because the bounding boxes are further apart than the
+  /// threshold (every ground distance, hence the DFD, exceeds it).
+  std::int64_t pruned_bbox = 0;
+  /// Disqualified by the endpoint bound: every coupling matches first with
+  /// first and last with last, so max(d(a0,b0), d(a_end,b_end)) <= DFD.
+  std::int64_t pruned_endpoints = 0;
+  /// Disqualified by the sampled one-sided Hausdorff bound: for any point
+  /// a_p, min_q d(a_p, b_q) <= DFD (the coupling matches a_p to *some* b_q).
+  std::int64_t pruned_hausdorff = 0;
+  /// Pairs that reached the O(l^2) early-abandoning decision kernel.
+  std::int64_t decided_exact = 0;
+  /// Pairs reported as matches.
+  std::int64_t matched = 0;
+
+  std::string ToString() const;
+};
+
+/// Options for the similarity join.
+struct JoinOptions {
+  /// Match threshold θ (meters): report pairs with DFD <= θ. Must be >= 0.
+  double threshold = 100.0;
+
+  /// How many points of the left trajectory to probe in the sampled
+  /// Hausdorff lower bound (0 disables that stage).
+  Index hausdorff_samples = 8;
+
+  /// Disables the cheap bounds, forcing every pair through the exact
+  /// decision kernel (for ablation benchmarks).
+  bool use_pruning = true;
+
+  /// Generates candidate pairs with a uniform grid over bounding boxes
+  /// (see GridIndex) instead of enumerating all pairs — output-sensitive
+  /// for spread-out collections. Results are identical; JoinStats then
+  /// counts only the generated candidates in pairs_total.
+  bool use_grid_index = false;
+};
+
+/// DFD similarity join (the paper's Section 7 outlook: "other trajectory
+/// analysis operations that rely on DFD, such as similarity join"): all
+/// pairs (li, ri) with DFD(left[li], right[ri]) <= options.threshold.
+///
+/// Per pair, a cascade of O(1)/O(l) lower bounds disqualifies most
+/// non-matches before the O(l^2) early-abandoning decision kernel
+/// (DiscreteFrechetAtMost) resolves the rest — the same
+/// bound-then-verify design as the motif algorithms.
+///
+/// Returns InvalidArgument when either side is empty, any trajectory is
+/// empty, or the threshold is negative. `stats` may be null.
+StatusOr<std::vector<JoinPair>> DfdSimilarityJoin(
+    const std::vector<Trajectory>& left, const std::vector<Trajectory>& right,
+    const GroundMetric& metric, const JoinOptions& options,
+    JoinStats* stats = nullptr);
+
+/// Self-join: all unordered pairs {i, j}, i < j, within one collection.
+StatusOr<std::vector<JoinPair>> DfdSelfJoin(
+    const std::vector<Trajectory>& trajectories, const GroundMetric& metric,
+    const JoinOptions& options, JoinStats* stats = nullptr);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_JOIN_SIMILARITY_JOIN_H_

@@ -1,0 +1,51 @@
+#ifndef FRECHET_MOTIF_MOTIF_GTM_H_
+#define FRECHET_MOTIF_MOTIF_GTM_H_
+
+#include "core/distance_matrix.h"
+#include "core/options.h"
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "motif/stats.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Configuration of the grouping-based trajectory motif algorithm
+/// (Algorithm 3).
+struct GtmOptions {
+  MotifOptions motif;
+
+  /// Initial group size τ (paper default: 32; Figure 17 sweeps 8..128).
+  /// Halved every round until it reaches 1. Must be >= 1.
+  Index group_size_tau = 32;
+
+  /// Enables end-cell cross pruning in the final point-level phase.
+  bool use_end_cross = true;
+};
+
+/// GTM (Algorithm 3): multi-level grouping. Each round groups the
+/// trajectory at the current τ, prunes group pairs with O(1) pattern bounds
+/// and with the group DFD bounds GLB_DFD/GUB_DFD (tightening the threshold
+/// with the upper bounds), then halves τ and recurses on the surviving
+/// pairs. At τ = 1 the surviving candidate subsets are processed with the
+/// best-first bounded search of Algorithm 2. Exact: returns the same
+/// distance as BruteDpMotif.
+StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
+                               const GtmOptions& options,
+                               MotifStats* stats = nullptr);
+
+/// Convenience overload: precomputes the dG matrix for `s` and solves
+/// Problem 1.
+StatusOr<MotifResult> GtmMotif(const Trajectory& s, const GroundMetric& metric,
+                               const GtmOptions& options,
+                               MotifStats* stats = nullptr);
+
+/// Convenience overload for the two-trajectory variant.
+StatusOr<MotifResult> GtmMotif(const Trajectory& s, const Trajectory& t,
+                               const GroundMetric& metric,
+                               const GtmOptions& options,
+                               MotifStats* stats = nullptr);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_MOTIF_GTM_H_

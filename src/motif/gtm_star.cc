@@ -1,0 +1,160 @@
+#include "motif/gtm_star.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "motif/group.h"
+#include "motif/relaxed_bounds.h"
+#include "motif/subset_search.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+
+namespace {
+
+struct GroupEntry {
+  double lb = 0.0;
+  Index u = 0;
+  Index v = 0;
+};
+
+}  // namespace
+
+StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
+                                   const GtmStarOptions& options,
+                                   MotifStats* stats) {
+  const Index n = dist.rows();
+  const Index m = dist.cols();
+  FM_RETURN_IF_ERROR(ValidateMotifInput(options.motif, n, m));
+  if (options.group_size_tau < 1) {
+    return Status::InvalidArgument("group_size_tau must be >= 1");
+  }
+  const MotifOptions& motif = options.motif;
+
+  Timer timer;
+  if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
+
+  // Single grouping pass at τ (Idea iii) and O(n+m)-space relaxed bounds;
+  // both scan the provider on the fly (Idea i).
+  const Grouping grouping = Grouping::Build(dist, motif,
+                                            options.group_size_tau);
+  const RelaxedBounds rb = RelaxedBounds::Build(dist, motif);
+  if (stats != nullptr) {
+    stats->memory.Add(grouping.MemoryBytes());
+    stats->memory.Add(rb.MemoryBytes());
+    stats->total_subsets = CountValidSubsets(motif, n, m);
+    stats->precompute_seconds += timer.ElapsedSeconds();
+  }
+
+  timer.Restart();
+  SearchState state;
+
+  // Group-pair pruning, best-first by pattern bound.
+  std::vector<GroupEntry> entries;
+  for (Index u = 0; u < grouping.num_row_groups(); ++u) {
+    for (Index v = 0; v < grouping.num_col_groups(); ++v) {
+      if (!grouping.AdmitsCandidate(u, v)) continue;
+      entries.push_back(GroupEntry{grouping.PatternLb(u, v), u, v});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const GroupEntry& a, const GroupEntry& b) {
+              return a.lb < b.lb;
+            });
+  if (stats != nullptr) {
+    stats->memory.Add(entries.capacity() * sizeof(GroupEntry));
+  }
+
+  std::vector<GroupEntry> survivors;
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    const GroupEntry& e = entries[k];
+    if (stats != nullptr) ++stats->group_pairs_total;
+    if (e.lb > state.threshold) {
+      if (stats != nullptr) {
+        stats->group_pairs_pruned_pattern +=
+            static_cast<std::int64_t>(entries.size() - k);
+        stats->group_pairs_total +=
+            static_cast<std::int64_t>(entries.size() - k - 1);
+      }
+      break;
+    }
+    double glb = 0.0;
+    double gub = 0.0;
+    grouping.DfdBounds(e.u, e.v, state.threshold, &glb, &gub);
+    if (gub < state.threshold) {
+      state.threshold = gub;
+      if (stats != nullptr) ++stats->gub_tightenings;
+    }
+    if (glb > state.threshold) {
+      if (stats != nullptr) ++stats->group_pairs_pruned_dfd_bound;
+      continue;
+    }
+    survivors.push_back(e);
+  }
+
+  // Point-level phase: process each surviving block with the bounded
+  // best-first subset loop, keeping per-block memory at O(τ²). The
+  // endpoint caps are global facts, so they persist across blocks.
+  std::vector<SubsetEntry> block;
+  EndpointCaps caps;
+  for (const GroupEntry& e : survivors) {
+    block.clear();
+    for (Index i = grouping.RowFirst(e.u); i <= grouping.RowLast(e.u); ++i) {
+      for (Index j = grouping.ColFirst(e.v); j <= grouping.ColLast(e.v);
+           ++j) {
+        if (!IsValidSubsetStart(motif, n, m, i, j)) continue;
+        const double lb =
+            std::max({dist.Distance(i, j), rb.StartCross(i, j),
+                      rb.BandRow(j), rb.BandCol(i)});
+        block.push_back(SubsetEntry{lb, i, j});
+      }
+    }
+    RunSubsetQueue(dist, motif, &block, &rb, options.use_end_cross,
+                   /*sort_entries=*/true, &state, stats, &caps);
+  }
+  if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
+
+  MotifResult result;
+  result.best = state.best;
+  result.distance = state.best_distance;
+  result.found = state.found;
+  return result;
+}
+
+namespace {
+
+/// The haversine metric admits an O(n)-memory unit-vector cache whose
+/// results are bit-identical to fresh evaluation; use it when applicable.
+bool IsHaversine(const GroundMetric& metric) {
+  return dynamic_cast<const HaversineMetric*>(&metric) != nullptr;
+}
+
+}  // namespace
+
+StatusOr<MotifResult> GtmStarMotif(const Trajectory& s,
+                                   const GroundMetric& metric,
+                                   const GtmStarOptions& options,
+                                   MotifStats* stats) {
+  if (IsHaversine(metric)) {
+    const CachedHaversineDistance dist(s);
+    return GtmStarMotif(dist, options, stats);
+  }
+  const OnTheFlyDistance dist(s, metric);
+  return GtmStarMotif(dist, options, stats);
+}
+
+StatusOr<MotifResult> GtmStarMotif(const Trajectory& s, const Trajectory& t,
+                                   const GroundMetric& metric,
+                                   const GtmStarOptions& options,
+                                   MotifStats* stats) {
+  GtmStarOptions cross_options = options;
+  cross_options.motif.variant = MotifVariant::kCrossTrajectory;
+  if (IsHaversine(metric)) {
+    const CachedHaversineDistance dist(s, t);
+    return GtmStarMotif(dist, cross_options, stats);
+  }
+  const OnTheFlyDistance dist(s, t, metric);
+  return GtmStarMotif(dist, cross_options, stats);
+}
+
+}  // namespace frechet_motif

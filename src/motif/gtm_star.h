@@ -1,0 +1,54 @@
+#ifndef FRECHET_MOTIF_MOTIF_GTM_STAR_H_
+#define FRECHET_MOTIF_MOTIF_GTM_STAR_H_
+
+#include "core/distance_matrix.h"
+#include "core/options.h"
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "motif/stats.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Configuration of the space-efficient GTM* (Section 5.5).
+struct GtmStarOptions {
+  MotifOptions motif;
+
+  /// Group size τ. GTM* runs the grouping loop *once* at this size
+  /// (Idea iii), so — unlike GTM — it is not halved.
+  Index group_size_tau = 32;
+
+  /// Enables end-cell cross pruning in the point-level phase.
+  bool use_end_cross = true;
+};
+
+/// GTM*: the space-efficient variant. Incorporates the paper's three ideas:
+///  (i)   ground distances are computed on the fly (no dG matrix);
+///  (ii)  the shared DFD dynamic program keeps only two rows (O(n) space);
+///  (iii) the grouping loop runs exactly once at the given τ, so the only
+///        quadratic structure is the (n/τ)² group envelope.
+/// Space: O(max{(n/τ)², n}). Exact: returns the same distance as
+/// BruteDpMotif.
+///
+/// The provider-based entry point lets tests drive GTM* over explicit
+/// matrices; production use goes through the trajectory overloads, which
+/// construct an OnTheFlyDistance.
+StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
+                                   const GtmStarOptions& options,
+                                   MotifStats* stats = nullptr);
+
+/// Problem 1 over a single trajectory (no distance matrix is materialized).
+StatusOr<MotifResult> GtmStarMotif(const Trajectory& s,
+                                   const GroundMetric& metric,
+                                   const GtmStarOptions& options,
+                                   MotifStats* stats = nullptr);
+
+/// Two-trajectory variant.
+StatusOr<MotifResult> GtmStarMotif(const Trajectory& s, const Trajectory& t,
+                                   const GroundMetric& metric,
+                                   const GtmStarOptions& options,
+                                   MotifStats* stats = nullptr);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_MOTIF_GTM_STAR_H_

@@ -1,0 +1,90 @@
+#include "motif/motif.h"
+
+namespace frechet_motif {
+
+std::string AlgorithmName(MotifAlgorithm algorithm) {
+  switch (algorithm) {
+    case MotifAlgorithm::kBruteDp:
+      return "BruteDP";
+    case MotifAlgorithm::kBtm:
+      return "BTM";
+    case MotifAlgorithm::kGtm:
+      return "GTM";
+    case MotifAlgorithm::kGtmStar:
+      return "GTM*";
+  }
+  return "unknown";
+}
+
+namespace {
+
+MotifOptions MakeMotifOptions(const FindMotifOptions& options,
+                              MotifVariant variant) {
+  MotifOptions motif;
+  motif.min_length_xi = options.min_length_xi;
+  motif.variant = variant;
+  return motif;
+}
+
+}  // namespace
+
+StatusOr<MotifResult> FindMotif(const Trajectory& s, const GroundMetric& metric,
+                                const FindMotifOptions& options,
+                                MotifStats* stats) {
+  const MotifOptions motif =
+      MakeMotifOptions(options, MotifVariant::kSingleTrajectory);
+  switch (options.algorithm) {
+    case MotifAlgorithm::kBruteDp:
+      return BruteDpMotif(s, metric, motif, stats);
+    case MotifAlgorithm::kBtm: {
+      BtmOptions btm;
+      btm.motif = motif;
+      return BtmMotif(s, metric, btm, stats);
+    }
+    case MotifAlgorithm::kGtm: {
+      GtmOptions gtm;
+      gtm.motif = motif;
+      gtm.group_size_tau = options.group_size_tau;
+      return GtmMotif(s, metric, gtm, stats);
+    }
+    case MotifAlgorithm::kGtmStar: {
+      GtmStarOptions star;
+      star.motif = motif;
+      star.group_size_tau = options.group_size_tau;
+      return GtmStarMotif(s, metric, star, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown motif algorithm");
+}
+
+StatusOr<MotifResult> FindMotif(const Trajectory& s, const Trajectory& t,
+                                const GroundMetric& metric,
+                                const FindMotifOptions& options,
+                                MotifStats* stats) {
+  const MotifOptions motif =
+      MakeMotifOptions(options, MotifVariant::kCrossTrajectory);
+  switch (options.algorithm) {
+    case MotifAlgorithm::kBruteDp:
+      return BruteDpMotif(s, t, metric, motif, stats);
+    case MotifAlgorithm::kBtm: {
+      BtmOptions btm;
+      btm.motif = motif;
+      return BtmMotif(s, t, metric, btm, stats);
+    }
+    case MotifAlgorithm::kGtm: {
+      GtmOptions gtm;
+      gtm.motif = motif;
+      gtm.group_size_tau = options.group_size_tau;
+      return GtmMotif(s, t, metric, gtm, stats);
+    }
+    case MotifAlgorithm::kGtmStar: {
+      GtmStarOptions star;
+      star.motif = motif;
+      star.group_size_tau = options.group_size_tau;
+      return GtmStarMotif(s, t, metric, star, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown motif algorithm");
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,34 @@
+#include "motif/stats.h"
+
+#include <cstdio>
+
+namespace frechet_motif {
+
+std::string MotifStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "subsets: total=%lld cell=%lld cross=%lld band=%lld evaluated=%lld "
+      "(pruning %.2f%%)\n"
+      "dp cells=%lld bsf updates=%lld\n"
+      "groups: total=%lld pattern-pruned=%lld dfd-pruned=%lld "
+      "gub-tightenings=%lld\n"
+      "time: precompute=%.3fs search=%.3fs total=%.3fs\n"
+      "memory peak: %s",
+      static_cast<long long>(total_subsets),
+      static_cast<long long>(pruned_by_cell),
+      static_cast<long long>(pruned_by_cross),
+      static_cast<long long>(pruned_by_band),
+      static_cast<long long>(subsets_evaluated), pruning_ratio() * 100.0,
+      static_cast<long long>(dfd_cells_computed),
+      static_cast<long long>(bsf_updates),
+      static_cast<long long>(group_pairs_total),
+      static_cast<long long>(group_pairs_pruned_pattern),
+      static_cast<long long>(group_pairs_pruned_dfd_bound),
+      static_cast<long long>(gub_tightenings), precompute_seconds,
+      search_seconds, total_seconds(),
+      FormatBytes(memory.peak_bytes()).c_str());
+  return buf;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,76 @@
+#ifndef FRECHET_MOTIF_MOTIF_STATS_H_
+#define FRECHET_MOTIF_MOTIF_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/memory_tracker.h"
+
+namespace frechet_motif {
+
+/// Instrumentation collected by the motif-discovery algorithms.
+///
+/// The counters feed the paper's evaluation figures directly:
+///  * Figure 13/14(a): pruning ratio = pruned subsets / total subsets.
+///  * Figure 15: breakdown of pruned subsets per bound type.
+///  * Figure 19: peak bytes registered with `memory`.
+struct MotifStats {
+  /// Candidate subsets CS(i,j) admitting at least one valid candidate.
+  std::int64_t total_subsets = 0;
+
+  /// Subsets disqualified by LB_cell (first bound in the cascade).
+  std::int64_t pruned_by_cell = 0;
+
+  /// Subsets disqualified by the (relaxed or tight) cross bound.
+  std::int64_t pruned_by_cross = 0;
+
+  /// Subsets disqualified by the (relaxed or tight) band bound.
+  std::int64_t pruned_by_band = 0;
+
+  /// Subsets that required running the shared DFD dynamic program.
+  std::int64_t subsets_evaluated = 0;
+
+  /// Individual DP cell relaxations performed across all evaluations.
+  std::int64_t dfd_cells_computed = 0;
+
+  /// Candidate endpoints that improved the best-so-far.
+  std::int64_t bsf_updates = 0;
+
+  /// Group pairs considered / pruned across all GTM levels.
+  std::int64_t group_pairs_total = 0;
+  std::int64_t group_pairs_pruned_pattern = 0;
+  std::int64_t group_pairs_pruned_dfd_bound = 0;
+
+  /// Times a group upper bound (GUB_DFD) tightened the threshold.
+  std::int64_t gub_tightenings = 0;
+
+  /// Wall-clock split: bound/grouping precomputation vs search.
+  double precompute_seconds = 0.0;
+  double search_seconds = 0.0;
+
+  /// Peak data-structure footprint (dG, dF rows, bound arrays, group
+  /// matrices, subset list).
+  MemoryTracker memory;
+
+  /// Subsets pruned by any bound.
+  std::int64_t pruned_total() const {
+    return pruned_by_cell + pruned_by_cross + pruned_by_band;
+  }
+
+  /// Fraction of subsets pruned without a DFD evaluation, in [0,1].
+  double pruning_ratio() const {
+    return total_subsets == 0
+               ? 0.0
+               : static_cast<double>(pruned_total()) /
+                     static_cast<double>(total_subsets);
+  }
+
+  double total_seconds() const { return precompute_seconds + search_seconds; }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_MOTIF_STATS_H_

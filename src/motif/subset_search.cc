@@ -1,0 +1,187 @@
+#include "motif/subset_search.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace frechet_motif {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
+                    Index i, Index j, const RelaxedBounds* relaxed,
+                    bool use_end_cross, const EndpointCaps& caps,
+                    SearchState* state, MotifStats* stats,
+                    std::vector<double>* prev_scratch,
+                    std::vector<double>* row_scratch) {
+  const Index n = dist.rows();
+  const Index m = dist.cols();
+  const Index xi = options.min_length_xi;
+  const bool single = options.variant == MotifVariant::kSingleTrajectory;
+  const Index ie_max =
+      std::min(single ? j - 1 : n - 1, std::min(n - 1, caps.ie_cap));
+  const Index je_max = std::min(m - 1, caps.je_cap);
+  const Index width = je_max - j + 1;  // DP columns cover je in [j, je_max]
+
+  if (ie_max <= i || width <= 0) return;
+
+  std::vector<double>& prev = *prev_scratch;
+  std::vector<double>& curr = *row_scratch;
+  if (static_cast<Index>(prev.size()) < width) {
+    prev.resize(width);
+    curr.resize(width);
+  }
+
+  std::int64_t cells = 0;
+
+  // Init row ie = i: dF(i, i, j, je) = running max of dG(i, j..je).
+  prev[0] = dist.Distance(i, j);
+  for (Index q = 1; q < width; ++q) {
+    prev[q] = std::max(prev[q - 1], dist.Distance(i, j + q));
+  }
+  cells += width;
+
+  const bool pruning = use_end_cross && relaxed != nullptr;
+
+  for (Index ie = i + 1; ie <= ie_max; ++ie) {
+    const bool endpoint_row = ie >= i + xi + 1;
+    Index live = 0;  // cells of this row that are not frozen
+    // First column je = j (never a valid endpoint: je must exceed j+xi).
+    curr[0] = prev[0] == kInf ? kInf : std::max(prev[0], dist.Distance(ie, j));
+    if (curr[0] != kInf && pruning && relaxed->Cmin(ie) > state->threshold &&
+        relaxed->Rmin(j) > state->threshold) {
+      curr[0] = kInf;
+    }
+    if (curr[0] != kInf) ++live;
+    for (Index q = 1; q < width; ++q) {
+      const double best_predecessor =
+          std::min({prev[q], prev[q - 1], curr[q - 1]});
+      double v;
+      if (best_predecessor == kInf) {
+        v = kInf;  // unreachable through frozen frontier
+      } else {
+        v = std::max(dist.Distance(ie, j + q), best_predecessor);
+      }
+      const Index je = j + q;
+      if (v != kInf) {
+        if (endpoint_row && q >= xi + 1) {
+          // (i, ie, j, je) is a valid candidate with exact DFD v.
+          if (v < state->best_distance && stats != nullptr) {
+            ++stats->bsf_updates;
+          }
+          state->Record(Candidate{i, ie, j, je}, v);
+        }
+        // End-cell cross bound (Eq. 9): freeze the cell when every
+        // continuation is provably worse than the threshold.
+        if (pruning && relaxed->Cmin(ie) > state->threshold &&
+            relaxed->Rmin(je) > state->threshold) {
+          v = kInf;
+        }
+      }
+      if (v != kInf) ++live;
+      curr[q] = v;
+    }
+    cells += width;
+    if (live == 0) {
+      // The whole frontier is frozen; no deeper row can be reached.
+      break;
+    }
+    std::swap(prev, curr);
+  }
+
+  if (stats != nullptr) {
+    stats->dfd_cells_computed += cells;
+    ++stats->subsets_evaluated;
+  }
+}
+
+void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
+                    std::vector<SubsetEntry>* entries,
+                    const RelaxedBounds* relaxed, bool use_end_cross,
+                    bool sort_entries, SearchState* state, MotifStats* stats,
+                    EndpointCaps* caps_io, double lb_scale) {
+  if (sort_entries) {
+    std::sort(entries->begin(), entries->end(),
+              [](const SubsetEntry& a, const SubsetEntry& b) {
+                return a.lb < b.lb;
+              });
+  }
+  const Index xi = options.min_length_xi;
+  EndpointCaps local_caps;
+  EndpointCaps& caps = caps_io != nullptr ? *caps_io : local_caps;
+  std::vector<double> prev;
+  std::vector<double> curr;
+  for (const SubsetEntry& entry : *entries) {
+    if (entry.lb * lb_scale > state->threshold) {
+      // With a sorted queue every remaining bound is at least as large, so
+      // the search is complete (best-first paradigm of Algorithm 2).
+      if (sort_entries) break;
+      continue;
+    }
+    // Global endpoint caps: skip subsets that cannot reach a valid endpoint.
+    if (entry.j > caps.je_cap - xi - 1 || entry.i > caps.ie_cap - xi - 1) {
+      continue;
+    }
+    const double threshold_before = state->threshold;
+    EvaluateSubset(dist, options, entry.i, entry.j, relaxed, use_end_cross,
+                   caps, state, stats, &prev, &curr);
+    if (relaxed != nullptr && state->found &&
+        state->threshold < threshold_before) {
+      // Algorithm 2 lines 12-13 (both axes), justified by whole-row/column
+      // minima: candidates ending beyond the capped index cross a row or
+      // column whose best ground distance already exceeds the threshold.
+      if (relaxed->RminFull(state->best.je) > state->threshold) {
+        caps.je_cap = std::min(caps.je_cap, state->best.je);
+      }
+      if (relaxed->CminFull(state->best.ie) > state->threshold) {
+        caps.ie_cap = std::min(caps.ie_cap, state->best.ie);
+      }
+    }
+  }
+}
+
+void ForEachValidSubset(const MotifOptions& options, Index n, Index m,
+                        const std::function<void(Index, Index)>& fn) {
+  const Index xi = options.min_length_xi;
+  if (options.variant == MotifVariant::kSingleTrajectory) {
+    for (Index i = 0; i <= m - 2 * xi - 4; ++i) {
+      for (Index j = i + xi + 2; j <= m - xi - 2; ++j) {
+        fn(i, j);
+      }
+    }
+  } else {
+    for (Index i = 0; i <= n - xi - 2; ++i) {
+      for (Index j = 0; j <= m - xi - 2; ++j) {
+        fn(i, j);
+      }
+    }
+  }
+}
+
+std::int64_t CountValidSubsets(const MotifOptions& options, Index n, Index m) {
+  const Index xi = options.min_length_xi;
+  if (options.variant == MotifVariant::kSingleTrajectory) {
+    // i in [0, m-2xi-4], j in [i+xi+2, m-xi-2].
+    std::int64_t count = 0;
+    for (Index i = 0; i <= m - 2 * xi - 4; ++i) {
+      count += (m - xi - 2) - (i + xi + 2) + 1;
+    }
+    return count;
+  }
+  const std::int64_t rows = std::max<Index>(0, n - xi - 1);
+  const std::int64_t cols = std::max<Index>(0, m - xi - 1);
+  return rows * cols;
+}
+
+bool IsValidSubsetStart(const MotifOptions& options, Index n, Index m, Index i,
+                        Index j) {
+  const Index xi = options.min_length_xi;
+  if (i < 0 || j < 0) return false;
+  if (options.variant == MotifVariant::kSingleTrajectory) {
+    return i <= m - 2 * xi - 4 && j >= i + xi + 2 && j <= m - xi - 2;
+  }
+  return i <= n - xi - 2 && j <= m - xi - 2;
+}
+
+}  // namespace frechet_motif

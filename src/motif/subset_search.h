@@ -1,0 +1,117 @@
+#ifndef FRECHET_MOTIF_MOTIF_SUBSET_SEARCH_H_
+#define FRECHET_MOTIF_MOTIF_SUBSET_SEARCH_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/options.h"
+#include "motif/relaxed_bounds.h"
+#include "motif/stats.h"
+
+namespace frechet_motif {
+
+/// Mutable state of a motif search shared by all algorithms.
+///
+/// Threshold semantics (exactness-preserving): `threshold` is always an
+/// upper bound on the true motif distance — it is tightened by exact DFD
+/// values of evaluated candidates and (in GTM) by group upper bounds
+/// GUB_DFD. Search-space elements are pruned only when a lower bound is
+/// *strictly* greater than `threshold`; because the true motif's bounds
+/// never exceed its own DFD <= threshold, the optimum always survives and
+/// is eventually evaluated and recorded in `best`/`best_distance`.
+struct SearchState {
+  double threshold = std::numeric_limits<double>::infinity();
+  Candidate best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  /// Records an evaluated candidate with exact DFD `d`.
+  void Record(const Candidate& c, double d) {
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+      found = true;
+    }
+    if (d < threshold) threshold = d;
+  }
+};
+
+/// Caps on candidate endpoints, justified by whole-row/column minima
+/// (RelaxedBounds::RminFull / CminFull): once min_c dG(c, y+1) exceeds the
+/// threshold, no candidate anywhere may end at jc > y. This generalizes the
+/// global `jend` shrink of Algorithm 2 lines 12-13 (and adds the symmetric
+/// first-index cap).
+struct EndpointCaps {
+  Index ie_cap = std::numeric_limits<Index>::max();
+  Index je_cap = std::numeric_limits<Index>::max();
+};
+
+/// Runs the shared dynamic program over candidate subset CS(i,j): one pass
+/// computing dF(i, ie, j, je) for all end pairs, updating `state` with every
+/// valid candidate (Algorithm 1 lines 4-13 / Algorithm 2 lines 6-13).
+///
+/// Uses two rolling DP rows (O(m) space — GTM*'s Idea (ii)); `row_scratch`
+/// and `prev_scratch` are caller-provided buffers reused across subsets to
+/// avoid re-allocation, resized on demand.
+///
+/// When `relaxed` is non-null and `use_end_cross` is set, applies the
+/// end-cell cross bound (Equation 9): a DP cell whose extensions are all
+/// strictly worse than state->threshold is frozen (set to +inf), and the
+/// subset evaluation stops early once an entire row is frozen.
+///
+/// `stats` may be null.
+void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
+                    Index i, Index j, const RelaxedBounds* relaxed,
+                    bool use_end_cross, const EndpointCaps& caps,
+                    SearchState* state, MotifStats* stats,
+                    std::vector<double>* prev_scratch,
+                    std::vector<double>* row_scratch);
+
+/// A candidate subset queued for evaluation, with its combined lower bound.
+struct SubsetEntry {
+  double lb = 0.0;
+  Index i = 0;
+  Index j = 0;
+};
+
+/// The best-first subset loop shared by BTM, GTM and GTM* (Algorithm 2
+/// lines 3-13): optionally sorts `entries` ascending by lower bound, then
+/// evaluates each subset whose bound does not strictly exceed the running
+/// threshold. With sorting enabled the loop stops at the first bound above
+/// the threshold (every later entry is at least as large). Maintains the
+/// global endpoint caps after each best-so-far improvement when `relaxed`
+/// is provided.
+/// `caps` optionally carries the endpoint caps across calls (GTM* processes
+/// one block per call but the caps are global facts); pass null to use
+/// fresh caps for the call.
+///
+/// `lb_scale` implements the (1+ε)-approximate mode (the future-work
+/// direction of the paper's Section 7): a subset is skipped when
+/// lb * lb_scale exceeds the threshold. With lb_scale = 1+ε and a threshold
+/// fed only by evaluated candidates, the returned distance is at most
+/// (1+ε) times the optimum: whenever the optimum's subset is skipped, the
+/// best-so-far at that moment is already below (1+ε)·LB <= (1+ε)·optimum.
+/// lb_scale = 1 (default) keeps the search exact.
+void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
+                    std::vector<SubsetEntry>* entries,
+                    const RelaxedBounds* relaxed, bool use_end_cross,
+                    bool sort_entries, SearchState* state, MotifStats* stats,
+                    EndpointCaps* caps = nullptr, double lb_scale = 1.0);
+
+/// Invokes `fn(i, j)` for every candidate subset CS(i,j) that admits at
+/// least one valid candidate under `options`, in row-major order.
+void ForEachValidSubset(const MotifOptions& options, Index n, Index m,
+                        const std::function<void(Index, Index)>& fn);
+
+/// Number of subsets ForEachValidSubset would visit.
+std::int64_t CountValidSubsets(const MotifOptions& options, Index n, Index m);
+
+/// True iff CS(i,j) admits at least one valid candidate under `options`.
+bool IsValidSubsetStart(const MotifOptions& options, Index n, Index m, Index i,
+                        Index j);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_MOTIF_SUBSET_SEARCH_H_

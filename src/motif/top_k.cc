@@ -1,0 +1,151 @@
+#include "motif/top_k.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "motif/relaxed_bounds.h"
+#include "motif/subset_search.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A subset optimum awaiting final selection.
+struct PoolEntry {
+  double distance = 0.0;
+  Candidate candidate;
+};
+
+/// Chebyshev distance between the start cells of two candidates.
+Index StartSeparation(const Candidate& a, const Candidate& b) {
+  const Index di = a.i > b.i ? a.i - b.i : b.i - a.i;
+  const Index dj = a.j > b.j ? a.j - b.j : b.j - a.j;
+  return di > dj ? di : dj;
+}
+
+}  // namespace
+
+StatusOr<std::vector<MotifResult>> TopKMotifs(const DistanceProvider& dist,
+                                              const TopKOptions& options,
+                                              MotifStats* stats) {
+  const Index n = dist.rows();
+  const Index m = dist.cols();
+  FM_RETURN_IF_ERROR(ValidateMotifInput(options.motif, n, m));
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.min_start_separation < 1) {
+    return Status::InvalidArgument("min_start_separation must be >= 1");
+  }
+
+  Timer timer;
+  if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
+  const RelaxedBounds rb = RelaxedBounds::Build(dist, options.motif);
+
+  // Candidate subsets in ascending combined-lower-bound order, as in BTM.
+  std::vector<SubsetEntry> entries;
+  entries.reserve(
+      static_cast<std::size_t>(CountValidSubsets(options.motif, n, m)));
+  ForEachValidSubset(options.motif, n, m, [&](Index i, Index j) {
+    const double lb = std::max({dist.Distance(i, j), rb.StartCross(i, j),
+                                rb.BandRow(j), rb.BandCol(i)});
+    entries.push_back(SubsetEntry{lb, i, j});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const SubsetEntry& a, const SubsetEntry& b) {
+              return a.lb < b.lb;
+            });
+  if (stats != nullptr) {
+    stats->total_subsets = static_cast<std::int64_t>(entries.size());
+    stats->memory.Add(entries.capacity() * sizeof(SubsetEntry));
+    stats->precompute_seconds += timer.ElapsedSeconds();
+  }
+
+  timer.Restart();
+  // Max-heap of the best subset-optimum distances seen so far; its top is
+  // the pruning threshold once full. With separation == 1 the heap holds
+  // exactly k and the search is exact: a subset whose lower bound exceeds
+  // the current k-th best optimum can never place in the top k. With a
+  // larger separation the greedy selection may need to look past
+  // conflicting near-duplicates, so the heap is widened (a motif "ridge"
+  // contributes ~separation adjacent subsets per direction).
+  const int heap_capacity =
+      options.min_start_separation == 1
+          ? options.k
+          : options.k * (2 * static_cast<int>(options.min_start_separation));
+  std::priority_queue<double> best_k;
+  auto prune_threshold = [&] {
+    return static_cast<int>(best_k.size()) < heap_capacity ? kInf
+                                                           : best_k.top();
+  };
+
+  std::vector<PoolEntry> pool;
+  std::vector<double> prev;
+  std::vector<double> curr;
+  for (const SubsetEntry& e : entries) {
+    if (e.lb > prune_threshold()) break;  // sorted: the rest are larger
+    SearchState local;
+    local.threshold = prune_threshold();
+    EvaluateSubset(dist, options.motif, e.i, e.j, &rb,
+                   /*use_end_cross=*/true, EndpointCaps{}, &local, stats,
+                   &prev, &curr);
+    if (!local.found) continue;  // whole subset above the threshold
+    pool.push_back(PoolEntry{local.best_distance, local.best});
+    best_k.push(local.best_distance);
+    if (static_cast<int>(best_k.size()) > heap_capacity) best_k.pop();
+  }
+
+  // Greedy selection in ascending distance order, honouring separation.
+  std::sort(pool.begin(), pool.end(),
+            [](const PoolEntry& a, const PoolEntry& b) {
+              return a.distance < b.distance;
+            });
+  std::vector<MotifResult> results;
+  for (const PoolEntry& entry : pool) {
+    if (static_cast<int>(results.size()) >= options.k) break;
+    bool conflicts = false;
+    for (const MotifResult& chosen : results) {
+      if (StartSeparation(entry.candidate, chosen.best) <
+          options.min_start_separation) {
+        conflicts = true;
+        break;
+      }
+    }
+    if (conflicts) continue;
+    MotifResult r;
+    r.best = entry.candidate;
+    r.distance = entry.distance;
+    r.found = true;
+    results.push_back(r);
+  }
+  if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
+  return results;
+}
+
+StatusOr<std::vector<MotifResult>> TopKMotifs(const Trajectory& s,
+                                              const GroundMetric& metric,
+                                              const TopKOptions& options,
+                                              MotifStats* stats) {
+  StatusOr<DistanceMatrix> dg = DistanceMatrix::Build(s, metric);
+  if (!dg.ok()) return dg.status();
+  return TopKMotifs(dg.value(), options, stats);
+}
+
+StatusOr<std::vector<MotifResult>> TopKMotifs(const Trajectory& s,
+                                              const Trajectory& t,
+                                              const GroundMetric& metric,
+                                              const TopKOptions& options,
+                                              MotifStats* stats) {
+  StatusOr<DistanceMatrix> dg = DistanceMatrix::Build(s, t, metric);
+  if (!dg.ok()) return dg.status();
+  TopKOptions cross_options = options;
+  cross_options.motif.variant = MotifVariant::kCrossTrajectory;
+  return TopKMotifs(dg.value(), cross_options, stats);
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,34 @@
+#include "similarity/dtw.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace frechet_motif {
+
+StatusOr<double> DtwDistance(const Trajectory& a, const Trajectory& b,
+                             const GroundMetric& metric) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "DTW distance of an empty trajectory is undefined");
+  }
+  const Index la = a.size();
+  const Index lb = b.size();
+  std::vector<double> row(static_cast<std::size_t>(lb));
+  row[0] = metric.Distance(a[0], b[0]);
+  for (Index q = 1; q < lb; ++q) {
+    row[q] = row[q - 1] + metric.Distance(a[0], b[q]);
+  }
+  for (Index p = 1; p < la; ++p) {
+    double diag = row[0];
+    row[0] = row[0] + metric.Distance(a[p], b[0]);
+    for (Index q = 1; q < lb; ++q) {
+      const double up = row[q];
+      const double left = row[q - 1];
+      row[q] = metric.Distance(a[p], b[q]) + std::min({up, left, diag});
+      diag = up;
+    }
+  }
+  return row[static_cast<std::size_t>(lb) - 1];
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,26 @@
+#ifndef FRECHET_MOTIF_SIMILARITY_DTW_H_
+#define FRECHET_MOTIF_SIMILARITY_DTW_H_
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Dynamic Time Warping distance (Table 1's "DTW"; Yi et al., ICDE'98).
+///
+/// Sums ground distances along the optimal monotone alignment:
+///   dtw(p, q) = d(a_p, b_q) + min(dtw(p-1,q), dtw(p,q-1), dtw(p-1,q-1)).
+///
+/// DTW tolerates local time shifting but — because every point must be
+/// matched and all matched distances are summed — it is sensitive to
+/// non-uniform sampling rates, which is the failure mode Figure 3 of the
+/// paper demonstrates against DFD. O(ℓa·ℓb) time, O(min) space.
+///
+/// Returns InvalidArgument when either input is empty.
+StatusOr<double> DtwDistance(const Trajectory& a, const Trajectory& b,
+                             const GroundMetric& metric);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SIMILARITY_DTW_H_

@@ -1,0 +1,43 @@
+#include "similarity/edr.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace frechet_motif {
+
+StatusOr<Index> EdrDistance(const Trajectory& a, const Trajectory& b,
+                            const GroundMetric& metric, double epsilon) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("EDR of an empty trajectory is undefined");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("EDR epsilon must be non-negative");
+  }
+  const Index la = a.size();
+  const Index lb = b.size();
+  std::vector<Index> prev(static_cast<std::size_t>(lb) + 1);
+  std::vector<Index> curr(static_cast<std::size_t>(lb) + 1);
+  for (Index q = 0; q <= lb; ++q) prev[q] = q;  // delete all of b's prefix
+  for (Index p = 1; p <= la; ++p) {
+    curr[0] = p;  // delete all of a's prefix
+    for (Index q = 1; q <= lb; ++q) {
+      const Index subst_cost =
+          metric.Distance(a[p - 1], b[q - 1]) <= epsilon ? 0 : 1;
+      curr[q] = std::min({static_cast<Index>(prev[q - 1] + subst_cost),
+                          static_cast<Index>(prev[q] + 1),
+                          static_cast<Index>(curr[q - 1] + 1)});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<std::size_t>(lb)];
+}
+
+StatusOr<double> EdrNormalized(const Trajectory& a, const Trajectory& b,
+                               const GroundMetric& metric, double epsilon) {
+  StatusOr<Index> d = EdrDistance(a, b, metric, epsilon);
+  if (!d.ok()) return d.status();
+  return static_cast<double>(d.value()) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,28 @@
+#ifndef FRECHET_MOTIF_SIMILARITY_EDR_H_
+#define FRECHET_MOTIF_SIMILARITY_EDR_H_
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Edit Distance on Real sequence (Table 1's "EDR"; Chen, Özsu & Oria,
+/// SIGMOD'05).
+///
+/// Edit distance where substituting a pair of points costs 0 when their
+/// ground distance is <= `epsilon` and 1 otherwise, and insert/delete cost 1.
+/// O(ℓa·ℓb) time, O(min) space. Robust to local time shifting; sensitive to
+/// sampling rate (each unmatched sample pays a full unit).
+///
+/// Returns InvalidArgument when either input is empty or epsilon < 0.
+StatusOr<Index> EdrDistance(const Trajectory& a, const Trajectory& b,
+                            const GroundMetric& metric, double epsilon);
+
+/// EDR normalized by max(ℓa, ℓb) into [0, 1].
+StatusOr<double> EdrNormalized(const Trajectory& a, const Trajectory& b,
+                               const GroundMetric& metric, double epsilon);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SIMILARITY_EDR_H_

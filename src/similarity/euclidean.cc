@@ -1,0 +1,52 @@
+#include "similarity/euclidean.h"
+
+#include <algorithm>
+
+namespace frechet_motif {
+
+namespace {
+
+Status CheckLockStep(const Trajectory& a, const Trajectory& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "lock-step distance of an empty trajectory is undefined");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "lock-step Euclidean distance requires equal lengths (" +
+        std::to_string(a.size()) + " vs " + std::to_string(b.size()) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<double> EuclideanSumDistance(const Trajectory& a, const Trajectory& b,
+                                      const GroundMetric& metric) {
+  FM_RETURN_IF_ERROR(CheckLockStep(a, b));
+  double sum = 0.0;
+  for (Index i = 0; i < a.size(); ++i) {
+    sum += metric.Distance(a[i], b[i]);
+  }
+  return sum;
+}
+
+StatusOr<double> EuclideanMeanDistance(const Trajectory& a,
+                                       const Trajectory& b,
+                                       const GroundMetric& metric) {
+  StatusOr<double> sum = EuclideanSumDistance(a, b, metric);
+  if (!sum.ok()) return sum.status();
+  return sum.value() / static_cast<double>(a.size());
+}
+
+StatusOr<double> EuclideanMaxDistance(const Trajectory& a, const Trajectory& b,
+                                      const GroundMetric& metric) {
+  FM_RETURN_IF_ERROR(CheckLockStep(a, b));
+  double worst = 0.0;
+  for (Index i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, metric.Distance(a[i], b[i]));
+  }
+  return worst;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,36 @@
+#ifndef FRECHET_MOTIF_SIMILARITY_EUCLIDEAN_H_
+#define FRECHET_MOTIF_SIMILARITY_EUCLIDEAN_H_
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Lock-step Euclidean distance between two equal-length trajectories
+/// (Table 1's "ED"): the i-th point of `a` is paired with the i-th point of
+/// `b`. O(ℓ) time.
+///
+/// The paper uses ED as the fast-but-naive baseline in Figure 2; it measures
+/// spatial proximity only and has no tolerance for local time shifting.
+///
+/// Returns InvalidArgument when lengths differ or either input is empty.
+
+/// Sum of the paired ground distances.
+StatusOr<double> EuclideanSumDistance(const Trajectory& a, const Trajectory& b,
+                                      const GroundMetric& metric);
+
+/// Mean of the paired ground distances — the per-point form reported in
+/// meters by Figure 2.
+StatusOr<double> EuclideanMeanDistance(const Trajectory& a,
+                                       const Trajectory& b,
+                                       const GroundMetric& metric);
+
+/// Maximum paired ground distance (the L∞ lock-step variant; an upper bound
+/// on DFD for equal-length inputs, which the tests exploit).
+StatusOr<double> EuclideanMaxDistance(const Trajectory& a, const Trajectory& b,
+                                      const GroundMetric& metric);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SIMILARITY_EUCLIDEAN_H_

@@ -1,0 +1,174 @@
+#include "similarity/frechet.h"
+
+#include <algorithm>
+
+namespace frechet_motif {
+
+namespace {
+
+/// Core rolling-row DP over an abstract distance accessor.
+/// dist(p, q) must return the ground distance between the p-th point of the
+/// first sequence (length la) and the q-th point of the second (length lb).
+template <typename DistFn>
+double FrechetDp(Index la, Index lb, const DistFn& dist) {
+  // One DP row over the second sequence; prev[q] = dF(prefix p-1, prefix q).
+  std::vector<double> row(static_cast<std::size_t>(lb));
+  // First row: dF(a[0..0], b[0..q]) = max over the first q+1 ground
+  // distances (the dog stands still while the man walks).
+  row[0] = dist(0, 0);
+  for (Index q = 1; q < lb; ++q) {
+    row[q] = std::max(row[q - 1], dist(0, q));
+  }
+  for (Index p = 1; p < la; ++p) {
+    double diag = row[0];  // dF(p-1, 0)
+    row[0] = std::max(row[0], dist(p, 0));
+    for (Index q = 1; q < lb; ++q) {
+      const double up = row[q];        // dF(p-1, q)
+      const double left = row[q - 1];  // dF(p, q-1)
+      const double best_predecessor = std::min({up, left, diag});
+      row[q] = std::max(dist(p, q), best_predecessor);
+      diag = up;
+    }
+  }
+  return row[static_cast<std::size_t>(lb) - 1];
+}
+
+}  // namespace
+
+StatusOr<double> DiscreteFrechet(const Trajectory& a, const Trajectory& b,
+                                 const GroundMetric& metric) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "discrete Fréchet distance of an empty trajectory is undefined");
+  }
+  return FrechetDp(a.size(), b.size(), [&](Index p, Index q) {
+    return metric.Distance(a[p], b[q]);
+  });
+}
+
+StatusOr<double> DiscreteFrechetOnRange(const DistanceProvider& dist, Index i,
+                                        Index ie, Index j, Index je) {
+  if (i < 0 || j < 0 || i > ie || j > je || ie >= dist.rows() ||
+      je >= dist.cols()) {
+    return Status::InvalidArgument("invalid subtrajectory range");
+  }
+  return FrechetDp(ie - i + 1, je - j + 1, [&](Index p, Index q) {
+    return dist.Distance(i + p, j + q);
+  });
+}
+
+StatusOr<std::vector<double>> DiscreteFrechetMatrix(
+    const Trajectory& a, const Trajectory& b, const GroundMetric& metric) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "discrete Fréchet matrix of an empty trajectory is undefined");
+  }
+  const Index la = a.size();
+  const Index lb = b.size();
+  std::vector<double> df(static_cast<std::size_t>(la) * lb);
+  auto at = [&](Index p, Index q) -> double& {
+    return df[static_cast<std::size_t>(p) * lb + q];
+  };
+  at(0, 0) = metric.Distance(a[0], b[0]);
+  for (Index q = 1; q < lb; ++q) {
+    at(0, q) = std::max(at(0, q - 1), metric.Distance(a[0], b[q]));
+  }
+  for (Index p = 1; p < la; ++p) {
+    at(p, 0) = std::max(at(p - 1, 0), metric.Distance(a[p], b[0]));
+    for (Index q = 1; q < lb; ++q) {
+      const double best_predecessor =
+          std::min({at(p - 1, q), at(p, q - 1), at(p - 1, q - 1)});
+      at(p, q) = std::max(metric.Distance(a[p], b[q]), best_predecessor);
+    }
+  }
+  return df;
+}
+
+StatusOr<bool> DiscreteFrechetAtMost(const Trajectory& a, const Trajectory& b,
+                                     const GroundMetric& metric,
+                                     double threshold) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "discrete Fréchet distance of an empty trajectory is undefined");
+  }
+  if (threshold < 0.0) return false;
+  const Index la = a.size();
+  const Index lb = b.size();
+  // reach[q]: prefix b[0..q] is reachable with leash <= threshold.
+  std::vector<char> reach(static_cast<std::size_t>(lb), 0);
+  reach[0] = metric.Distance(a[0], b[0]) <= threshold ? 1 : 0;
+  for (Index q = 1; q < lb; ++q) {
+    reach[q] = (reach[q - 1] != 0 &&
+                metric.Distance(a[0], b[q]) <= threshold)
+                   ? 1
+                   : 0;
+  }
+  for (Index p = 1; p < la; ++p) {
+    char diag = reach[0];  // reach(p-1, 0)
+    reach[0] = (reach[0] != 0 && metric.Distance(a[p], b[0]) <= threshold)
+                   ? 1
+                   : 0;
+    bool any = reach[0] != 0;
+    for (Index q = 1; q < lb; ++q) {
+      const char up = reach[q];
+      const char left = reach[q - 1];
+      const bool predecessor_ok = up != 0 || left != 0 || diag != 0;
+      reach[q] = (predecessor_ok &&
+                  metric.Distance(a[p], b[q]) <= threshold)
+                     ? 1
+                     : 0;
+      any = any || reach[q] != 0;
+      diag = up;
+    }
+    // Early abandon: an unreachable frontier can never recover.
+    if (!any) return false;
+  }
+  return reach[static_cast<std::size_t>(lb) - 1] != 0;
+}
+
+StatusOr<Coupling> DiscreteFrechetCoupling(const Trajectory& a,
+                                           const Trajectory& b,
+                                           const GroundMetric& metric) {
+  StatusOr<std::vector<double>> df = DiscreteFrechetMatrix(a, b, metric);
+  if (!df.ok()) return df.status();
+  const std::vector<double>& m = df.value();
+  const Index la = a.size();
+  const Index lb = b.size();
+  auto at = [&](Index p, Index q) {
+    return m[static_cast<std::size_t>(p) * lb + q];
+  };
+
+  Coupling out;
+  out.distance = at(la - 1, lb - 1);
+  // Backtrack: from (la-1, lb-1) repeatedly move to the predecessor with
+  // the smallest dF value (ties broken toward the diagonal for the
+  // shortest coupling).
+  std::vector<CouplingStep> reversed;
+  Index p = la - 1;
+  Index q = lb - 1;
+  reversed.push_back(CouplingStep{p, q});
+  while (p > 0 || q > 0) {
+    if (p == 0) {
+      --q;
+    } else if (q == 0) {
+      --p;
+    } else {
+      const double diag = at(p - 1, q - 1);
+      const double up = at(p - 1, q);
+      const double left = at(p, q - 1);
+      if (diag <= up && diag <= left) {
+        --p;
+        --q;
+      } else if (up <= left) {
+        --p;
+      } else {
+        --q;
+      }
+    }
+    reversed.push_back(CouplingStep{p, q});
+  }
+  out.steps.assign(reversed.rbegin(), reversed.rend());
+  return out;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,83 @@
+#ifndef FRECHET_MOTIF_SIMILARITY_FRECHET_H_
+#define FRECHET_MOTIF_SIMILARITY_FRECHET_H_
+
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Discrete Fréchet distance (DFD) between two whole trajectories under the
+/// given ground metric — the paper's d_F, also known as the coupling or
+/// "dog-man" distance (Eiter & Mannila 1994).
+///
+/// Runs the standard O(ℓa·ℓb)-time dynamic program with O(min(ℓa,ℓb)) space.
+/// Returns InvalidArgument when either trajectory is empty.
+StatusOr<double> DiscreteFrechet(const Trajectory& a, const Trajectory& b,
+                                 const GroundMetric& metric);
+
+/// DFD of the candidate subtrajectory pair (rows i..ie, columns j..je) over
+/// a ground-distance provider. Indices must satisfy
+/// 0 <= i <= ie < dist.rows() and 0 <= j <= je < dist.cols(); violations
+/// return InvalidArgument.
+///
+/// This is the exactness oracle: every motif algorithm's answer is verified
+/// against it in the tests.
+StatusOr<double> DiscreteFrechetOnRange(const DistanceProvider& dist, Index i,
+                                        Index ie, Index j, Index je);
+
+/// Computes the full dF matrix for the pair (a, b): entry (p, q) holds the
+/// DFD between prefixes a[0..p] and b[0..q] (the path-in-matrix view of the
+/// paper's Observation 1). Row-major, size ℓa x ℓb. Intended for tests,
+/// visualization and teaching; costs O(ℓa·ℓb) memory.
+StatusOr<std::vector<double>> DiscreteFrechetMatrix(const Trajectory& a,
+                                                    const Trajectory& b,
+                                                    const GroundMetric& metric);
+
+/// Decision version: is DFD(a, b) <= `threshold`?
+///
+/// Runs the same dynamic program but treats every cell whose ground
+/// distance exceeds the threshold as unreachable and abandons as soon as a
+/// whole frontier row is unreachable — typically far faster than the exact
+/// computation for negative answers. This is the kernel a DFD similarity
+/// join needs (the paper's Section 7 outlook). O(ℓa·ℓb) worst case,
+/// O(min) space.
+StatusOr<bool> DiscreteFrechetAtMost(const Trajectory& a, const Trajectory& b,
+                                     const GroundMetric& metric,
+                                     double threshold);
+
+/// One aligned step of a coupling: point ap of the first trajectory is
+/// matched with point bq of the second.
+struct CouplingStep {
+  Index ap = 0;
+  Index bq = 0;
+
+  friend bool operator==(const CouplingStep& x, const CouplingStep& y) {
+    return x.ap == y.ap && x.bq == y.bq;
+  }
+};
+
+/// An optimal coupling: the monotone point alignment realizing the DFD
+/// (the gray-cell path of the paper's Figure 6).
+struct Coupling {
+  /// The DFD value — the largest ground distance along `steps`.
+  double distance = 0.0;
+
+  /// Alignment from (0,0) to (ℓa-1, ℓb-1); each step advances ap, bq or
+  /// both by one.
+  std::vector<CouplingStep> steps;
+};
+
+/// Computes DFD together with an optimal coupling by backtracking through
+/// the full dF matrix. O(ℓa·ℓb) time and memory. Useful for visualizing
+/// *why* two subtrajectories match (e.g. rendering the leash).
+StatusOr<Coupling> DiscreteFrechetCoupling(const Trajectory& a,
+                                           const Trajectory& b,
+                                           const GroundMetric& metric);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SIMILARITY_FRECHET_H_

@@ -1,0 +1,43 @@
+#include "similarity/lcss.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace frechet_motif {
+
+StatusOr<Index> LcssLength(const Trajectory& a, const Trajectory& b,
+                           const GroundMetric& metric, double epsilon) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "LCSS of an empty trajectory is undefined");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("LCSS epsilon must be non-negative");
+  }
+  const Index la = a.size();
+  const Index lb = b.size();
+  // Classic LCS DP with a matching predicate; rolling rows.
+  std::vector<Index> prev(static_cast<std::size_t>(lb) + 1, 0);
+  std::vector<Index> curr(static_cast<std::size_t>(lb) + 1, 0);
+  for (Index p = 1; p <= la; ++p) {
+    for (Index q = 1; q <= lb; ++q) {
+      if (metric.Distance(a[p - 1], b[q - 1]) <= epsilon) {
+        curr[q] = prev[q - 1] + 1;
+      } else {
+        curr[q] = std::max(prev[q], curr[q - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<std::size_t>(lb)];
+}
+
+StatusOr<double> LcssDistance(const Trajectory& a, const Trajectory& b,
+                              const GroundMetric& metric, double epsilon) {
+  StatusOr<Index> len = LcssLength(a, b, metric, epsilon);
+  if (!len.ok()) return len.status();
+  const double denom = static_cast<double>(std::min(a.size(), b.size()));
+  return 1.0 - static_cast<double>(len.value()) / denom;
+}
+
+}  // namespace frechet_motif

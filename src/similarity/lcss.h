@@ -1,0 +1,30 @@
+#ifndef FRECHET_MOTIF_SIMILARITY_LCSS_H_
+#define FRECHET_MOTIF_SIMILARITY_LCSS_H_
+
+#include "core/trajectory.h"
+#include "geo/metric.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Longest Common Subsequence similarity for trajectories (Table 1's "LCSS";
+/// Vlachos et al., ICDE'02).
+///
+/// Two points match when their ground distance is <= `epsilon`. Returns the
+/// length of the longest common subsequence under that matching predicate.
+/// O(ℓa·ℓb) time, O(min) space. Robust to local time shifting but, like all
+/// count-based measures, sensitive to sampling rate.
+///
+/// Returns InvalidArgument when either input is empty or epsilon < 0.
+StatusOr<Index> LcssLength(const Trajectory& a, const Trajectory& b,
+                           const GroundMetric& metric, double epsilon);
+
+/// Normalized LCSS distance in [0, 1]:
+///   1 - LcssLength(a, b) / min(ℓa, ℓb).
+/// 0 means one trajectory is (within epsilon) a subsequence of the other.
+StatusOr<double> LcssDistance(const Trajectory& a, const Trajectory& b,
+                              const GroundMetric& metric, double epsilon);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SIMILARITY_LCSS_H_

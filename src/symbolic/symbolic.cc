@@ -1,0 +1,150 @@
+#include "symbolic/symbolic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/great_circle.h"
+
+namespace frechet_motif {
+
+namespace {
+
+/// Mean heading (radians, east = 0) of the fragment [first, last].
+double FragmentHeading(const Trajectory& t, Index first, Index last) {
+  const Point a = MetersFromOrigin(t[0], t[first]);
+  const Point b = MetersFromOrigin(t[0], t[last]);
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+/// Wraps an angle difference into (-pi, pi].
+double WrapAngle(double rad) {
+  while (rad > M_PI) rad -= 2.0 * M_PI;
+  while (rad <= -M_PI) rad += 2.0 * M_PI;
+  return rad;
+}
+
+char ClassifyFragment(double heading, double heading_change,
+                      const SymbolizerOptions& options) {
+  if (heading_change >= options.turn_threshold_rad) return 'L';
+  if (heading_change <= -options.turn_threshold_rad) return 'R';
+  const double to_axis = std::abs(WrapAngle(heading));
+  // Distance of the heading to the east-west axis (0 or pi) and to the
+  // north-south axis (+-pi/2).
+  const double horizontal = std::min(to_axis, M_PI - to_axis);
+  const double vertical = std::abs(to_axis - M_PI / 2.0);
+  if (horizontal <= options.axis_tolerance_rad) return 'H';
+  if (vertical <= options.axis_tolerance_rad) return 'V';
+  return 'D';
+}
+
+/// All start positions of repeated non-overlapping substrings of length
+/// `len`, verified exactly; returns one witness pair or false.
+bool FindRepeat(const std::string& s, Index len, Index* first,
+                Index* second) {
+  if (len <= 0 || static_cast<std::size_t>(2 * len) > s.size()) return false;
+  // Polynomial rolling hash over a 64-bit ring; collisions are resolved by
+  // exact comparison.
+  constexpr std::uint64_t kBase = 1000003ULL;
+  std::uint64_t power = 1;
+  for (Index k = 1; k < len; ++k) power *= kBase;
+  std::unordered_map<std::uint64_t, std::vector<Index>> buckets;
+  std::uint64_t hash = 0;
+  for (Index k = 0; k < len; ++k) {
+    hash = hash * kBase + static_cast<unsigned char>(s[k]);
+  }
+  const Index last_start = static_cast<Index>(s.size()) - len;
+  for (Index start = 0; start <= last_start; ++start) {
+    if (start != 0) {
+      hash = (hash - static_cast<unsigned char>(s[start - 1]) * power) *
+                 kBase +
+             static_cast<unsigned char>(s[start + len - 1]);
+    }
+    for (const Index earlier : buckets[hash]) {
+      // Non-overlapping occurrences and exact match.
+      if (earlier + len <= start &&
+          s.compare(earlier, len, s, start, len) == 0) {
+        *first = earlier;
+        *second = start;
+        return true;
+      }
+    }
+    buckets[hash].push_back(start);
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::string> SymbolizeTrajectory(const Trajectory& t,
+                                          const SymbolizerOptions& options) {
+  if (options.fragment_length < 2) {
+    return Status::InvalidArgument("fragment_length must be >= 2");
+  }
+  const Index num_fragments = t.size() / options.fragment_length;
+  if (num_fragments < 2) {
+    return Status::InvalidArgument(
+        "trajectory too short to symbolize: need at least two fragments");
+  }
+  std::string symbols;
+  symbols.reserve(num_fragments);
+  double previous_heading = 0.0;
+  for (Index f = 0; f < num_fragments; ++f) {
+    const Index first = f * options.fragment_length;
+    const Index last = first + options.fragment_length - 1;
+    const double heading = FragmentHeading(t, first, last);
+    const double change =
+        f == 0 ? 0.0 : WrapAngle(heading - previous_heading);
+    symbols.push_back(ClassifyFragment(heading, change, options));
+    previous_heading = heading;
+  }
+  return symbols;
+}
+
+StatusOr<SymbolicMotif> SymbolicMotifDiscovery(const Trajectory& t,
+                                               const SymbolizerOptions& options,
+                                               Index min_length) {
+  if (min_length < 1) {
+    return Status::InvalidArgument("min_length must be >= 1");
+  }
+  StatusOr<std::string> symbols = SymbolizeTrajectory(t, options);
+  if (!symbols.ok()) return symbols.status();
+  const std::string& s = symbols.value();
+
+  // Binary search the longest repeat length; repeat existence is monotone
+  // decreasing in length.
+  Index lo = min_length;
+  Index hi = static_cast<Index>(s.size()) / 2;
+  Index best_len = 0;
+  Index best_first = 0;
+  Index best_second = 0;
+  while (lo <= hi) {
+    const Index mid = lo + (hi - lo) / 2;
+    Index first = 0;
+    Index second = 0;
+    if (FindRepeat(s, mid, &first, &second)) {
+      best_len = mid;
+      best_first = first;
+      best_second = second;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (best_len == 0) {
+    return Status::NotFound("no repeated movement-pattern word of length " +
+                            std::to_string(min_length));
+  }
+
+  SymbolicMotif out;
+  out.word = s.substr(best_first, best_len);
+  out.first_fragment = best_first;
+  out.second_fragment = best_second;
+  const Index fl = options.fragment_length;
+  out.first_points = {best_first * fl, (best_first + best_len) * fl - 1};
+  out.second_points = {best_second * fl, (best_second + best_len) * fl - 1};
+  return out;
+}
+
+}  // namespace frechet_motif

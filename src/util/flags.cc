@@ -1,0 +1,91 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace frechet_motif {
+
+Status Flags::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      if (body.empty()) {
+        return Status::InvalidArgument("bare '--' is not a valid flag");
+      }
+      values_[body] = "true";
+    } else {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("flag with empty name: " + arg);
+      }
+      values_[name] = body.substr(eq + 1);
+    }
+  }
+  return Status::Ok();
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::string v = it->second;
+  for (auto& ch : v) ch = static_cast<char>(std::tolower(ch));
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return def;
+}
+
+std::vector<std::int64_t> Flags::GetIntList(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end != tok.c_str() && *end == '\0') out.push_back(v);
+    }
+    pos = comma + 1;
+  }
+  return out.empty() ? def : out;
+}
+
+}  // namespace frechet_motif

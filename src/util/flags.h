@@ -1,0 +1,60 @@
+#ifndef FRECHET_MOTIF_UTIL_FLAGS_H_
+#define FRECHET_MOTIF_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+///
+/// Recognizes `--name=value` and bare `--name` (boolean true). Anything not
+/// starting with `--` is collected as a positional argument.
+///
+///   Flags flags;
+///   Status s = flags.Parse(argc, argv);
+///   int n = flags.GetInt("n", 1000);
+///   bool full = flags.GetBool("full", false);
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv (skipping argv[0]). Returns InvalidArgument on a malformed
+  /// token such as `--=x`.
+  Status Parse(int argc, const char* const* argv);
+
+  /// True iff --name was present.
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Integer value of --name, or `def` when absent or unparsable.
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+
+  /// Double value of --name, or `def` when absent or unparsable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Boolean value of --name. Bare `--name` means true; otherwise accepts
+  /// true/false/1/0 (case-insensitive).
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Comma-separated integer list of --name, or `def` when absent.
+  std::vector<std::int64_t> GetIntList(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_FLAGS_H_

@@ -1,0 +1,82 @@
+#ifndef FRECHET_MOTIF_UTIL_MEMORY_TRACKER_H_
+#define FRECHET_MOTIF_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace frechet_motif {
+
+/// Explicit byte accounting for the data structures an algorithm allocates.
+///
+/// Figure 19 of the paper reports per-algorithm space consumption; rather
+/// than sampling the process RSS (noisy, allocator-dependent), every matrix
+/// and index in this library registers its footprint with the MotifStats'
+/// MemoryTracker so the benchmark can report exactly what the analysis in
+/// Sections 4-5 counts: dG, dF, bound arrays and group structures.
+///
+/// The tracker records both the current watermark and the peak.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  /// Registers `bytes` newly allocated.
+  void Add(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Registers `bytes` released. Releasing more than was added clamps to 0.
+  void Release(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  /// Currently registered bytes.
+  std::size_t current_bytes() const { return current_; }
+
+  /// Highest value current_bytes() ever reached.
+  std::size_t peak_bytes() const { return peak_; }
+
+  /// Peak footprint in mebibytes (the unit of Figure 19).
+  double peak_mib() const {
+    return static_cast<double>(peak_) / (1024.0 * 1024.0);
+  }
+
+  /// Forgets all accounting.
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII registration of a fixed-size allocation against a tracker.
+/// The tracker pointer may be null, in which case this is a no-op; that lets
+/// library code register unconditionally.
+class ScopedAllocation {
+ public:
+  ScopedAllocation(MemoryTracker* tracker, std::size_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_ != nullptr) tracker_->Add(bytes_);
+  }
+  ~ScopedAllocation() {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+  }
+
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  std::size_t bytes_;
+};
+
+/// Formats a byte count as a human-readable string ("12.3 MiB").
+std::string FormatBytes(std::size_t bytes);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_MEMORY_TRACKER_H_

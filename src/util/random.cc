@@ -1,0 +1,107 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace frechet_motif {
+
+namespace {
+
+// SplitMix64: expands a single seed into well-distributed state words.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+  // xoshiro256++ requires a nonzero state; SplitMix64 of any seed yields one
+  // with overwhelming probability, but guard the pathological case anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextUint64(std::uint64_t bound) {
+  // Lemire-style rejection-free-in-expectation bounded generation.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    // Split 64x64 -> 128-bit multiply via __uint128_t (GCC/Clang builtin).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi >= lo by contract
+  return lo + static_cast<std::int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform on two uniforms; u1 bounded away from 0.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace frechet_motif

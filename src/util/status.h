@@ -1,0 +1,155 @@
+#ifndef FRECHET_MOTIF_UTIL_STATUS_H_
+#define FRECHET_MOTIF_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace frechet_motif {
+
+/// Error category for a failed operation. Modeled on the RocksDB/Arrow
+/// convention: the library never throws; every fallible public entry point
+/// returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kIoError = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// Usage:
+///   Status s = DoWork();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code must
+  /// not carry a message; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk on success).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. T must be movable.
+///
+/// Usage:
+///   StatusOr<Trajectory> t = LoadCsv(path);
+///   if (!t.ok()) return t.status();
+///   Use(t.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a success value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status out of the current function.
+#define FM_RETURN_IF_ERROR(expr)               \
+  do {                                         \
+    ::frechet_motif::Status fm_s_ = (expr);    \
+    if (!fm_s_.ok()) return fm_s_;             \
+  } while (0)
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_STATUS_H_

@@ -1,0 +1,49 @@
+#ifndef FRECHET_MOTIF_UTIL_TABLE_PRINTER_H_
+#define FRECHET_MOTIF_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace frechet_motif {
+
+/// Fixed-width ASCII table writer used by the benchmark harness to print the
+/// rows/series of each paper figure, plus a machine-readable CSV twin.
+///
+/// Usage:
+///   TablePrinter t({"n", "BTM (s)", "GTM (s)"});
+///   t.AddRow({"1000", "1.23", "0.08"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as there are
+  /// headers (short rows are padded, long rows truncated, so a mismatch is
+  /// visible but never fatal).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(std::int64_t v);
+  static std::string FmtPercent(double ratio, int precision = 1);
+
+  /// Writes the aligned ASCII table.
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (header row first).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_TABLE_PRINTER_H_

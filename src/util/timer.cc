@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Timer is header-only; this file exists so the build registers the module
+// and to keep one-translation-unit-per-header symmetry.

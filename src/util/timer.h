@@ -1,0 +1,42 @@
+#ifndef FRECHET_MOTIF_UTIL_TIMER_H_
+#define FRECHET_MOTIF_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace frechet_motif {
+
+/// Monotonic wall-clock timer used by the benchmark harness to measure
+/// response times (the paper reports end-to-end response time including
+/// precomputation; see Section 6.1).
+class Timer {
+ public:
+  /// Starts the timer at construction.
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_TIMER_H_

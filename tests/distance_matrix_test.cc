@@ -1,0 +1,89 @@
+#include "core/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/metric.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakePlanarWalk;
+
+TEST(DistanceMatrixTest, RejectsEmptyTrajectory) {
+  Trajectory empty;
+  EXPECT_FALSE(DistanceMatrix::Build(empty, Euclidean()).ok());
+}
+
+TEST(DistanceMatrixTest, SelfMatrixMatchesMetric) {
+  const Trajectory s = MakePlanarWalk(20, 1);
+  const DistanceMatrix dg = DistanceMatrix::Build(s, Euclidean()).value();
+  EXPECT_EQ(dg.rows(), 20);
+  EXPECT_EQ(dg.cols(), 20);
+  for (Index i = 0; i < 20; ++i) {
+    for (Index j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(dg.Distance(i, j), Euclidean().Distance(s[i], s[j]));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, SelfMatrixIsSymmetricWithZeroDiagonal) {
+  const Trajectory s = MakePlanarWalk(15, 2);
+  const DistanceMatrix dg = DistanceMatrix::Build(s, Euclidean()).value();
+  for (Index i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(dg.Distance(i, i), 0.0);
+    for (Index j = 0; j < 15; ++j) {
+      EXPECT_DOUBLE_EQ(dg.Distance(i, j), dg.Distance(j, i));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, CrossMatrixUsesBothInputs) {
+  const Trajectory s = MakePlanarWalk(6, 3);
+  const Trajectory t = MakePlanarWalk(9, 4);
+  const DistanceMatrix dg = DistanceMatrix::Build(s, t, Euclidean()).value();
+  EXPECT_EQ(dg.rows(), 6);
+  EXPECT_EQ(dg.cols(), 9);
+  EXPECT_DOUBLE_EQ(dg.Distance(2, 7), Euclidean().Distance(s[2], t[7]));
+}
+
+TEST(DistanceMatrixTest, FromValuesValidatesShape) {
+  EXPECT_FALSE(DistanceMatrix::FromValues(2, 2, {1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(DistanceMatrix::FromValues(0, 2, {}).ok());
+  StatusOr<DistanceMatrix> ok =
+      DistanceMatrix::FromValues(2, 2, {0.0, 1.0, 1.0, 0.0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value().Distance(0, 1), 1.0);
+}
+
+TEST(DistanceMatrixTest, ReportsMemoryFootprint) {
+  const Trajectory s = MakePlanarWalk(32, 5);
+  const DistanceMatrix dg = DistanceMatrix::Build(s, Euclidean()).value();
+  EXPECT_GE(dg.MemoryBytes(), 32u * 32u * sizeof(double));
+}
+
+TEST(OnTheFlyDistanceTest, MatchesMaterializedMatrix) {
+  const Trajectory s = MakePlanarWalk(18, 6);
+  const Trajectory t = MakePlanarWalk(21, 7);
+  const DistanceMatrix dg = DistanceMatrix::Build(s, t, Euclidean()).value();
+  const OnTheFlyDistance fly(s, t, Euclidean());
+  EXPECT_EQ(fly.rows(), dg.rows());
+  EXPECT_EQ(fly.cols(), dg.cols());
+  for (Index i = 0; i < dg.rows(); ++i) {
+    for (Index j = 0; j < dg.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(fly.Distance(i, j), dg.Distance(i, j));
+    }
+  }
+  EXPECT_EQ(fly.MemoryBytes(), 0u);
+}
+
+TEST(OnTheFlyDistanceTest, SingleTrajectoryFormIsSelfDistance) {
+  const Trajectory s = MakePlanarWalk(10, 8);
+  const OnTheFlyDistance fly(s, Euclidean());
+  EXPECT_EQ(fly.rows(), 10);
+  EXPECT_EQ(fly.cols(), 10);
+  EXPECT_DOUBLE_EQ(fly.Distance(3, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace frechet_motif

@@ -1,0 +1,191 @@
+#include "similarity/frechet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "geo/metric.h"
+#include "similarity/euclidean.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakePlanarWalk;
+using testing_util::MakeRandomSelfMatrix;
+
+Trajectory Line(std::initializer_list<Point> pts) {
+  return Trajectory(std::vector<Point>(pts));
+}
+
+/// Memoized textbook recursion (Eiter & Mannila) — an independent reference
+/// implementation sharing no code with the production DP.
+double ReferenceDfd(const Trajectory& a, const Trajectory& b,
+                    const GroundMetric& metric) {
+  std::map<std::pair<Index, Index>, double> memo;
+  std::function<double(Index, Index)> rec = [&](Index p, Index q) -> double {
+    const auto key = std::make_pair(p, q);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    const double d = metric.Distance(a[p], b[q]);
+    double value;
+    if (p == 0 && q == 0) {
+      value = d;
+    } else if (p == 0) {
+      value = std::max(d, rec(0, q - 1));
+    } else if (q == 0) {
+      value = std::max(d, rec(p - 1, 0));
+    } else {
+      value = std::max(
+          d, std::min({rec(p - 1, q), rec(p, q - 1), rec(p - 1, q - 1)}));
+    }
+    memo[key] = value;
+    return value;
+  };
+  return rec(a.size() - 1, b.size() - 1);
+}
+
+TEST(FrechetTest, EmptyInputIsError) {
+  const Trajectory empty;
+  const Trajectory one = Line({{0, 0}});
+  EXPECT_FALSE(DiscreteFrechet(empty, one, Euclidean()).ok());
+  EXPECT_FALSE(DiscreteFrechet(one, empty, Euclidean()).ok());
+}
+
+TEST(FrechetTest, SinglePointPairs) {
+  const Trajectory a = Line({{0, 0}});
+  const Trajectory b = Line({{3, 4}});
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b, Euclidean()).value(), 5.0);
+}
+
+TEST(FrechetTest, IdenticalTrajectoriesHaveZeroDistance) {
+  const Trajectory a = MakePlanarWalk(30, 17);
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, a, Euclidean()).value(), 0.0);
+}
+
+TEST(FrechetTest, KnownHandComputedExample) {
+  // Two parallel horizontal segments 1 apart: the dog walks in lock step,
+  // DFD = 1.
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  const Trajectory b = Line({{0, 1}, {1, 1}, {2, 1}, {3, 1}});
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b, Euclidean()).value(), 1.0);
+}
+
+TEST(FrechetTest, BacktrackingCurveNeedsLongerLeash) {
+  // b revisits x=0 in the middle; the man on a cannot walk backwards, so
+  // the leash must span the detour.
+  const Trajectory a = Line({{0, 0}, {4, 0}});
+  const Trajectory b = Line({{0, 0}, {4, 1}, {0, 1}, {4, 1}});
+  const double d = DiscreteFrechet(a, b, Euclidean()).value();
+  EXPECT_DOUBLE_EQ(d, ReferenceDfd(a, b, Euclidean()));
+  EXPECT_GT(d, 1.0);
+}
+
+TEST(FrechetTest, SymmetricInArguments) {
+  const Trajectory a = MakePlanarWalk(25, 3);
+  const Trajectory b = MakePlanarWalk(31, 4);
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b, Euclidean()).value(),
+                   DiscreteFrechet(b, a, Euclidean()).value());
+}
+
+TEST(FrechetTest, LowerBoundedByEndpointDistances) {
+  const Trajectory a = MakePlanarWalk(20, 5);
+  const Trajectory b = MakePlanarWalk(20, 6);
+  const double d = DiscreteFrechet(a, b, Euclidean()).value();
+  EXPECT_GE(d, Euclidean().Distance(a[0], b[0]));
+  EXPECT_GE(d, Euclidean().Distance(a[a.size() - 1], b[b.size() - 1]));
+}
+
+TEST(FrechetTest, UpperBoundedByLockStepMax) {
+  // The identity coupling is one admissible coupling, so DFD <= max
+  // lock-step distance for equal-length inputs.
+  const Trajectory a = MakePlanarWalk(24, 7);
+  const Trajectory b = MakePlanarWalk(24, 8);
+  const double d = DiscreteFrechet(a, b, Euclidean()).value();
+  const double lockstep = EuclideanMaxDistance(a, b, Euclidean()).value();
+  EXPECT_LE(d, lockstep + 1e-12);
+}
+
+class FrechetReferenceAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(FrechetReferenceAgreementTest, MatchesMemoizedRecursion) {
+  const auto [la, lb, seed] = GetParam();
+  const Trajectory a = MakePlanarWalk(la, seed);
+  const Trajectory b = MakePlanarWalk(lb, seed + 1000);
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b, Euclidean()).value(),
+                   ReferenceDfd(a, b, Euclidean()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWalks, FrechetReferenceAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 33),
+                       ::testing::Values(1, 5, 12, 28),
+                       ::testing::Values(41u, 42u, 43u)));
+
+TEST(FrechetTest, MatrixVariantMatchesScalarForAllPrefixes) {
+  const Trajectory a = MakePlanarWalk(12, 9);
+  const Trajectory b = MakePlanarWalk(15, 10);
+  const std::vector<double> df =
+      DiscreteFrechetMatrix(a, b, Euclidean()).value();
+  for (Index p = 0; p < a.size(); ++p) {
+    for (Index q = 0; q < b.size(); ++q) {
+      const Trajectory ap = a.Slice(0, p);
+      const Trajectory bq = b.Slice(0, q);
+      EXPECT_DOUBLE_EQ(df[static_cast<std::size_t>(p) * b.size() + q],
+                       DiscreteFrechet(ap, bq, Euclidean()).value())
+          << "prefix (" << p << "," << q << ")";
+    }
+  }
+}
+
+TEST(FrechetOnRangeTest, MatchesWholeTrajectoryOnFullRange) {
+  const Trajectory a = MakePlanarWalk(18, 21);
+  const DistanceMatrix dg = DistanceMatrix::Build(a, Euclidean()).value();
+  EXPECT_DOUBLE_EQ(
+      DiscreteFrechetOnRange(dg, 0, 17, 0, 17).value(),
+      DiscreteFrechet(a, a, Euclidean()).value());
+}
+
+TEST(FrechetOnRangeTest, SubrangeMatchesSlicedTrajectories) {
+  const Trajectory a = MakePlanarWalk(30, 22);
+  const DistanceMatrix dg = DistanceMatrix::Build(a, Euclidean()).value();
+  const double on_range = DiscreteFrechetOnRange(dg, 3, 11, 15, 27).value();
+  const double sliced = DiscreteFrechet(a.Slice(3, 11), a.Slice(15, 27),
+                                        Euclidean())
+                            .value();
+  EXPECT_DOUBLE_EQ(on_range, sliced);
+}
+
+TEST(FrechetOnRangeTest, RejectsBadRanges) {
+  const DistanceMatrix dg = MakeRandomSelfMatrix(10, 1);
+  EXPECT_FALSE(DiscreteFrechetOnRange(dg, -1, 3, 0, 5).ok());
+  EXPECT_FALSE(DiscreteFrechetOnRange(dg, 4, 3, 0, 5).ok());
+  EXPECT_FALSE(DiscreteFrechetOnRange(dg, 0, 3, 5, 10).ok());
+}
+
+TEST(FrechetTest, NonMonotonicityLemma1Exists) {
+  // Search random matrices for a witness of Lemma 1: extending one
+  // subtrajectory first decreases then increases the DFD (or vice versa).
+  // The paper's Figure 5 example demonstrates this; we verify the
+  // phenomenon exists rather than hard-code the (partially garbled) matrix.
+  bool decreased = false;
+  bool increased = false;
+  for (std::uint64_t seed = 1; seed < 30 && !(decreased && increased);
+       ++seed) {
+    const DistanceMatrix dg = MakeRandomSelfMatrix(12, seed);
+    for (Index ie = 2; ie + 1 <= 4; ++ie) {
+      const double d1 = DiscreteFrechetOnRange(dg, 0, ie, 6, 9).value();
+      const double d2 = DiscreteFrechetOnRange(dg, 0, ie + 1, 6, 9).value();
+      if (d2 < d1) decreased = true;
+      if (d2 > d1) increased = true;
+    }
+  }
+  EXPECT_TRUE(decreased) << "containment never decreased DFD";
+  EXPECT_TRUE(increased) << "containment never increased DFD";
+}
+
+}  // namespace
+}  // namespace frechet_motif

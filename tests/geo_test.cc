@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "geo/point.h"
+
+namespace frechet_motif {
+namespace {
+
+TEST(PointTest, AccessorsAliasCoordinates) {
+  const Point p = LatLon(39.9, 116.4);
+  EXPECT_DOUBLE_EQ(p.lat(), 39.9);
+  EXPECT_DOUBLE_EQ(p.lon(), 116.4);
+  EXPECT_DOUBLE_EQ(p.x, 39.9);
+  EXPECT_DOUBLE_EQ(p.y, 116.4);
+}
+
+TEST(PointTest, FiniteCheck) {
+  EXPECT_TRUE(Point(1.0, 2.0).IsFinite());
+  EXPECT_FALSE(Point(std::nan(""), 0.0).IsFinite());
+  EXPECT_FALSE(Point(0.0, INFINITY).IsFinite());
+}
+
+TEST(GreatCircleTest, ZeroForIdenticalPoints) {
+  const Point p = LatLon(37.98, 23.73);
+  EXPECT_DOUBLE_EQ(GreatCircleDistanceMeters(p, p), 0.0);
+}
+
+TEST(GreatCircleTest, Symmetric) {
+  const Point a = LatLon(39.9042, 116.4074);
+  const Point b = LatLon(31.2304, 121.4737);
+  EXPECT_DOUBLE_EQ(GreatCircleDistanceMeters(a, b),
+                   GreatCircleDistanceMeters(b, a));
+}
+
+TEST(GreatCircleTest, OneDegreeOfLatitudeIsAbout111Km) {
+  const Point a = LatLon(0.0, 0.0);
+  const Point b = LatLon(1.0, 0.0);
+  const double d = GreatCircleDistanceMeters(a, b);
+  EXPECT_NEAR(d, 111195.0, 100.0);  // pi/180 * R
+}
+
+TEST(GreatCircleTest, EquatorToPole) {
+  const Point equator = LatLon(0.0, 0.0);
+  const Point pole = LatLon(90.0, 0.0);
+  const double quarter = M_PI / 2.0 * kEarthRadiusMeters;
+  EXPECT_NEAR(GreatCircleDistanceMeters(equator, pole), quarter, 1.0);
+}
+
+TEST(GreatCircleTest, AntipodalPointsAreHalfCircumference) {
+  const Point a = LatLon(0.0, 0.0);
+  const Point b = LatLon(0.0, 180.0);
+  EXPECT_NEAR(GreatCircleDistanceMeters(a, b), M_PI * kEarthRadiusMeters,
+              1.0);
+}
+
+TEST(GreatCircleTest, BeijingToShanghaiRoughly1070Km) {
+  const Point beijing = LatLon(39.9042, 116.4074);
+  const Point shanghai = LatLon(31.2304, 121.4737);
+  const double d = GreatCircleDistanceMeters(beijing, shanghai);
+  EXPECT_GT(d, 1.0e6);
+  EXPECT_LT(d, 1.15e6);
+}
+
+TEST(GreatCircleTest, StableForTinySeparations) {
+  // Two points ~1.1cm apart; the haversine form must not collapse to 0.
+  const Point a = LatLon(40.0, 116.0);
+  const Point b = LatLon(40.0000001, 116.0);
+  const double d = GreatCircleDistanceMeters(a, b);
+  EXPECT_GT(d, 0.005);
+  EXPECT_LT(d, 0.05);
+}
+
+TEST(MeterFrameTest, OffsetRoundTrip) {
+  const Point origin = LatLon(39.9, 116.4);
+  const Point moved = OffsetByMeters(origin, 250.0, -120.0);
+  const Point back = MetersFromOrigin(origin, moved);
+  EXPECT_NEAR(back.x, 250.0, 0.1);
+  EXPECT_NEAR(back.y, -120.0, 0.1);
+}
+
+TEST(MeterFrameTest, OffsetDistanceMatchesHaversine) {
+  const Point origin = LatLon(0.29, 36.90);
+  const Point moved = OffsetByMeters(origin, 300.0, 400.0);
+  // 3-4-5 triangle: 500m displacement.
+  EXPECT_NEAR(GreatCircleDistanceMeters(origin, moved), 500.0, 1.0);
+}
+
+TEST(MetricTest, HaversineMetricDelegates) {
+  const Point a = LatLon(10.0, 20.0);
+  const Point b = LatLon(10.5, 20.5);
+  EXPECT_DOUBLE_EQ(Haversine().Distance(a, b),
+                   GreatCircleDistanceMeters(a, b));
+  EXPECT_EQ(Haversine().Name(), "haversine");
+}
+
+TEST(MetricTest, EuclideanMetricIsPlanar) {
+  EXPECT_DOUBLE_EQ(Euclidean().Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_EQ(Euclidean().Name(), "euclidean");
+}
+
+TEST(MetricTest, MetricsSatisfyIdentityAndSymmetry) {
+  const Point a = LatLon(1.0, 2.0);
+  const Point b = LatLon(3.0, 4.0);
+  for (const GroundMetric* metric :
+       {static_cast<const GroundMetric*>(&Haversine()),
+        static_cast<const GroundMetric*>(&Euclidean())}) {
+    EXPECT_DOUBLE_EQ(metric->Distance(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(metric->Distance(a, b), metric->Distance(b, a));
+    EXPECT_GE(metric->Distance(a, b), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace frechet_motif

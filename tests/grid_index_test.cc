@@ -1,0 +1,148 @@
+#include "join/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "join/similarity_join.h"
+#include "geo/metric.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakePlanarWalk;
+
+BoundingBox Box(double min_x, double max_x, double min_y, double max_y) {
+  return BoundingBox{min_x, max_x, min_y, max_y};
+}
+
+TEST(BoundingBoxTest, OfComputesExtent) {
+  Trajectory t({Point(3, -1), Point(-2, 5), Point(0, 0)});
+  const BoundingBox box = BoundingBox::Of(t);
+  EXPECT_DOUBLE_EQ(box.min_x, -2);
+  EXPECT_DOUBLE_EQ(box.max_x, 3);
+  EXPECT_DOUBLE_EQ(box.min_y, -1);
+  EXPECT_DOUBLE_EQ(box.max_y, 5);
+}
+
+TEST(BoundingBoxTest, ExpandGrowsEverySide) {
+  const BoundingBox box = Box(0, 1, 0, 1).Expanded(2.5);
+  EXPECT_DOUBLE_EQ(box.min_x, -2.5);
+  EXPECT_DOUBLE_EQ(box.max_x, 3.5);
+}
+
+TEST(BoundingBoxTest, IntersectionCases) {
+  EXPECT_TRUE(Box(0, 2, 0, 2).Intersects(Box(1, 3, 1, 3)));
+  EXPECT_TRUE(Box(0, 2, 0, 2).Intersects(Box(2, 3, 2, 3)));  // touching
+  EXPECT_FALSE(Box(0, 1, 0, 1).Intersects(Box(2, 3, 0, 1)));
+  EXPECT_FALSE(Box(0, 1, 0, 1).Intersects(Box(0, 1, 2, 3)));
+}
+
+TEST(GridIndexTest, RejectsBadCellSize) {
+  EXPECT_FALSE(GridIndex::Build({}, 0.0).ok());
+  EXPECT_FALSE(GridIndex::Build({}, -1.0).ok());
+}
+
+TEST(GridIndexTest, CandidatesAreSupersetOfIntersections) {
+  Rng rng(5);
+  std::vector<BoundingBox> boxes;
+  for (int k = 0; k < 200; ++k) {
+    const double x = rng.NextDouble(0.0, 1000.0);
+    const double y = rng.NextDouble(0.0, 1000.0);
+    boxes.push_back(
+        Box(x, x + rng.NextDouble(1.0, 50.0), y, y + rng.NextDouble(1.0, 50.0)));
+  }
+  for (const double cell : {5.0, 37.0, 400.0}) {
+    const GridIndex index = GridIndex::Build(boxes, cell).value();
+    for (int q = 0; q < 30; ++q) {
+      const double x = rng.NextDouble(0.0, 1000.0);
+      const double y = rng.NextDouble(0.0, 1000.0);
+      const BoundingBox query = Box(x, x + 80.0, y, y + 80.0);
+      const std::vector<std::size_t> got = index.Candidates(query);
+      const std::set<std::size_t> got_set(got.begin(), got.end());
+      for (std::size_t id = 0; id < boxes.size(); ++id) {
+        if (boxes[id].Intersects(query)) {
+          EXPECT_TRUE(got_set.count(id))
+              << "cell=" << cell << " missed box " << id;
+        }
+      }
+    }
+  }
+}
+
+TEST(GridIndexTest, CandidatesAreSortedAndUnique) {
+  std::vector<BoundingBox> boxes = {Box(0, 100, 0, 100),
+                                    Box(50, 150, 50, 150)};
+  const GridIndex index = GridIndex::Build(boxes, 10.0).value();
+  const std::vector<std::size_t> got =
+      index.Candidates(Box(40, 60, 40, 60));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 0u);
+  EXPECT_EQ(got[1], 1u);
+}
+
+TEST(GridIndexTest, NegativeCoordinatesWork) {
+  std::vector<BoundingBox> boxes = {Box(-100, -90, -100, -90)};
+  const GridIndex index = GridIndex::Build(boxes, 7.0).value();
+  EXPECT_EQ(index.Candidates(Box(-95, -85, -95, -85)).size(), 1u);
+  EXPECT_TRUE(index.Candidates(Box(100, 110, 100, 110)).empty());
+}
+
+TEST(GridIndexJoinTest, IndexedJoinMatchesPlainJoin) {
+  std::vector<Trajectory> left;
+  std::vector<Trajectory> right;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    left.push_back(MakePlanarWalk(25, seed));
+    right.push_back(MakePlanarWalk(25, seed + 200));
+  }
+  for (const double theta : {30.0, 120.0, 500.0}) {
+    JoinOptions plain_options;
+    plain_options.threshold = theta;
+    JoinOptions indexed_options = plain_options;
+    indexed_options.use_grid_index = true;
+    const StatusOr<std::vector<JoinPair>> plain =
+        DfdSimilarityJoin(left, right, Euclidean(), plain_options);
+    const StatusOr<std::vector<JoinPair>> indexed =
+        DfdSimilarityJoin(left, right, Euclidean(), indexed_options);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(indexed.ok());
+    EXPECT_EQ(plain.value(), indexed.value()) << "theta=" << theta;
+  }
+}
+
+TEST(GridIndexJoinTest, IndexedSelfJoinMatchesPlainOnHaversine) {
+  std::vector<Trajectory> collection;
+  // Trajectories in several separated districts: the index should cut the
+  // candidate count while returning identical matches.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Trajectory walk = MakePlanarWalk(30, seed, /*step=*/5.0);
+    Trajectory geo;
+    const Point base = LatLon(40.0 + 0.2 * static_cast<double>(seed % 5),
+                              116.0);
+    for (Index i = 0; i < walk.size(); ++i) {
+      geo.Append(Point(base.x + walk[i].x * 1e-5, base.y + walk[i].y * 1e-5),
+                 static_cast<double>(i));
+    }
+    collection.push_back(geo);
+  }
+  JoinOptions plain_options;
+  plain_options.threshold = 400.0;
+  JoinOptions indexed_options = plain_options;
+  indexed_options.use_grid_index = true;
+  JoinStats plain_stats;
+  JoinStats indexed_stats;
+  const StatusOr<std::vector<JoinPair>> plain =
+      DfdSelfJoin(collection, Haversine(), plain_options, &plain_stats);
+  const StatusOr<std::vector<JoinPair>> indexed =
+      DfdSelfJoin(collection, Haversine(), indexed_options, &indexed_stats);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(plain.value(), indexed.value());
+  // The grid must have filtered the far-apart districts out up front.
+  EXPECT_LT(indexed_stats.pairs_total, plain_stats.pairs_total);
+}
+
+}  // namespace
+}  // namespace frechet_motif

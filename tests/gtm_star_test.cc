@@ -1,0 +1,124 @@
+#include "motif/gtm_star.h"
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+#include "geo/metric.h"
+#include "motif/brute_dp.h"
+#include "motif/gtm.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakePlanarWalk;
+using testing_util::MakeRandomCrossMatrix;
+using testing_util::MakeRandomSelfMatrix;
+
+TEST(GtmStarTest, RejectsBadTau) {
+  const DistanceMatrix dg = MakeRandomSelfMatrix(30, 1);
+  GtmStarOptions options;
+  options.motif.min_length_xi = 2;
+  options.group_size_tau = -3;
+  EXPECT_FALSE(GtmStarMotif(dg, options).ok());
+}
+
+/// GTM* must return the exact BruteDP distance for every τ.
+class GtmStarAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, std::uint64_t>> {
+};
+
+TEST_P(GtmStarAgreementTest, MatchesBruteDpSingle) {
+  const auto [n, xi, tau, seed] = GetParam();
+  const DistanceMatrix dg = MakeRandomSelfMatrix(n, seed);
+  MotifOptions motif;
+  motif.min_length_xi = xi;
+  StatusOr<MotifResult> expect = BruteDpMotif(dg, motif);
+  GtmStarOptions options;
+  options.motif = motif;
+  options.group_size_tau = tau;
+  StatusOr<MotifResult> got = GtmStarMotif(dg, options);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(got.value().found);
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance)
+      << "n=" << n << " xi=" << xi << " tau=" << tau << " seed=" << seed;
+}
+
+TEST_P(GtmStarAgreementTest, MatchesBruteDpCross) {
+  const auto [n, xi, tau, seed] = GetParam();
+  const DistanceMatrix dg = MakeRandomCrossMatrix(n, n + 4, seed);
+  MotifOptions motif;
+  motif.min_length_xi = xi;
+  motif.variant = MotifVariant::kCrossTrajectory;
+  StatusOr<MotifResult> expect = BruteDpMotif(dg, motif);
+  GtmStarOptions options;
+  options.motif = motif;
+  options.group_size_tau = tau;
+  StatusOr<MotifResult> got = GtmStarMotif(dg, options);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauSweep, GtmStarAgreementTest,
+    ::testing::Combine(::testing::Values(32, 48), ::testing::Values(2, 5),
+                       ::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(5u, 9u)));
+
+TEST(GtmStarTest, OnTheFlyPathMatchesMatrixPath) {
+  // The trajectory overload builds no dG matrix; it must still match GTM
+  // over a precomputed matrix.
+  const Trajectory s = MakePlanarWalk(80, 2);
+  MotifOptions motif;
+  motif.min_length_xi = 6;
+  GtmOptions gtm;
+  gtm.motif = motif;
+  gtm.group_size_tau = 8;
+  GtmStarOptions star;
+  star.motif = motif;
+  star.group_size_tau = 8;
+  StatusOr<MotifResult> expect = GtmMotif(s, Euclidean(), gtm);
+  StatusOr<MotifResult> got = GtmStarMotif(s, Euclidean(), star);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance);
+}
+
+TEST(GtmStarTest, UsesLessPeakMemoryThanGtm) {
+  const Trajectory s = MakePlanarWalk(300, 6);
+  MotifOptions motif;
+  motif.min_length_xi = 20;
+  GtmOptions gtm;
+  gtm.motif = motif;
+  gtm.group_size_tau = 16;
+  GtmStarOptions star;
+  star.motif = motif;
+  star.group_size_tau = 16;
+  MotifStats gtm_stats;
+  MotifStats star_stats;
+  ASSERT_TRUE(GtmMotif(s, Euclidean(), gtm, &gtm_stats).ok());
+  ASSERT_TRUE(GtmStarMotif(s, Euclidean(), star, &star_stats).ok());
+  // GTM holds the full n^2 dG matrix; GTM* must stay well below that.
+  EXPECT_LT(star_stats.memory.peak_bytes(), gtm_stats.memory.peak_bytes() / 4);
+}
+
+TEST(GtmStarTest, CrossTrajectoryOverloadIsExact) {
+  const Trajectory s = MakePlanarWalk(40, 3);
+  const Trajectory t = MakePlanarWalk(44, 4);
+  MotifOptions motif;
+  motif.min_length_xi = 4;
+  motif.variant = MotifVariant::kCrossTrajectory;
+  StatusOr<MotifResult> expect = BruteDpMotif(s, t, Euclidean(), motif);
+  GtmStarOptions star;
+  star.motif = motif;
+  star.group_size_tau = 4;
+  StatusOr<MotifResult> got = GtmStarMotif(s, t, Euclidean(), star);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance);
+}
+
+}  // namespace
+}  // namespace frechet_motif

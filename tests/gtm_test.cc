@@ -1,0 +1,132 @@
+#include "motif/gtm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+#include "geo/metric.h"
+#include "motif/brute_dp.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakePlanarWalk;
+using testing_util::MakeRandomCrossMatrix;
+using testing_util::MakeRandomSelfMatrix;
+
+TEST(GtmTest, RejectsBadTau) {
+  const DistanceMatrix dg = MakeRandomSelfMatrix(30, 1);
+  GtmOptions options;
+  options.motif.min_length_xi = 2;
+  options.group_size_tau = 0;
+  EXPECT_FALSE(GtmMotif(dg, options).ok());
+}
+
+TEST(GtmTest, RejectsTooShortInput) {
+  const DistanceMatrix dg = MakeRandomSelfMatrix(9, 1);
+  GtmOptions options;
+  options.motif.min_length_xi = 4;
+  EXPECT_FALSE(GtmMotif(dg, options).ok());
+}
+
+/// GTM must return the exact BruteDP distance for every τ, including τ=1
+/// (degenerate BTM), non-powers of two, and τ larger than ξ.
+class GtmAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, std::uint64_t>> {
+};
+
+TEST_P(GtmAgreementTest, MatchesBruteDpSingle) {
+  const auto [n, xi, tau, seed] = GetParam();
+  const DistanceMatrix dg = MakeRandomSelfMatrix(n, seed);
+  MotifOptions motif;
+  motif.min_length_xi = xi;
+  StatusOr<MotifResult> expect = BruteDpMotif(dg, motif);
+  GtmOptions options;
+  options.motif = motif;
+  options.group_size_tau = tau;
+  StatusOr<MotifResult> got = GtmMotif(dg, options);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(got.value().found);
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance)
+      << "n=" << n << " xi=" << xi << " tau=" << tau << " seed=" << seed;
+}
+
+TEST_P(GtmAgreementTest, MatchesBruteDpCross) {
+  const auto [n, xi, tau, seed] = GetParam();
+  const DistanceMatrix dg = MakeRandomCrossMatrix(n, n + 7, seed);
+  MotifOptions motif;
+  motif.min_length_xi = xi;
+  motif.variant = MotifVariant::kCrossTrajectory;
+  StatusOr<MotifResult> expect = BruteDpMotif(dg, motif);
+  GtmOptions options;
+  options.motif = motif;
+  options.group_size_tau = tau;
+  StatusOr<MotifResult> got = GtmMotif(dg, options);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauSweep, GtmAgreementTest,
+    ::testing::Combine(::testing::Values(32, 48), ::testing::Values(2, 5),
+                       ::testing::Values(1, 2, 3, 4, 8, 16),
+                       ::testing::Values(5u, 6u)));
+
+TEST(GtmTest, AgreesWithBruteDpOnEuclideanWalks) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trajectory s = MakePlanarWalk(80, seed);
+    MotifOptions motif;
+    motif.min_length_xi = 6;
+    StatusOr<MotifResult> expect = BruteDpMotif(s, Euclidean(), motif);
+    GtmOptions options;
+    options.motif = motif;
+    options.group_size_tau = 8;
+    StatusOr<MotifResult> got = GtmMotif(s, Euclidean(), options);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance)
+        << "seed=" << seed;
+  }
+}
+
+TEST(GtmTest, TauLargerThanTrajectoryStillExact) {
+  const DistanceMatrix dg = MakeRandomSelfMatrix(24, 13);
+  MotifOptions motif;
+  motif.min_length_xi = 2;
+  GtmOptions options;
+  options.motif = motif;
+  options.group_size_tau = 64;  // single group pair at the top level
+  StatusOr<MotifResult> expect = BruteDpMotif(dg, motif);
+  StatusOr<MotifResult> got = GtmMotif(dg, options);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got.value().distance, expect.value().distance);
+}
+
+TEST(GtmTest, GroupStatsArePopulated) {
+  const Trajectory s = MakePlanarWalk(120, 3);
+  GtmOptions options;
+  options.motif.min_length_xi = 10;
+  options.group_size_tau = 8;
+  MotifStats stats;
+  ASSERT_TRUE(GtmMotif(s, Euclidean(), options, &stats).ok());
+  EXPECT_GT(stats.group_pairs_total, 0);
+  EXPECT_GT(stats.gub_tightenings, 0);
+  EXPECT_GT(stats.memory.peak_bytes(), 0u);
+}
+
+TEST(GtmTest, ResultCandidateIsValid) {
+  const DistanceMatrix dg = MakeRandomSelfMatrix(40, 17);
+  GtmOptions options;
+  options.motif.min_length_xi = 3;
+  options.group_size_tau = 4;
+  StatusOr<MotifResult> r = GtmMotif(dg, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().found);
+  EXPECT_TRUE(IsValidCandidate(r.value().best, options.motif, 40, 40));
+}
+
+}  // namespace
+}  // namespace frechet_motif

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geo/metric.h"
+#include "similarity/dtw.h"
+#include "similarity/edr.h"
+#include "similarity/euclidean.h"
+#include "similarity/frechet.h"
+#include "similarity/lcss.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakePlanarWalk;
+
+Trajectory Line(std::initializer_list<Point> pts) {
+  return Trajectory(std::vector<Point>(pts));
+}
+
+// ---------------------------------------------------------------- Euclidean
+
+TEST(EuclideanTest, RequiresEqualLengths) {
+  const Trajectory a = MakePlanarWalk(5, 1);
+  const Trajectory b = MakePlanarWalk(6, 2);
+  EXPECT_FALSE(EuclideanSumDistance(a, b, Euclidean()).ok());
+  EXPECT_FALSE(EuclideanMeanDistance(a, b, Euclidean()).ok());
+  EXPECT_FALSE(EuclideanMaxDistance(a, b, Euclidean()).ok());
+}
+
+TEST(EuclideanTest, RejectsEmpty) {
+  const Trajectory empty;
+  EXPECT_FALSE(EuclideanSumDistance(empty, empty, Euclidean()).ok());
+}
+
+TEST(EuclideanTest, SumMeanMaxRelations) {
+  const Trajectory a = MakePlanarWalk(10, 3);
+  const Trajectory b = MakePlanarWalk(10, 4);
+  const double sum = EuclideanSumDistance(a, b, Euclidean()).value();
+  const double mean = EuclideanMeanDistance(a, b, Euclidean()).value();
+  const double worst = EuclideanMaxDistance(a, b, Euclidean()).value();
+  EXPECT_DOUBLE_EQ(mean, sum / 10.0);
+  EXPECT_LE(mean, worst);
+  EXPECT_LE(worst, sum);
+}
+
+TEST(EuclideanTest, KnownValues) {
+  const Trajectory a = Line({{0, 0}, {0, 0}});
+  const Trajectory b = Line({{3, 4}, {0, 1}});
+  EXPECT_DOUBLE_EQ(EuclideanSumDistance(a, b, Euclidean()).value(), 6.0);
+  EXPECT_DOUBLE_EQ(EuclideanMeanDistance(a, b, Euclidean()).value(), 3.0);
+  EXPECT_DOUBLE_EQ(EuclideanMaxDistance(a, b, Euclidean()).value(), 5.0);
+}
+
+TEST(EuclideanTest, ZeroForIdenticalInput) {
+  const Trajectory a = MakePlanarWalk(12, 5);
+  EXPECT_DOUBLE_EQ(EuclideanSumDistance(a, a, Euclidean()).value(), 0.0);
+}
+
+// ---------------------------------------------------------------------- DTW
+
+TEST(DtwTest, RejectsEmpty) {
+  const Trajectory empty;
+  const Trajectory one = Line({{0, 0}});
+  EXPECT_FALSE(DtwDistance(empty, one, Euclidean()).ok());
+}
+
+TEST(DtwTest, IdenticalInputsGiveZero) {
+  const Trajectory a = MakePlanarWalk(20, 6);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a, Euclidean()).value(), 0.0);
+}
+
+TEST(DtwTest, SingleVsMultiPointSumsAllDistances) {
+  const Trajectory a = Line({{0, 0}});
+  const Trajectory b = Line({{1, 0}, {2, 0}, {3, 0}});
+  // Every b point must match a's single point: 1 + 2 + 3.
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, Euclidean()).value(), 6.0);
+}
+
+TEST(DtwTest, Symmetric) {
+  const Trajectory a = MakePlanarWalk(15, 7);
+  const Trajectory b = MakePlanarWalk(18, 8);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, Euclidean()).value(),
+                   DtwDistance(b, a, Euclidean()).value());
+}
+
+TEST(DtwTest, AtMostLockStepSum) {
+  const Trajectory a = MakePlanarWalk(16, 9);
+  const Trajectory b = MakePlanarWalk(16, 10);
+  EXPECT_LE(DtwDistance(a, b, Euclidean()).value(),
+            EuclideanSumDistance(a, b, Euclidean()).value() + 1e-12);
+}
+
+TEST(DtwTest, ToleratesLocalTimeShift) {
+  // b is a with one sample duplicated: DTW absorbs it at zero cost.
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  const Trajectory b = Line({{0, 0}, {1, 0}, {1, 0}, {2, 0}, {3, 0}});
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, Euclidean()).value(), 0.0);
+}
+
+TEST(DtwTest, SensitiveToNonUniformSampling) {
+  // The paper's Figure 3 argument: Sc traces the same path as Sa but with
+  // denser sampling in one region; DTW accumulates the repeated matches
+  // while DFD does not.
+  const Trajectory sa = Line({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const Trajectory sb =
+      Line({{0, 0.8}, {1, 0.8}, {2, 0.8}, {3, 0.8}, {4, 0.8}});
+  // Same geometry as sa (offset 0.5), but oversampled around x in [0,1].
+  const Trajectory sc = Line({{0, 0.5},
+                              {0.2, 0.5},
+                              {0.4, 0.5},
+                              {0.6, 0.5},
+                              {0.8, 0.5},
+                              {1, 0.5},
+                              {2, 0.5},
+                              {3, 0.5},
+                              {4, 0.5}});
+  const double dtw_ab = DtwDistance(sa, sb, Euclidean()).value();
+  const double dtw_ac = DtwDistance(sa, sc, Euclidean()).value();
+  const double dfd_ab = DiscreteFrechet(sa, sb, Euclidean()).value();
+  const double dfd_ac = DiscreteFrechet(sa, sc, Euclidean()).value();
+  // Intuitively sc is closer to sa, and DFD agrees...
+  EXPECT_LT(dfd_ac, dfd_ab);
+  // ...but DTW inverts the ranking because of the oversampled stretch.
+  EXPECT_GT(dtw_ac, dtw_ab);
+}
+
+// --------------------------------------------------------------------- LCSS
+
+TEST(LcssTest, RejectsBadEpsilon) {
+  const Trajectory a = MakePlanarWalk(5, 1);
+  EXPECT_FALSE(LcssLength(a, a, Euclidean(), -1.0).ok());
+}
+
+TEST(LcssTest, IdenticalInputsMatchFully) {
+  const Trajectory a = MakePlanarWalk(14, 11);
+  EXPECT_EQ(LcssLength(a, a, Euclidean(), 0.0).value(), 14);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, Euclidean(), 0.0).value(), 0.0);
+}
+
+TEST(LcssTest, NoMatchesUnderTinyEpsilon) {
+  const Trajectory a = Line({{0, 0}, {1, 0}});
+  const Trajectory b = Line({{10, 10}, {11, 10}});
+  EXPECT_EQ(LcssLength(a, b, Euclidean(), 0.5).value(), 0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, Euclidean(), 0.5).value(), 1.0);
+}
+
+TEST(LcssTest, SubsequenceDetected) {
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  // b interleaves far-away detours but contains a's points.
+  const Trajectory b = Line(
+      {{0, 0}, {50, 50}, {1, 0}, {60, 60}, {2, 0}, {70, 70}, {3, 0}});
+  EXPECT_EQ(LcssLength(a, b, Euclidean(), 0.1).value(), 4);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, Euclidean(), 0.1).value(), 0.0);
+}
+
+TEST(LcssTest, MonotoneInEpsilon) {
+  const Trajectory a = MakePlanarWalk(20, 12);
+  const Trajectory b = MakePlanarWalk(20, 13);
+  Index prev = 0;
+  for (double eps : {0.0, 5.0, 20.0, 80.0, 1000.0}) {
+    const Index len = LcssLength(a, b, Euclidean(), eps).value();
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+  EXPECT_EQ(prev, 20);  // huge epsilon matches everything
+}
+
+// ---------------------------------------------------------------------- EDR
+
+TEST(EdrTest, RejectsBadEpsilon) {
+  const Trajectory a = MakePlanarWalk(5, 1);
+  EXPECT_FALSE(EdrDistance(a, a, Euclidean(), -0.1).ok());
+}
+
+TEST(EdrTest, IdenticalInputsCostZero) {
+  const Trajectory a = MakePlanarWalk(16, 14);
+  EXPECT_EQ(EdrDistance(a, a, Euclidean(), 0.0).value(), 0);
+}
+
+TEST(EdrTest, CompletelyDifferentCostsMaxLength) {
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = Line({{100, 100}, {101, 100}});
+  // Best edit script: substitute 2 (mismatches) + delete 1.
+  EXPECT_EQ(EdrDistance(a, b, Euclidean(), 0.5).value(), 3);
+  EXPECT_DOUBLE_EQ(EdrNormalized(a, b, Euclidean(), 0.5).value(), 1.0);
+}
+
+TEST(EdrTest, SingleInsertionCostsOne) {
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = Line({{0, 0}, {0.5, 0}, {1, 0}, {2, 0}});
+  EXPECT_EQ(EdrDistance(a, b, Euclidean(), 0.1).value(), 1);
+}
+
+TEST(EdrTest, SymmetricAndBounded) {
+  const Trajectory a = MakePlanarWalk(18, 15);
+  const Trajectory b = MakePlanarWalk(22, 16);
+  const Index d_ab = EdrDistance(a, b, Euclidean(), 10.0).value();
+  const Index d_ba = EdrDistance(b, a, Euclidean(), 10.0).value();
+  EXPECT_EQ(d_ab, d_ba);
+  EXPECT_LE(d_ab, 22);                       // at most max length
+  EXPECT_GE(d_ab, 22 - 18);                  // at least the length gap
+}
+
+// ------------------------------------------------ Table 1 cross-measure
+
+TEST(Table1Test, OnlyDfdAndEdLikeMeasuresAreStudied) {
+  // Smoke-check all five measures run on the same input (the Table 1
+  // lineup) and produce finite values.
+  const Trajectory a = MakePlanarWalk(30, 17);
+  const Trajectory b = MakePlanarWalk(30, 18);
+  EXPECT_TRUE(std::isfinite(EuclideanMeanDistance(a, b, Euclidean()).value()));
+  EXPECT_TRUE(std::isfinite(DtwDistance(a, b, Euclidean()).value()));
+  EXPECT_TRUE(std::isfinite(
+      static_cast<double>(LcssLength(a, b, Euclidean(), 10.0).value())));
+  EXPECT_TRUE(std::isfinite(
+      static_cast<double>(EdrDistance(a, b, Euclidean(), 10.0).value())));
+  EXPECT_TRUE(std::isfinite(DiscreteFrechet(a, b, Euclidean()).value()));
+}
+
+TEST(Table1Test, DfdRobustToResamplingButSumMeasuresAreNot) {
+  // Duplicate every second sample of b: DFD is unchanged (couplings may
+  // repeat points), DTW/EDR change.
+  const Trajectory a = MakePlanarWalk(20, 19);
+  std::vector<Point> dense;
+  for (Index i = 0; i < a.size(); ++i) {
+    dense.push_back(a[i]);
+    if (i % 2 == 0) dense.push_back(a[i]);
+  }
+  const Trajectory b{std::vector<Point>(dense)};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b, Euclidean()).value(), 0.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, Euclidean()).value(), 0.0);
+  // EDR pays one edit per duplicated sample.
+  EXPECT_EQ(EdrDistance(a, b, Euclidean(), 1e-9).value(), 10);
+}
+
+}  // namespace
+}  // namespace frechet_motif

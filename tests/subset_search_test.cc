@@ -1,0 +1,181 @@
+#include "motif/subset_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+#include "similarity/frechet.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::MakeRandomCrossMatrix;
+using testing_util::MakeRandomSelfMatrix;
+
+MotifOptions Single(Index xi) {
+  MotifOptions o;
+  o.min_length_xi = xi;
+  return o;
+}
+
+MotifOptions Cross(Index xi) {
+  MotifOptions o;
+  o.min_length_xi = xi;
+  o.variant = MotifVariant::kCrossTrajectory;
+  return o;
+}
+
+TEST(ForEachValidSubsetTest, VisitsExactlyTheValidStarts) {
+  const Index n = 18;
+  for (const MotifOptions& options : {Single(2), Single(4), Cross(3)}) {
+    std::int64_t visited = 0;
+    ForEachValidSubset(options, n, n, [&](Index i, Index j) {
+      EXPECT_TRUE(IsValidSubsetStart(options, n, n, i, j))
+          << "(" << i << "," << j << ")";
+      ++visited;
+    });
+    EXPECT_EQ(visited, CountValidSubsets(options, n, n));
+    // Complement check: everything not visited is invalid.
+    std::int64_t all_valid = 0;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        if (IsValidSubsetStart(options, n, n, i, j)) ++all_valid;
+      }
+    }
+    EXPECT_EQ(all_valid, visited);
+  }
+}
+
+TEST(ForEachValidSubsetTest, ValidStartsAdmitAtLeastOneCandidate) {
+  const Index n = 16;
+  const MotifOptions options = Single(3);
+  ForEachValidSubset(options, n, n, [&](Index i, Index j) {
+    // The canonical smallest candidate must be valid.
+    const Candidate c{i, static_cast<Index>(i + options.min_length_xi + 1), j,
+                      static_cast<Index>(j + options.min_length_xi + 1)};
+    EXPECT_TRUE(IsValidCandidate(c, options, n, n)) << c;
+  });
+}
+
+TEST(EvaluateSubsetTest, FindsTheSubsetOptimum) {
+  const Index n = 20;
+  const Index xi = 2;
+  const DistanceMatrix dg = MakeRandomSelfMatrix(n, 31);
+  const MotifOptions options = Single(xi);
+  // Evaluate one subset and compare against per-candidate DFD calls.
+  const Index i = 1;
+  const Index j = 8;
+  ASSERT_TRUE(IsValidSubsetStart(options, n, n, i, j));
+  SearchState state;
+  std::vector<double> prev;
+  std::vector<double> curr;
+  EvaluateSubset(dg, options, i, j, nullptr, false, EndpointCaps{}, &state,
+                 nullptr, &prev, &curr);
+  ASSERT_TRUE(state.found);
+  double expect = std::numeric_limits<double>::infinity();
+  for (Index ie = i + xi + 1; ie <= j - 1; ++ie) {
+    for (Index je = j + xi + 1; je <= n - 1; ++je) {
+      expect = std::min(expect,
+                        DiscreteFrechetOnRange(dg, i, ie, j, je).value());
+    }
+  }
+  EXPECT_DOUBLE_EQ(state.best_distance, expect);
+}
+
+TEST(EvaluateSubsetTest, RespectsEndpointCaps) {
+  const Index n = 20;
+  const Index xi = 2;
+  const DistanceMatrix dg = MakeRandomSelfMatrix(n, 33);
+  const MotifOptions options = Single(xi);
+  const Index i = 0;
+  const Index j = 6;
+  // Cap je at 12: the best must equal the optimum over je <= 12.
+  EndpointCaps caps;
+  caps.je_cap = 12;
+  SearchState state;
+  std::vector<double> prev;
+  std::vector<double> curr;
+  EvaluateSubset(dg, options, i, j, nullptr, false, caps, &state, nullptr,
+                 &prev, &curr);
+  double expect = std::numeric_limits<double>::infinity();
+  for (Index ie = i + xi + 1; ie <= j - 1; ++ie) {
+    for (Index je = j + xi + 1; je <= 12; ++je) {
+      expect = std::min(expect,
+                        DiscreteFrechetOnRange(dg, i, ie, j, je).value());
+    }
+  }
+  ASSERT_TRUE(state.found);
+  EXPECT_DOUBLE_EQ(state.best_distance, expect);
+}
+
+TEST(EvaluateSubsetTest, ThresholdSemanticsRecordWithoutPruningOptimum) {
+  const Index n = 18;
+  const DistanceMatrix dg = MakeRandomSelfMatrix(n, 35);
+  const MotifOptions options = Single(2);
+  const RelaxedBounds rb = RelaxedBounds::Build(dg, options);
+  // With end-cross pruning against a tight-but-valid threshold, the subset
+  // optimum must still be found if it is <= threshold.
+  SearchState no_prune;
+  std::vector<double> b1, b2, b3, b4;
+  EvaluateSubset(dg, options, 0, 6, nullptr, false, EndpointCaps{}, &no_prune,
+                 nullptr, &b1, &b2);
+  ASSERT_TRUE(no_prune.found);
+  SearchState pruned;
+  pruned.threshold = no_prune.best_distance;  // exact optimum as threshold
+  EvaluateSubset(dg, options, 0, 6, &rb, true, EndpointCaps{}, &pruned,
+                 nullptr, &b3, &b4);
+  ASSERT_TRUE(pruned.found);
+  EXPECT_DOUBLE_EQ(pruned.best_distance, no_prune.best_distance);
+}
+
+TEST(SearchStateTest, RecordUpdatesBestAndThreshold) {
+  SearchState s;
+  s.Record(Candidate{0, 5, 7, 12}, 10.0);
+  EXPECT_TRUE(s.found);
+  EXPECT_DOUBLE_EQ(s.best_distance, 10.0);
+  EXPECT_DOUBLE_EQ(s.threshold, 10.0);
+  s.Record(Candidate{1, 6, 8, 13}, 12.0);  // worse: no change
+  EXPECT_DOUBLE_EQ(s.best_distance, 10.0);
+  s.Record(Candidate{2, 7, 9, 14}, 8.0);  // better: both update
+  EXPECT_DOUBLE_EQ(s.best_distance, 8.0);
+  EXPECT_DOUBLE_EQ(s.threshold, 8.0);
+  EXPECT_EQ(s.best.i, 2);
+}
+
+TEST(SearchStateTest, ExternalThresholdDoesNotBlockRecording) {
+  SearchState s;
+  s.threshold = 5.0;  // e.g. from a group upper bound
+  s.Record(Candidate{0, 5, 7, 12}, 6.0);  // worse than threshold but first
+  EXPECT_TRUE(s.found);
+  EXPECT_DOUBLE_EQ(s.best_distance, 6.0);
+  EXPECT_DOUBLE_EQ(s.threshold, 5.0);  // threshold unchanged
+}
+
+TEST(RunSubsetQueueTest, SortedAndUnsortedAgree) {
+  const Index n = 30;
+  const DistanceMatrix dg = MakeRandomSelfMatrix(n, 41);
+  const MotifOptions options = Single(3);
+  const RelaxedBounds rb = RelaxedBounds::Build(dg, options);
+  auto build_entries = [&] {
+    std::vector<SubsetEntry> entries;
+    ForEachValidSubset(options, n, n, [&](Index i, Index j) {
+      entries.push_back(SubsetEntry{
+          std::max(dg.Distance(i, j), rb.StartCross(i, j)), i, j});
+    });
+    return entries;
+  };
+  std::vector<SubsetEntry> sorted_entries = build_entries();
+  std::vector<SubsetEntry> scan_entries = build_entries();
+  SearchState sorted_state;
+  SearchState scan_state;
+  RunSubsetQueue(dg, options, &sorted_entries, &rb, true, true, &sorted_state,
+                 nullptr);
+  RunSubsetQueue(dg, options, &scan_entries, &rb, true, false, &scan_state,
+                 nullptr);
+  ASSERT_TRUE(sorted_state.found);
+  ASSERT_TRUE(scan_state.found);
+  EXPECT_DOUBLE_EQ(sorted_state.best_distance, scan_state.best_distance);
+}
+
+}  // namespace
+}  // namespace frechet_motif

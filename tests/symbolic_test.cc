@@ -1,0 +1,155 @@
+#include "symbolic/symbolic.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "similarity/frechet.h"
+
+namespace frechet_motif {
+namespace {
+
+/// Builds a trajectory from meter-frame waypoints around `origin`, with
+/// `points_per_leg` samples per leg.
+Trajectory FromWaypoints(const Point& origin,
+                         const std::vector<Point>& waypoints,
+                         Index points_per_leg) {
+  Trajectory t;
+  double clock = 0.0;
+  for (std::size_t w = 0; w + 1 < waypoints.size(); ++w) {
+    for (Index k = 0; k < points_per_leg; ++k) {
+      const double f =
+          static_cast<double>(k) / static_cast<double>(points_per_leg);
+      const double x = waypoints[w].x + f * (waypoints[w + 1].x -
+                                             waypoints[w].x);
+      const double y = waypoints[w].y + f * (waypoints[w + 1].y -
+                                             waypoints[w].y);
+      t.Append(OffsetByMeters(origin, x, y), clock);
+      clock += 1.0;
+    }
+  }
+  t.Append(OffsetByMeters(origin, waypoints.back().x, waypoints.back().y),
+           clock);
+  return t;
+}
+
+/// An "RVLH"-style tour: east, then north (right-to-left turn structure),
+/// then west, then... shaped to produce straights and turns.
+std::vector<Point> SquareTour(double size) {
+  return {{0, 0},      {size, 0},     {size, size},
+          {0, size},   {0, 0}};
+}
+
+TEST(SymbolizerTest, RejectsDegenerateInputs) {
+  SymbolizerOptions options;
+  options.fragment_length = 1;
+  Trajectory t = FromWaypoints(LatLon(40, 116), SquareTour(400), 10);
+  EXPECT_FALSE(SymbolizeTrajectory(t, options).ok());
+  options.fragment_length = 1000;  // fewer than two fragments
+  EXPECT_FALSE(SymbolizeTrajectory(t, options).ok());
+}
+
+TEST(SymbolizerTest, StraightEastIsHorizontal) {
+  const Trajectory t =
+      FromWaypoints(LatLon(40, 116), {{0, 0}, {800, 0}}, 40);
+  SymbolizerOptions options;
+  options.fragment_length = 8;
+  const std::string s = SymbolizeTrajectory(t, options).value();
+  for (const char c : s) EXPECT_EQ(c, 'H') << s;
+}
+
+TEST(SymbolizerTest, StraightNorthIsVertical) {
+  const Trajectory t =
+      FromWaypoints(LatLon(40, 116), {{0, 0}, {0, 800}}, 40);
+  SymbolizerOptions options;
+  options.fragment_length = 8;
+  const std::string s = SymbolizeTrajectory(t, options).value();
+  for (const char c : s) EXPECT_EQ(c, 'V') << s;
+}
+
+TEST(SymbolizerTest, SquareTourContainsTurns) {
+  const Trajectory t =
+      FromWaypoints(LatLon(40, 116), SquareTour(600), 30);
+  SymbolizerOptions options;
+  options.fragment_length = 10;
+  const std::string s = SymbolizeTrajectory(t, options).value();
+  // Counter-clockwise square: must contain left turns and both axis runs.
+  EXPECT_NE(s.find('L'), std::string::npos) << s;
+  EXPECT_NE(s.find('H'), std::string::npos) << s;
+  EXPECT_NE(s.find('V'), std::string::npos) << s;
+}
+
+TEST(SymbolizerTest, Figure4FalsePositive) {
+  // The paper's Figure 4: the same tour shape in Beijing and in Shenzhen
+  // maps to the *same* string although the trajectories are ~2000 km
+  // apart — the symbolic approach cannot capture spatial distance.
+  const Trajectory beijing =
+      FromWaypoints(LatLon(39.9042, 116.4074), SquareTour(500), 25);
+  const Trajectory shenzhen =
+      FromWaypoints(LatLon(22.5431, 114.0579), SquareTour(500), 25);
+  SymbolizerOptions options;
+  options.fragment_length = 10;
+  const std::string s1 = SymbolizeTrajectory(beijing, options).value();
+  const std::string s2 = SymbolizeTrajectory(shenzhen, options).value();
+  EXPECT_EQ(s1, s2);
+  // ...whereas DFD sees the geographic gap:
+  const double dfd = DiscreteFrechet(beijing, shenzhen, Haversine()).value();
+  EXPECT_GT(dfd, 1.0e6);
+}
+
+TEST(SymbolicMotifTest, FindsPlantedRepeat) {
+  // Tour A twice with a connector: the longest repeated word must cover a
+  // large part of one tour occurrence.
+  std::vector<Point> waypoints = SquareTour(600);
+  waypoints.push_back(Point(1500, 1500));  // connector
+  for (const Point& p : SquareTour(600)) {
+    waypoints.push_back(Point(p.x + 3000, p.y + 3000));  // same shape, moved
+  }
+  const Trajectory t = FromWaypoints(LatLon(40, 116), waypoints, 25);
+  SymbolizerOptions options;
+  options.fragment_length = 10;
+  const StatusOr<SymbolicMotif> motif =
+      SymbolicMotifDiscovery(t, options, /*min_length=*/3);
+  ASSERT_TRUE(motif.ok()) << motif.status();
+  EXPECT_GE(static_cast<Index>(motif.value().word.size()), 3);
+  // Non-overlap in fragment space.
+  EXPECT_LE(motif.value().first_fragment +
+                static_cast<Index>(motif.value().word.size()),
+            motif.value().second_fragment);
+  // But note: the two occurrences are kilometers apart — a false positive
+  // for spatial motif discovery, which is the paper's point.
+}
+
+TEST(SymbolicMotifTest, NotFoundWhenNoRepeatLongEnough) {
+  // A single straight line has the all-same string, so repeats exist; use
+  // min_length above half the string to force NotFound.
+  const Trajectory t =
+      FromWaypoints(LatLon(40, 116), {{0, 0}, {900, 0}}, 30);
+  SymbolizerOptions options;
+  options.fragment_length = 10;
+  const std::string s = SymbolizeTrajectory(t, options).value();
+  const StatusOr<SymbolicMotif> motif = SymbolicMotifDiscovery(
+      t, options, static_cast<Index>(s.size()));
+  EXPECT_FALSE(motif.ok());
+  EXPECT_EQ(motif.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SymbolicMotifTest, PointRangesMatchFragmentRanges) {
+  const Trajectory t = MakeDataset(DatasetKind::kTruckLike,
+                                   DatasetOptions{.length = 600, .seed = 3})
+                           .value();
+  SymbolizerOptions options;
+  options.fragment_length = 8;
+  const StatusOr<SymbolicMotif> motif =
+      SymbolicMotifDiscovery(t, options, 2);
+  if (!motif.ok()) GTEST_SKIP() << "no repeat in this trace";
+  const SymbolicMotif& m = motif.value();
+  EXPECT_EQ(m.first_points.first, m.first_fragment * 8);
+  EXPECT_EQ(m.first_points.length(),
+            static_cast<Index>(m.word.size()) * 8);
+  EXPECT_EQ(m.second_points.length(), m.first_points.length());
+}
+
+}  // namespace
+}  // namespace frechet_motif

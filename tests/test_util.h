@@ -1,0 +1,64 @@
+#ifndef FRECHET_MOTIF_TESTS_TEST_UTIL_H_
+#define FRECHET_MOTIF_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/trajectory.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+namespace testing_util {
+
+/// Random non-negative symmetric "ground distance" matrix with zero
+/// diagonal (n x n). The motif algorithms only read dG through the
+/// DistanceProvider interface, so algorithm-agreement tests can use
+/// arbitrary matrices — adversarial inputs that real metrics rarely
+/// produce.
+inline DistanceMatrix MakeRandomSelfMatrix(Index n, std::uint64_t seed,
+                                           double scale = 100.0) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<std::size_t>(n) * n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      const double d = rng.NextDouble(0.0, scale);
+      values[static_cast<std::size_t>(i) * n + j] = d;
+      values[static_cast<std::size_t>(j) * n + i] = d;
+    }
+  }
+  return DistanceMatrix::FromValues(n, n, std::move(values)).value();
+}
+
+/// Random rectangular non-negative matrix (n x m), for the cross-trajectory
+/// variant.
+inline DistanceMatrix MakeRandomCrossMatrix(Index n, Index m,
+                                            std::uint64_t seed,
+                                            double scale = 100.0) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<std::size_t>(n) * m);
+  for (double& v : values) v = rng.NextDouble(0.0, scale);
+  return DistanceMatrix::FromValues(n, m, std::move(values)).value();
+}
+
+/// Small planar random-walk trajectory (coordinates in meters, for use
+/// with the Euclidean metric).
+inline Trajectory MakePlanarWalk(Index n, std::uint64_t seed,
+                                 double step = 10.0) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  double x = 0.0;
+  double y = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    points.emplace_back(x, y);
+    x += rng.NextGaussian(0.0, step);
+    y += rng.NextGaussian(0.0, step);
+  }
+  return Trajectory(std::move(points));
+}
+
+}  // namespace testing_util
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_TESTS_TEST_UTIL_H_

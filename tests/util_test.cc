@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/flags.h"
+#include "util/memory_tracker.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+namespace {
+
+// ------------------------------------------------------------------- random
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedValuesStayInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    const std::int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint64(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.15);
+}
+
+// ------------------------------------------------------------------- timer
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedMillis(), 15.0);
+  EXPECT_GE(timer.ElapsedNanos(), 15'000'000);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedMillis(), 10.0);
+}
+
+// ----------------------------------------------------------- memory tracker
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.current_bytes(), 150u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.Release(120);
+  EXPECT_EQ(t.current_bytes(), 30u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.Add(10);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+}
+
+TEST(MemoryTrackerTest, ReleaseClampsAtZero) {
+  MemoryTracker t;
+  t.Add(10);
+  t.Release(100);
+  EXPECT_EQ(t.current_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, ResetClearsEverything) {
+  MemoryTracker t;
+  t.Add(1000);
+  t.Reset();
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, ScopedAllocationReleasesOnDestruction) {
+  MemoryTracker t;
+  {
+    ScopedAllocation a(&t, 64);
+    EXPECT_EQ(t.current_bytes(), 64u);
+  }
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 64u);
+}
+
+TEST(MemoryTrackerTest, ScopedAllocationToleratesNull) {
+  ScopedAllocation a(nullptr, 64);  // must not crash
+}
+
+TEST(FormatBytesTest, PicksHumanUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+// -------------------------------------------------------------------- flags
+
+TEST(FlagsTest, ParsesValuesAndPositionals) {
+  const char* argv[] = {"prog", "--n=100", "--full", "input.csv",
+                        "--ratio=0.5"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetInt("n", 0), 100);
+  EXPECT_TRUE(flags.GetBool("full", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.0), 0.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsentOrMalformed) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetInt("n", 7), 7);       // unparsable -> default
+  EXPECT_EQ(flags.GetInt("missing", 9), 9); // absent -> default
+}
+
+TEST(FlagsTest, RejectsBareDoubleDash) {
+  const char* argv[] = {"prog", "--"};
+  Flags flags;
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, ParsesIntLists) {
+  const char* argv[] = {"prog", "--lengths=500,1000,5000"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  const std::vector<std::int64_t> v = flags.GetIntList("lengths", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 500);
+  EXPECT_EQ(v[2], 5000);
+}
+
+TEST(FlagsTest, BoolValueSpellings) {
+  const char* argv[] = {"prog", "--a=TRUE", "--b=0", "--c=yes", "--d=off"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_TRUE(flags.GetBool("d", true));  // unknown spelling -> default
+}
+
+// ------------------------------------------------------------ table printer
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"n", "1000"});
+  t.AddRow({"longer-name", "7"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| longer-name | 7     |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::FmtPercent(0.923, 1), "92.3%");
+}
+
+}  // namespace
+}  // namespace frechet_motif

@@ -1,0 +1,223 @@
+// fmotif — command-line front end for the library.
+//
+//   fmotif motif  <file> [--xi=100] [--algorithm=gtm] [--tau=32] [--topk=1]
+//   fmotif cross  <fileA> <fileB> [--xi=100] [--algorithm=gtm]
+//   fmotif join   <file>... --threshold=250 [--no-pruning]
+//   fmotif stats  <file>...
+//   fmotif simplify <file> --tolerance=10 --out=<file>
+//
+// Files are CSV ("lat,lon[,timestamp]") or GeoLife PLT (by .plt suffix).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/trajectory_stats.h"
+#include "data/io.h"
+#include "data/simplify.h"
+#include "geo/metric.h"
+#include "join/similarity_join.h"
+#include "motif/motif.h"
+#include "motif/top_k.h"
+#include "util/flags.h"
+
+namespace fm = frechet_motif;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fmotif motif  <file> [--xi=100] [--algorithm=gtm|gtm_star|btm|brute]"
+      " [--tau=32] [--topk=1]\n"
+      "  fmotif cross  <fileA> <fileB> [--xi=100] [--algorithm=...]\n"
+      "  fmotif join   <file> <file>... --threshold=250 [--no-pruning]\n"
+      "  fmotif stats  <file>...\n"
+      "  fmotif simplify <file> --tolerance=10 --out=<file>\n");
+  return 2;
+}
+
+fm::StatusOr<fm::Trajectory> Load(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".plt") {
+    return fm::ReadPlt(path);
+  }
+  return fm::ReadCsv(path);
+}
+
+fm::MotifAlgorithm ParseAlgorithm(const std::string& name) {
+  if (name == "brute") return fm::MotifAlgorithm::kBruteDp;
+  if (name == "btm") return fm::MotifAlgorithm::kBtm;
+  if (name == "gtm_star") return fm::MotifAlgorithm::kGtmStar;
+  return fm::MotifAlgorithm::kGtm;
+}
+
+void PrintMotif(const fm::Trajectory& s, const fm::MotifResult& r, int rank) {
+  std::printf("#%d  S[%d..%d] ~ S[%d..%d]  DFD=%.2f m", rank, r.best.i,
+              r.best.ie, r.best.j, r.best.je, r.distance);
+  if (s.has_timestamps()) {
+    std::printf("  t1=[%.0f..%.0f] t2=[%.0f..%.0f]", s.timestamp(r.best.i),
+                s.timestamp(r.best.ie), s.timestamp(r.best.j),
+                s.timestamp(r.best.je));
+  }
+  std::printf("\n");
+}
+
+int RunMotif(const fm::Flags& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[1]);
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    return 1;
+  }
+  const int topk = static_cast<int>(flags.GetInt("topk", 1));
+  const fm::Index xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
+  if (topk > 1) {
+    fm::TopKOptions options;
+    options.motif.min_length_xi = xi;
+    options.k = topk;
+    options.min_start_separation =
+        static_cast<fm::Index>(flags.GetInt("separation", xi));
+    fm::StatusOr<std::vector<fm::MotifResult>> r =
+        TopKMotifs(t.value(), fm::Haversine(), options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    int rank = 1;
+    for (const fm::MotifResult& m : r.value()) {
+      PrintMotif(t.value(), m, rank++);
+    }
+    return 0;
+  }
+  fm::FindMotifOptions options;
+  options.min_length_xi = xi;
+  options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
+  options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
+  fm::MotifStats stats;
+  fm::StatusOr<fm::MotifResult> r =
+      FindMotif(t.value(), fm::Haversine(), options, &stats);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  PrintMotif(t.value(), r.value(), 1);
+  std::printf("%s\n", stats.ToString().c_str());
+  return 0;
+}
+
+int RunCross(const fm::Flags& flags) {
+  if (flags.positional().size() != 3) return Usage();
+  fm::StatusOr<fm::Trajectory> a = Load(flags.positional()[1]);
+  fm::StatusOr<fm::Trajectory> b = Load(flags.positional()[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "failed to load inputs\n");
+    return 1;
+  }
+  fm::FindMotifOptions options;
+  options.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
+  options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
+  options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
+  fm::StatusOr<fm::MotifResult> r =
+      FindMotif(a.value(), b.value(), fm::Haversine(), options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const fm::MotifResult& m = r.value();
+  std::printf("A[%d..%d] ~ B[%d..%d]  DFD=%.2f m\n", m.best.i, m.best.ie,
+              m.best.j, m.best.je, m.distance);
+  return 0;
+}
+
+int RunJoin(const fm::Flags& flags) {
+  if (flags.positional().size() < 3) return Usage();
+  std::vector<fm::Trajectory> trajectories;
+  for (std::size_t k = 1; k < flags.positional().size(); ++k) {
+    fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k]);
+    if (!t.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.positional()[k].c_str(),
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    trajectories.push_back(std::move(t).value());
+  }
+  fm::JoinOptions options;
+  options.threshold = flags.GetDouble("threshold", 250.0);
+  options.use_pruning = !flags.GetBool("no-pruning", false);
+  fm::JoinStats stats;
+  fm::StatusOr<std::vector<fm::JoinPair>> matches =
+      DfdSelfJoin(trajectories, fm::Haversine(), options, &stats);
+  if (!matches.ok()) {
+    std::fprintf(stderr, "%s\n", matches.status().ToString().c_str());
+    return 1;
+  }
+  for (const fm::JoinPair& p : matches.value()) {
+    std::printf("%s ~ %s\n", flags.positional()[p.li + 1].c_str(),
+                flags.positional()[p.ri + 1].c_str());
+  }
+  std::printf("%s\n", stats.ToString().c_str());
+  return 0;
+}
+
+int RunStats(const fm::Flags& flags) {
+  if (flags.positional().size() < 2) return Usage();
+  for (std::size_t k = 1; k < flags.positional().size(); ++k) {
+    fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k]);
+    if (!t.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.positional()[k].c_str(),
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    fm::StatusOr<fm::TrajectorySummary> s =
+        Summarize(t.value(), fm::Haversine());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("== %s ==\n%s\n", flags.positional()[k].c_str(),
+                s.value().ToString().c_str());
+  }
+  return 0;
+}
+
+int RunSimplify(const fm::Flags& flags) {
+  if (flags.positional().size() != 2 || !flags.Has("out")) return Usage();
+  fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[1]);
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    return 1;
+  }
+  fm::StatusOr<fm::Trajectory> simplified =
+      SimplifyDouglasPeucker(t.value(), flags.GetDouble("tolerance", 10.0));
+  if (!simplified.ok()) {
+    std::fprintf(stderr, "%s\n", simplified.status().ToString().c_str());
+    return 1;
+  }
+  const fm::Status w =
+      fm::WriteCsv(simplified.value(), flags.GetString("out", ""));
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("%d -> %d points\n", t.value().size(),
+              simplified.value().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fm::Flags flags;
+  if (!flags.Parse(argc, argv).ok() || flags.positional().empty()) {
+    return Usage();
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "motif") return RunMotif(flags);
+  if (command == "cross") return RunCross(flags);
+  if (command == "join") return RunJoin(flags);
+  if (command == "stats") return RunStats(flags);
+  if (command == "simplify") return RunSimplify(flags);
+  return Usage();
+}
