@@ -1,6 +1,12 @@
 #ifndef FRECHET_MOTIF_CLUSTER_SUBTRAJECTORY_CLUSTER_H_
 #define FRECHET_MOTIF_CLUSTER_SUBTRAJECTORY_CLUSTER_H_
 
+/// Subtrajectory clustering under the discrete Fréchet distance: group the
+/// sliding windows of one trajectory into star-shaped clusters around a
+/// reference window — a motif generalized from "the best pair" to "all
+/// repetitions". Most applications only need ClusterSubtrajectories();
+/// BestSubtrajectoryCluster() exposes the single-cluster primitive.
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,18 +40,25 @@ struct ClusterOptions {
 /// threshold of the reference window, and members are pairwise
 /// non-overlapping in time.
 struct SubtrajectoryCluster {
+  /// The window every member is within the threshold of.
   SubtrajectoryRef reference;
-  std::vector<SubtrajectoryRef> members;  // includes the reference
+  /// All member windows, including the reference, ascending by start.
+  std::vector<SubtrajectoryRef> members;
 
+  /// Number of member windows (reference included).
   int size() const { return static_cast<int>(members.size()); }
 };
 
 /// Counters for the clustering run.
 struct ClusterStats {
+  /// Reference/candidate window pairs considered.
   std::int64_t window_pairs = 0;
+  /// Pairs disqualified by the endpoint lower bound alone.
   std::int64_t pruned_endpoints = 0;
+  /// Pairs that reached the O(L²) early-abandoning DFD decision.
   std::int64_t decided_exact = 0;
 
+  /// One-line human-readable rendering of the counters, for logs.
   std::string ToString() const;
 };
 

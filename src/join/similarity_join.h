@@ -1,6 +1,11 @@
 #ifndef FRECHET_MOTIF_JOIN_SIMILARITY_JOIN_H_
 #define FRECHET_MOTIF_JOIN_SIMILARITY_JOIN_H_
 
+/// Similarity join between trajectory collections under the discrete
+/// Fréchet distance (DFD): report every pair within a distance threshold.
+/// Most applications only need DfdSimilarityJoin() or DfdSelfJoin(); the
+/// JoinOptions knobs expose the pruning cascade for ablation studies.
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -14,7 +19,9 @@ namespace frechet_motif {
 /// A matching pair produced by the join: trajectories left[li] and
 /// right[ri] with DFD <= the join threshold.
 struct JoinPair {
+  /// Index into the left collection.
   std::size_t li = 0;
+  /// Index into the right collection (for a self-join, li < ri).
   std::size_t ri = 0;
 
   friend bool operator==(const JoinPair& a, const JoinPair& b) {
@@ -24,6 +31,7 @@ struct JoinPair {
 
 /// Counters describing how the join's pruning cascade resolved each pair.
 struct JoinStats {
+  /// Candidate pairs considered (all pairs, or the grid index's output).
   std::int64_t pairs_total = 0;
   /// Disqualified because the bounding boxes are further apart than the
   /// threshold (every ground distance, hence the DFD, exceeds it).
@@ -39,6 +47,7 @@ struct JoinStats {
   /// Pairs reported as matches.
   std::int64_t matched = 0;
 
+  /// One-line human-readable rendering of the counters, for logs.
   std::string ToString() const;
 };
 

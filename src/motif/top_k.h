@@ -1,6 +1,10 @@
 #ifndef FRECHET_MOTIF_MOTIF_TOP_K_H_
 #define FRECHET_MOTIF_MOTIF_TOP_K_H_
 
+/// Top-k motif discovery: the k most similar subtrajectory pairs instead
+/// of only the best one, with an optional diversity constraint between
+/// results. Most applications only need one of the TopKMotifs() overloads.
+
 #include <vector>
 
 #include "core/distance_matrix.h"
@@ -14,6 +18,7 @@ namespace frechet_motif {
 
 /// Options for top-k motif discovery.
 struct TopKOptions {
+  /// Shared motif constraints (minimum length ξ, problem variant).
   MotifOptions motif;
 
   /// Number of motifs to return (>= 1).

@@ -137,7 +137,9 @@ TEST_P(DatasetKindTest, ProducesExactLengthAndValidData) {
   ASSERT_TRUE(t.has_timestamps());
   for (Index i = 0; i < t.size(); ++i) {
     EXPECT_TRUE(t[i].IsFinite());
-    if (i > 0) EXPECT_GT(t.timestamp(i), t.timestamp(i - 1));
+    if (i > 0) {
+      EXPECT_GT(t.timestamp(i), t.timestamp(i - 1));
+    }
   }
 }
 

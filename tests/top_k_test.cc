@@ -106,7 +106,9 @@ TEST(TopKTest, ResultsAscendAndAreValid) {
   for (std::size_t r = 0; r < results.size(); ++r) {
     EXPECT_TRUE(
         IsValidCandidate(results[r].best, options.motif, s.size(), s.size()));
-    if (r > 0) EXPECT_GE(results[r].distance, results[r - 1].distance);
+    if (r > 0) {
+      EXPECT_GE(results[r].distance, results[r - 1].distance);
+    }
     // Reported distance is the pair's exact DFD.
     const Candidate c = results[r].best;
     EXPECT_DOUBLE_EQ(
