@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace frechet_motif {
 namespace bench {
@@ -26,6 +27,18 @@ BenchConfig ParseBenchConfig(int argc, char** argv,
   config.n = flags.GetInt("n", default_n);
   // Keep the paper's xi/tau ratio (~3): tau=32 belongs with xi=100.
   config.tau = flags.GetInt("tau", config.full ? 32 : 8);
+  config.smoke = flags.GetBool("smoke", false);
+  config.threads = flags.GetInt("threads", 1);
+  if (config.threads < 0) {
+    std::fprintf(stderr, "flag error: --threads must be >= 0\n");
+    std::exit(2);
+  }
+  if (flags.Has("json")) {
+    const std::string v = flags.GetString("json", "");
+    // Bare `--json` parses as the boolean "true"; treat it as the default
+    // output path.
+    config.json_path = (v.empty() || v == "true") ? "BENCH_kernels.json" : v;
+  }
   return config;
 }
 
@@ -42,6 +55,83 @@ Trajectory MakeBenchTrajectory(DatasetKind kind, Index length,
     std::exit(2);
   }
   return std::move(t).value();
+}
+
+std::string GitDescribe() {
+  // The bench binaries run from (a subdirectory of) the repository, so a
+  // plain `git describe` resolves by walking up from the working directory.
+  FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+namespace {
+
+/// Escapes the characters JSON string literals cannot contain raw. The
+/// values written here (kernel names, git describe) are ASCII, so quotes,
+/// backslashes and control characters are the full set.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteKernelJson(const std::string& path, const std::string& bench_name,
+                     const BenchConfig& config,
+                     const std::vector<KernelResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", JsonEscape(bench_name).c_str());
+  std::fprintf(f, "  \"git\": \"%s\",\n", JsonEscape(GitDescribe()).c_str());
+  std::fprintf(f, "  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(config.seed));
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const KernelResult& r = results[k];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"n\": %lld, \"threads\": %lld, "
+                 "\"ns_per_op\": %.3f, \"iterations\": %lld}%s\n",
+                 JsonEscape(r.name).c_str(), static_cast<long long>(r.n),
+                 static_cast<long long>(r.threads), r.ns_per_op,
+                 static_cast<long long>(r.iterations),
+                 k + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu kernels)\n", path.c_str(), results.size());
+  return true;
 }
 
 void PrintHeader(const std::string& figure, const std::string& description,

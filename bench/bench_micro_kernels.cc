@@ -1,95 +1,216 @@
-// Microbenchmarks (google-benchmark) for the computational kernels the
-// paper's complexity analysis is built on: the haversine ground distance,
-// the O(l^2) DFD dynamic program, the relaxed-bound precomputation pass and
-// the group-envelope construction.
+// Microbenchmarks for the computational kernels the paper's complexity
+// analysis is built on: the haversine ground distance, the dG matrix build,
+// the O(l^2) DFD dynamic program (generic virtual-dispatch baseline vs the
+// monomorphized matrix path vs the threshold early-exit path), the
+// relaxed-bound precomputation pass, the group-envelope construction and
+// the end-to-end BTM search (serial and thread-pooled).
+//
+// Self-contained harness (no Google Benchmark): each kernel is run until a
+// minimum wall-clock budget is spent and reported as mean ns/op. With
+// --json[=path] the results are also written machine-readably (see
+// docs/PERFORMANCE.md for the schema); --smoke shrinks everything to a
+// CI-sized sanity run. --threads=N sizes the pooled kernels.
 
-#include <benchmark/benchmark.h>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/distance_matrix.h"
 #include "data/datasets.h"
 #include "geo/metric.h"
+#include "motif/btm.h"
 #include "motif/group.h"
 #include "motif/relaxed_bounds.h"
 #include "similarity/frechet.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace frechet_motif {
 namespace {
 
-Trajectory Dataset(Index n) {
+using bench::BenchConfig;
+using bench::KernelResult;
+
+/// Accumulator the kernels fold their outputs into so the optimizer cannot
+/// delete the measured work; printed once at the end.
+double g_sink = 0.0;
+
+Trajectory Dataset(Index n, std::uint64_t seed) {
   DatasetOptions options;
   options.length = n;
-  options.seed = 7;
+  options.seed = seed;
   return MakeDataset(DatasetKind::kGeoLifeLike, options).value();
 }
 
-void BM_HaversineDistance(benchmark::State& state) {
-  const Trajectory t = Dataset(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Haversine().Distance(t[0], t[1]));
-  }
+/// Runs `fn` until the time budget is spent (at least once) and records the
+/// mean ns/op under `name`.
+KernelResult Measure(const std::string& name, std::int64_t n,
+                     std::int64_t threads, double min_seconds,
+                     const std::function<void()>& fn) {
+  // One untimed warm-up pass populates caches and scratch buffers.
+  fn();
+  std::int64_t iters = 0;
+  Timer timer;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < min_seconds);
+  KernelResult r;
+  r.name = name;
+  r.n = n;
+  r.threads = threads;
+  r.iterations = iters;
+  r.ns_per_op = static_cast<double>(timer.ElapsedNanos()) /
+                static_cast<double>(iters);
+  std::printf("%-34s n=%-6lld threads=%-2lld %14.1f ns/op  (%lld iters)\n",
+              name.c_str(), static_cast<long long>(n),
+              static_cast<long long>(threads), r.ns_per_op,
+              static_cast<long long>(iters));
+  return r;
 }
-BENCHMARK(BM_HaversineDistance);
 
-void BM_DiscreteFrechet(benchmark::State& state) {
-  const Index l = static_cast<Index>(state.range(0));
-  DatasetOptions options;
-  options.length = l;
-  options.seed = 1;
-  const Trajectory a =
-      MakeDataset(DatasetKind::kGeoLifeLike, options).value();
-  options.seed = 2;
-  const Trajectory b =
-      MakeDataset(DatasetKind::kGeoLifeLike, options).value();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(DiscreteFrechet(a, b, Haversine()));
-  }
-  state.SetComplexityN(l);
-}
-BENCHMARK(BM_DiscreteFrechet)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+std::vector<KernelResult> RunAll(const BenchConfig& config) {
+  std::vector<KernelResult> results;
+  const double budget = config.smoke ? 0.02 : 0.25;
+  const Index l = config.smoke ? 64 : 256;     // DFD subtrajectory length
+  const Index n = config.smoke ? 160 : 512;    // matrix side
+  const int threads = ResolveThreadCount(static_cast<int>(config.threads));
 
-void BM_DistanceMatrixBuild(benchmark::State& state) {
-  const Trajectory t = Dataset(static_cast<Index>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(DistanceMatrix::Build(t, Haversine()));
-  }
-}
-BENCHMARK(BM_DistanceMatrixBuild)->Arg(256)->Arg(512)->Arg(1024);
-
-void BM_RelaxedBoundsBuild(benchmark::State& state) {
-  const Trajectory t = Dataset(static_cast<Index>(state.range(0)));
+  const Trajectory t = Dataset(n, 7);
   const DistanceMatrix dg = DistanceMatrix::Build(t, Haversine()).value();
-  MotifOptions options;
-  options.min_length_xi = 30;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RelaxedBounds::Build(dg, options));
-  }
-}
-BENCHMARK(BM_RelaxedBoundsBuild)->Arg(256)->Arg(512)->Arg(1024);
+  FrechetScratch scratch;
 
-void BM_GroupingBuild(benchmark::State& state) {
-  const Trajectory t = Dataset(1024);
-  const DistanceMatrix dg = DistanceMatrix::Build(t, Haversine()).value();
-  MotifOptions options;
-  options.min_length_xi = 30;
-  const Index tau = static_cast<Index>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Grouping::Build(dg, options, tau));
-  }
-}
-BENCHMARK(BM_GroupingBuild)->Arg(8)->Arg(32)->Arg(128);
+  // -- Ground distance ------------------------------------------------
+  const Trajectory two = Dataset(2, 7);
+  results.push_back(Measure("haversine_distance", 2, 1, budget, [&] {
+    g_sink += Haversine().Distance(two[0], two[1]);
+  }));
 
-void BM_FrechetOnRange(benchmark::State& state) {
-  const Trajectory t = Dataset(512);
-  const DistanceMatrix dg = DistanceMatrix::Build(t, Haversine()).value();
-  const Index l = static_cast<Index>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        DiscreteFrechetOnRange(dg, 0, l - 1, 256, 256 + l - 1));
+  // -- dG matrix build (blocked, cached unit vectors) -----------------
+  results.push_back(Measure("distance_matrix_build", n, 1, budget, [&] {
+    g_sink += DistanceMatrix::Build(t, Haversine()).value().Distance(1, 2);
+  }));
+
+  // -- The DFD kernel: baseline vs monomorphized vs early-exit --------
+  const std::vector<Index> range_lengths =
+      config.smoke ? std::vector<Index>{32, 64}
+                   : std::vector<Index>{64, 128, 256};
+  const Index i0 = 0;
+  const Index j0 = n / 2;
+  for (const Index len : range_lengths) {
+    const auto range_exact =
+        DiscreteFrechetOnRange(dg, i0, i0 + len - 1, j0, j0 + len - 1)
+            .value();
+    results.push_back(
+        Measure("dfd_on_range_generic", len, 1, budget, [&] {
+          g_sink += DiscreteFrechetOnRangeGeneric(
+                        dg, i0, i0 + len - 1, j0, j0 + len - 1,
+                        kNoFrechetThreshold, &scratch)
+                        .value();
+        }));
+    results.push_back(Measure("dfd_on_range_matrix", len, 1, budget, [&] {
+      g_sink += DiscreteFrechetOnRange(dg, i0, i0 + len - 1, j0,
+                                       j0 + len - 1, kNoFrechetThreshold,
+                                       &scratch)
+                    .value();
+    }));
+    results.push_back(
+        Measure("dfd_on_range_matrix_threshold", len, 1, budget, [&] {
+          g_sink += DiscreteFrechetOnRange(dg, i0, i0 + len - 1, j0,
+                                           j0 + len - 1, range_exact * 0.5,
+                                           &scratch)
+                        .value();
+        }));
   }
+
+  // -- Whole-trajectory kernels ---------------------------------------
+  const Trajectory a = Dataset(l, 1);
+  const Trajectory b = Dataset(l, 2);
+  results.push_back(Measure("discrete_frechet", l, 1, budget, [&] {
+    g_sink += DiscreteFrechet(a, b, Haversine(), &scratch).value();
+  }));
+  results.push_back(Measure("dfd_at_most", l, 1, budget, [&] {
+    g_sink += DiscreteFrechetAtMost(a, b, Haversine(), 500.0, &scratch).value()
+                  ? 1.0
+                  : 0.0;
+  }));
+
+  // -- Bound precomputation and grouping ------------------------------
+  MotifOptions motif;
+  motif.min_length_xi = config.smoke ? 10 : 30;
+  results.push_back(Measure("relaxed_bounds_build", n, 1, budget, [&] {
+    g_sink += RelaxedBounds::Build(dg, motif).Rmin(1);
+  }));
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    results.push_back(
+        Measure("relaxed_bounds_build", n, threads, budget, [&] {
+          g_sink += RelaxedBounds::Build(dg, motif, &pool).Rmin(1);
+        }));
+  }
+  results.push_back(Measure("grouping_build", n, 1, budget, [&] {
+    g_sink += static_cast<double>(
+        Grouping::Build(dg, motif, static_cast<Index>(config.tau))
+            .num_row_groups());
+  }));
+
+  // -- End-to-end search: serial vs pooled ----------------------------
+  const double search_budget = config.smoke ? 0.02 : 1.0;
+  BtmOptions btm;
+  btm.motif = motif;
+  results.push_back(Measure("btm_relaxed", n, 1, search_budget, [&] {
+    g_sink += BtmMotif(dg, btm).value().distance;
+  }));
+  if (threads > 1) {
+    BtmOptions pooled = btm;
+    pooled.motif.threads = threads;
+    results.push_back(
+        Measure("btm_relaxed", n, threads, search_budget, [&] {
+          g_sink += BtmMotif(dg, pooled).value().distance;
+        }));
+  }
+  return results;
 }
-BENCHMARK(BM_FrechetOnRange)->Arg(32)->Arg(128)->Arg(256);
+
+int Main(int argc, char** argv) {
+  const BenchConfig config =
+      bench::ParseBenchConfig(argc, argv, {}, {}, 0, 0);
+  bench::PrintHeader("micro-kernels",
+                     "per-kernel ns/op (devirtualized DP fast path vs "
+                     "virtual-dispatch baseline)",
+                     config);
+
+  const std::vector<KernelResult> results = RunAll(config);
+
+  // Headline ratios: the monomorphized matrix path against the PR-1-era
+  // virtual-dispatch kernel, per measured size.
+  std::printf("\n");
+  for (const KernelResult& g : results) {
+    if (g.name != "dfd_on_range_generic") continue;
+    for (const KernelResult& m : results) {
+      if (m.name == "dfd_on_range_matrix" && m.n == g.n &&
+          m.ns_per_op > 0.0) {
+        std::printf(
+            "dfd_on_range speedup (matrix vs generic), n=%-4" PRId64
+            ": %.2fx\n",
+            g.n, g.ns_per_op / m.ns_per_op);
+      }
+    }
+  }
+  std::printf("(sink %g)\n", g_sink);
+
+  if (!config.json_path.empty() &&
+      !bench::WriteKernelJson(config.json_path, "bench_micro_kernels", config,
+                              results)) {
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace frechet_motif
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return frechet_motif::Main(argc, argv); }

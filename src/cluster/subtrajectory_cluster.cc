@@ -44,7 +44,7 @@ std::vector<Index> WindowStarts(const Trajectory& s,
 /// Does window `b_start` match the reference window `a_start` within θ?
 bool WindowsMatch(const Trajectory& s, Index a_start, Index b_start,
                   const ClusterOptions& options, const GroundMetric& metric,
-                  ClusterStats* stats) {
+                  ClusterStats* stats, FrechetScratch* scratch) {
   if (stats != nullptr) ++stats->window_pairs;
   const Index len = options.window_length;
   // Endpoint lower bound: the coupling pins first to first, last to last.
@@ -59,7 +59,7 @@ bool WindowsMatch(const Trajectory& s, Index a_start, Index b_start,
   const Trajectory a = s.Slice(a_start, a_start + len - 1);
   const Trajectory b = s.Slice(b_start, b_start + len - 1);
   const StatusOr<bool> within =
-      DiscreteFrechetAtMost(a, b, metric, options.threshold_m);
+      DiscreteFrechetAtMost(a, b, metric, options.threshold_m, scratch);
   return within.ok() && within.value();
 }
 
@@ -68,14 +68,14 @@ bool WindowsMatch(const Trajectory& s, Index a_start, Index b_start,
 std::vector<SubtrajectoryRef> CollectMembers(
     const Trajectory& s, Index reference, const std::vector<Index>& allowed,
     const ClusterOptions& options, const GroundMetric& metric,
-    ClusterStats* stats) {
+    ClusterStats* stats, FrechetScratch* scratch) {
   std::vector<SubtrajectoryRef> members;
   Index next_free = 0;  // first point index not yet covered by a member
   for (const Index start : allowed) {
     if (start < next_free) continue;  // would overlap the previous member
     const bool is_reference = start == reference;
     if (is_reference ||
-        WindowsMatch(s, reference, start, options, metric, stats)) {
+        WindowsMatch(s, reference, start, options, metric, stats, scratch)) {
       members.push_back(
           SubtrajectoryRef{start, start + options.window_length - 1});
       next_free = start + options.window_length;
@@ -103,9 +103,11 @@ StatusOr<SubtrajectoryCluster> BestSubtrajectoryCluster(
   const std::vector<Index> starts = WindowStarts(s, options);
 
   SubtrajectoryCluster best;
+  FrechetScratch scratch;  // reused across every window-pair DP
   for (const Index reference : starts) {
     const std::vector<SubtrajectoryRef> members =
-        CollectMembers(s, reference, starts, options, metric, stats);
+        CollectMembers(s, reference, starts, options, metric, stats,
+                       &scratch);
     if (static_cast<int>(members.size()) > best.size()) {
       best.reference = {reference, reference + options.window_length - 1};
       best.members = members;
@@ -126,11 +128,13 @@ StatusOr<std::vector<SubtrajectoryCluster>> ClusterSubtrajectories(
   std::vector<Index> remaining = WindowStarts(s, options);
 
   std::vector<SubtrajectoryCluster> clusters;
+  FrechetScratch scratch;  // reused across every window-pair DP
   while (true) {
     SubtrajectoryCluster best;
     for (const Index reference : remaining) {
       const std::vector<SubtrajectoryRef> members =
-          CollectMembers(s, reference, remaining, options, metric, stats);
+          CollectMembers(s, reference, remaining, options, metric, stats,
+                         &scratch);
       if (static_cast<int>(members.size()) > best.size()) {
         best.reference = {reference, reference + options.window_length - 1};
         best.members = members;

@@ -1,6 +1,43 @@
 #include "core/distance_matrix.h"
 
+#include <algorithm>
+
 namespace frechet_motif {
+
+namespace {
+
+std::vector<SphereVec> VectorizePoints(const Trajectory& t) {
+  std::vector<SphereVec> out;
+  out.reserve(t.size());
+  for (Index i = 0; i < t.size(); ++i) out.push_back(ToSphereVec(t[i]));
+  return out;
+}
+
+/// Haversine fill over cached unit vectors: one O(n+m) trigonometric pass,
+/// then each cell costs a dot product + asin. Bit-identical to
+/// metric.Distance (GreatCircleDistanceMeters is defined as exactly this
+/// two-step computation), so every algorithm sees the same values.
+void FillHaversine(const Trajectory& s, const Trajectory& t, Index n, Index m,
+                   std::vector<double>* values) {
+  const std::vector<SphereVec> sv = VectorizePoints(s);
+  const std::vector<SphereVec> tv = VectorizePoints(t);
+  // Block over columns so the tv tile stays resident in L1 while the rows
+  // stream past it; column-major reuse is what a naive row-major fill of a
+  // large m misses.
+  constexpr Index kBlock = 256;
+  for (Index j0 = 0; j0 < m; j0 += kBlock) {
+    const Index j1 = std::min<Index>(j0 + kBlock, m);
+    for (Index i = 0; i < n; ++i) {
+      const SphereVec& a = sv[i];
+      double* row = values->data() + static_cast<std::size_t>(i) * m;
+      for (Index j = j0; j < j1; ++j) {
+        row[j] = SphereVecDistanceMeters(a, tv[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 StatusOr<DistanceMatrix> DistanceMatrix::Build(const Trajectory& s,
                                                const Trajectory& t,
@@ -12,11 +49,19 @@ StatusOr<DistanceMatrix> DistanceMatrix::Build(const Trajectory& s,
   const Index n = s.size();
   const Index m = t.size();
   std::vector<double> values(static_cast<std::size_t>(n) * m);
-  for (Index i = 0; i < n; ++i) {
-    const Point& pi = s[i];
-    double* row = values.data() + static_cast<std::size_t>(i) * m;
-    for (Index j = 0; j < m; ++j) {
-      row[j] = metric.Distance(pi, t[j]);
+  if (dynamic_cast<const HaversineMetric*>(&metric) != nullptr) {
+    FillHaversine(s, t, n, m, &values);
+    return DistanceMatrix(n, m, std::move(values));
+  }
+  constexpr Index kBlock = 256;
+  for (Index j0 = 0; j0 < m; j0 += kBlock) {
+    const Index j1 = std::min<Index>(j0 + kBlock, m);
+    for (Index i = 0; i < n; ++i) {
+      const Point& pi = s[i];
+      double* row = values.data() + static_cast<std::size_t>(i) * m;
+      for (Index j = j0; j < j1; ++j) {
+        row[j] = metric.Distance(pi, t[j]);
+      }
     }
   }
   return DistanceMatrix(n, m, std::move(values));
@@ -38,17 +83,6 @@ StatusOr<DistanceMatrix> DistanceMatrix::FromValues(
   }
   return DistanceMatrix(rows, cols, std::move(values));
 }
-
-namespace {
-
-std::vector<SphereVec> VectorizePoints(const Trajectory& t) {
-  std::vector<SphereVec> out;
-  out.reserve(t.size());
-  for (Index i = 0; i < t.size(); ++i) out.push_back(ToSphereVec(t[i]));
-  return out;
-}
-
-}  // namespace
 
 CachedHaversineDistance::CachedHaversineDistance(const Trajectory& s,
                                                  const Trajectory& t)

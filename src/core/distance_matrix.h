@@ -61,6 +61,14 @@ class DistanceMatrix final : public DistanceProvider {
   double Distance(Index i, Index j) const override {
     return values_[static_cast<std::size_t>(i) * cols_ + j];
   }
+
+  /// Contiguous row-major span of row i: Row(i)[j] == Distance(i, j) for
+  /// j in [0, cols()). This is the devirtualized access path the
+  /// monomorphized DFD kernels walk with plain pointer arithmetic.
+  const double* Row(Index i) const {
+    return values_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+
   Index rows() const override { return rows_; }
   Index cols() const override { return cols_; }
   std::size_t MemoryBytes() const override {

@@ -13,6 +13,10 @@ Status ValidateMotifInput(const MotifOptions& options, Index n, Index m) {
   if (n <= 0 || m <= 0) {
     return Status::InvalidArgument("input trajectory is empty");
   }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0, got " +
+                                   std::to_string(options.threads));
+  }
   if (options.variant == MotifVariant::kSingleTrajectory) {
     // Tightest valid candidate: i=0, ie=ξ+1, j=ξ+2, je=2ξ+3 <= n-1.
     const Index needed = 2 * xi + 4;

@@ -31,6 +31,16 @@ struct MotifOptions {
 
   /// Problem variant.
   MotifVariant variant = MotifVariant::kSingleTrajectory;
+
+  /// Worker threads for the bound-precomputation sweep and the subset
+  /// verification batches. 1 (default) runs the canonical serial path;
+  /// 0 means "all hardware threads". Results are bit-identical for every
+  /// setting: work is partitioned statically and merged in a fixed order.
+  /// With threads > 1 the DistanceProvider (and its GroundMetric) must be
+  /// safe for concurrent const access — true of every provider in this
+  /// library, but a custom provider with mutable state (e.g. a memoization
+  /// cache) must synchronize internally.
+  int threads = 1;
 };
 
 /// Validates options against input sizes `n` (rows) and `m` (columns; pass

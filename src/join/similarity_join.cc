@@ -6,8 +6,11 @@
 #include <limits>
 
 #include "geo/great_circle.h"
+#include <functional>
+
 #include "join/grid_index.h"
 #include "similarity/frechet.h"
+#include "util/thread_pool.h"
 
 namespace frechet_motif {
 
@@ -108,6 +111,9 @@ Status ValidateInputs(const std::vector<Trajectory>& left,
   if (left.empty() || right.empty()) {
     return Status::InvalidArgument("join inputs must be non-empty");
   }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("join threads must be >= 0");
+  }
   for (const auto& collection : {&left, &right}) {
     for (const Trajectory& t : *collection) {
       if (t.empty()) {
@@ -122,8 +128,8 @@ Status ValidateInputs(const std::vector<Trajectory>& left,
 /// Resolves one pair through the cascade. Returns true iff it matches.
 bool ResolvePair(const Trajectory& a, const BoundingBox& box_a,
                  const Trajectory& b, const BoundingBox& box_b,
-                 const GroundMetric& metric,
-                 const JoinOptions& options, JoinStats* stats) {
+                 const GroundMetric& metric, const JoinOptions& options,
+                 JoinStats* stats, FrechetScratch* scratch) {
   const double theta = options.threshold;
   if (options.use_pruning) {
     if (BboxGap(box_a, box_b, metric) > theta) {
@@ -144,10 +150,87 @@ bool ResolvePair(const Trajectory& a, const BoundingBox& box_a,
     }
   }
   if (stats != nullptr) ++stats->decided_exact;
-  const StatusOr<bool> within = DiscreteFrechetAtMost(a, b, metric, theta);
+  const StatusOr<bool> within =
+      DiscreteFrechetAtMost(a, b, metric, theta, scratch);
   const bool matched = within.ok() && within.value();
   if (matched && stats != nullptr) ++stats->matched;
   return matched;
+}
+
+void MergeJoinStats(const JoinStats& from, JoinStats* into) {
+  into->pairs_total += from.pairs_total;
+  into->pruned_bbox += from.pruned_bbox;
+  into->pruned_endpoints += from.pruned_endpoints;
+  into->pruned_hausdorff += from.pruned_hausdorff;
+  into->decided_exact += from.decided_exact;
+  into->matched += from.matched;
+}
+
+/// The candidate-pair enumerator: invokes a callback for each candidate in
+/// the canonical (deterministic) order.
+using CandidateEnumerator =
+    std::function<void(const std::function<void(const JoinPair&)>&)>;
+
+/// Runs the pruning cascade + exact decision over the enumerated
+/// candidates. Serial path (threads <= 1): candidates stream straight
+/// through the cascade — no list is materialized, preserving the O(1)
+/// extra memory of the pre-pool implementation. Parallel path: the list
+/// is materialized once and partitioned into contiguous chunks; per-lane
+/// match lists are concatenated in lane order, so the output order (and
+/// content) is identical to the serial loop, and per-lane stats are
+/// summed in lane order. Per-lane FrechetScratch keeps the decision
+/// kernel allocation-free.
+std::vector<JoinPair> ResolveCandidates(const CandidateEnumerator& enumerate,
+                                        const std::vector<Trajectory>& left,
+                                        const std::vector<BoundingBox>& left_boxes,
+                                        const std::vector<Trajectory>& right,
+                                        const std::vector<BoundingBox>& right_boxes,
+                                        const GroundMetric& metric,
+                                        const JoinOptions& options,
+                                        JoinStats* stats) {
+  const int threads = ResolveThreadCount(options.threads);
+  if (threads <= 1) {
+    std::vector<JoinPair> matches;
+    FrechetScratch scratch;
+    enumerate([&](const JoinPair& c) {
+      if (stats != nullptr) ++stats->pairs_total;
+      if (ResolvePair(left[c.li], left_boxes[c.li], right[c.ri],
+                      right_boxes[c.ri], metric, options, stats, &scratch)) {
+        matches.push_back(c);
+      }
+    });
+    return matches;
+  }
+  std::vector<JoinPair> candidates;
+  enumerate([&](const JoinPair& c) { candidates.push_back(c); });
+  if (stats != nullptr) {
+    stats->pairs_total += static_cast<std::int64_t>(candidates.size());
+  }
+  ThreadPool pool(threads);
+  const int lanes = pool.threads();
+  std::vector<std::vector<JoinPair>> lane_matches(lanes);
+  std::vector<JoinStats> lane_stats(lanes);
+  pool.ParallelFor(
+      static_cast<std::int64_t>(candidates.size()),
+      [&](int lane, std::int64_t lo, std::int64_t hi) {
+        FrechetScratch scratch;
+        JoinStats* local = stats != nullptr ? &lane_stats[lane] : nullptr;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          const JoinPair& c = candidates[static_cast<std::size_t>(k)];
+          if (ResolvePair(left[c.li], left_boxes[c.li], right[c.ri],
+                          right_boxes[c.ri], metric, options, local,
+                          &scratch)) {
+            lane_matches[lane].push_back(c);
+          }
+        }
+      });
+  std::vector<JoinPair> matches;
+  for (int lane = 0; lane < lanes; ++lane) {
+    matches.insert(matches.end(), lane_matches[lane].begin(),
+                   lane_matches[lane].end());
+    if (stats != nullptr) MergeJoinStats(lane_stats[lane], stats);
+  }
+  return matches;
 }
 
 }  // namespace
@@ -179,35 +262,37 @@ StatusOr<std::vector<JoinPair>> DfdSimilarityJoin(
   right_boxes.reserve(right.size());
   for (const Trajectory& t : right) right_boxes.push_back(BoundingBox::Of(t));
 
-  std::vector<JoinPair> matches;
+  // Candidate generation (grid-indexed or exhaustive) is cheap and runs
+  // serially; verification streams (threads=1) or fans out over the
+  // enumerated candidates.
   if (options.use_grid_index) {
     const double margin =
         CoordinateMargin(metric, options.threshold, left_boxes, right_boxes);
-    StatusOr<GridIndex> index =
+    const StatusOr<GridIndex> index =
         GridIndex::Build(right_boxes, std::max(margin, 1e-9) * 2.0);
     if (!index.ok()) return index.status();
-    for (std::size_t li = 0; li < left.size(); ++li) {
-      for (const std::size_t ri :
-           index.value().Candidates(left_boxes[li].Expanded(margin))) {
-        if (stats != nullptr) ++stats->pairs_total;
-        if (ResolvePair(left[li], left_boxes[li], right[ri],
-                        right_boxes[ri], metric, options, stats)) {
-          matches.push_back(JoinPair{li, ri});
+    const CandidateEnumerator enumerate =
+        [&](const std::function<void(const JoinPair&)>& emit) {
+          for (std::size_t li = 0; li < left.size(); ++li) {
+            for (const std::size_t ri :
+                 index.value().Candidates(left_boxes[li].Expanded(margin))) {
+              emit(JoinPair{li, ri});
+            }
+          }
+        };
+    return ResolveCandidates(enumerate, left, left_boxes, right, right_boxes,
+                             metric, options, stats);
+  }
+  const CandidateEnumerator enumerate =
+      [&](const std::function<void(const JoinPair&)>& emit) {
+        for (std::size_t li = 0; li < left.size(); ++li) {
+          for (std::size_t ri = 0; ri < right.size(); ++ri) {
+            emit(JoinPair{li, ri});
+          }
         }
-      }
-    }
-    return matches;
-  }
-  for (std::size_t li = 0; li < left.size(); ++li) {
-    for (std::size_t ri = 0; ri < right.size(); ++ri) {
-      if (stats != nullptr) ++stats->pairs_total;
-      if (ResolvePair(left[li], left_boxes[li], right[ri], right_boxes[ri],
-                      metric, options, stats)) {
-        matches.push_back(JoinPair{li, ri});
-      }
-    }
-  }
-  return matches;
+      };
+  return ResolveCandidates(enumerate, left, left_boxes, right, right_boxes,
+                           metric, options, stats);
 }
 
 StatusOr<std::vector<JoinPair>> DfdSelfJoin(
@@ -221,36 +306,35 @@ StatusOr<std::vector<JoinPair>> DfdSelfJoin(
     boxes.push_back(BoundingBox::Of(t));
   }
 
-  std::vector<JoinPair> matches;
   if (options.use_grid_index) {
     const double margin =
         CoordinateMargin(metric, options.threshold, boxes, boxes);
-    StatusOr<GridIndex> index =
+    const StatusOr<GridIndex> index =
         GridIndex::Build(boxes, std::max(margin, 1e-9) * 2.0);
     if (!index.ok()) return index.status();
-    for (std::size_t i = 0; i < trajectories.size(); ++i) {
-      for (const std::size_t j :
-           index.value().Candidates(boxes[i].Expanded(margin))) {
-        if (j <= i) continue;  // unordered pairs once
-        if (stats != nullptr) ++stats->pairs_total;
-        if (ResolvePair(trajectories[i], boxes[i], trajectories[j],
-                        boxes[j], metric, options, stats)) {
-          matches.push_back(JoinPair{i, j});
+    const CandidateEnumerator enumerate =
+        [&](const std::function<void(const JoinPair&)>& emit) {
+          for (std::size_t i = 0; i < trajectories.size(); ++i) {
+            for (const std::size_t j :
+                 index.value().Candidates(boxes[i].Expanded(margin))) {
+              if (j <= i) continue;  // unordered pairs once
+              emit(JoinPair{i, j});
+            }
+          }
+        };
+    return ResolveCandidates(enumerate, trajectories, boxes, trajectories,
+                             boxes, metric, options, stats);
+  }
+  const CandidateEnumerator enumerate =
+      [&](const std::function<void(const JoinPair&)>& emit) {
+        for (std::size_t i = 0; i + 1 < trajectories.size(); ++i) {
+          for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
+            emit(JoinPair{i, j});
+          }
         }
-      }
-    }
-    return matches;
-  }
-  for (std::size_t i = 0; i + 1 < trajectories.size(); ++i) {
-    for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
-      if (stats != nullptr) ++stats->pairs_total;
-      if (ResolvePair(trajectories[i], boxes[i], trajectories[j], boxes[j],
-                      metric, options, stats)) {
-        matches.push_back(JoinPair{i, j});
-      }
-    }
-  }
-  return matches;
+      };
+  return ResolveCandidates(enumerate, trajectories, boxes, trajectories,
+                           boxes, metric, options, stats);
 }
 
 }  // namespace frechet_motif

@@ -69,6 +69,14 @@ struct JoinOptions {
   /// for spread-out collections. Results are identical; JoinStats then
   /// counts only the generated candidates in pairs_total.
   bool use_grid_index = false;
+
+  /// Worker threads for candidate-pair verification. 1 (default) keeps the
+  /// canonical serial path; 0 means "all hardware threads". Candidates are
+  /// partitioned statically and per-lane matches are concatenated in lane
+  /// order, so the result list is identical for every setting. With
+  /// threads > 1 the GroundMetric must be safe for concurrent const
+  /// access (the built-in metrics are stateless).
+  int threads = 1;
 };
 
 /// DFD similarity join (the paper's Section 7 outlook: "other trajectory

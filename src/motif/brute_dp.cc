@@ -22,15 +22,14 @@ StatusOr<MotifResult> BruteDpMotif(const DistanceProvider& dist,
   }
 
   SearchState state;
-  std::vector<double> prev;
-  std::vector<double> curr;
+  FrechetScratch scratch;
   if (stats != nullptr) {
     stats->memory.Add(2 * static_cast<std::size_t>(m) * sizeof(double));
   }
   ForEachValidSubset(options, n, m, [&](Index i, Index j) {
     EvaluateSubset(dist, options, i, j, /*relaxed=*/nullptr,
                    /*use_end_cross=*/false, EndpointCaps{}, &state, stats,
-                   &prev, &curr);
+                   &scratch);
   });
 
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();

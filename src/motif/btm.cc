@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "motif/bounds.h"
 #include "motif/relaxed_bounds.h"
 #include "motif/subset_search.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace frechet_motif {
@@ -20,7 +22,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// so the combined bound of every subset is computed up front, the list is
 /// sorted and handed to the shared best-first loop (Algorithm 2 verbatim).
 MotifResult RunRelaxed(const DistanceProvider& dist, const BtmOptions& options,
-                       const RelaxedBounds& rb, MotifStats* stats) {
+                       const RelaxedBounds& rb, MotifStats* stats,
+                       ThreadPool* pool) {
   const Index n = dist.rows();
   const Index m = dist.cols();
   Timer timer;
@@ -39,8 +42,11 @@ MotifResult RunRelaxed(const DistanceProvider& dist, const BtmOptions& options,
   entries.reserve(
       static_cast<std::size_t>(CountValidSubsets(options.motif, n, m)));
   ForEachValidSubset(options.motif, n, m, [&](Index i, Index j) {
+    entries.push_back(SubsetEntry{0.0, i, j});
+  });
+  FillSubsetBounds(&entries, pool, [&](Index i, Index j) {
     const auto c = components(i, j);
-    entries.push_back(SubsetEntry{std::max({c[0], c[1], c[2]}), i, j});
+    return std::max({c[0], c[1], c[2]});
   });
   if (stats != nullptr) {
     stats->total_subsets = static_cast<std::int64_t>(entries.size());
@@ -53,7 +59,7 @@ MotifResult RunRelaxed(const DistanceProvider& dist, const BtmOptions& options,
   SearchState state;
   RunSubsetQueue(dist, options.motif, &entries, &rb, options.use_end_cross,
                  options.sort_subsets, &state, stats, /*caps=*/nullptr,
-                 1.0 + options.approximation_epsilon);
+                 1.0 + options.approximation_epsilon, pool);
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
 
   // Figure 15 accounting: classify each subset by the first bound in the
@@ -85,7 +91,8 @@ MotifResult RunRelaxed(const DistanceProvider& dist, const BtmOptions& options,
 /// lazily, per subset, in the cascade order — each either prunes the subset
 /// or is followed by the shared DP.
 MotifResult RunTight(const DistanceProvider& dist, const BtmOptions& options,
-                     const RelaxedBounds* rb, MotifStats* stats) {
+                     const RelaxedBounds* rb, MotifStats* stats,
+                     ThreadPool* pool) {
   const Index n = dist.rows();
   const Index m = dist.cols();
   Timer timer;
@@ -94,8 +101,10 @@ MotifResult RunTight(const DistanceProvider& dist, const BtmOptions& options,
   entries.reserve(
       static_cast<std::size_t>(CountValidSubsets(options.motif, n, m)));
   ForEachValidSubset(options.motif, n, m, [&](Index i, Index j) {
-    const double lb = options.use_cell ? LbCell(dist, i, j) : -kInf;
-    entries.push_back(SubsetEntry{lb, i, j});
+    entries.push_back(SubsetEntry{0.0, i, j});
+  });
+  FillSubsetBounds(&entries, pool, [&](Index i, Index j) {
+    return options.use_cell ? LbCell(dist, i, j) : -kInf;
   });
   if (options.sort_subsets) {
     std::sort(entries.begin(), entries.end(),
@@ -113,8 +122,7 @@ MotifResult RunTight(const DistanceProvider& dist, const BtmOptions& options,
   timer.Restart();
   SearchState state;
   const double lb_scale = 1.0 + options.approximation_epsilon;
-  std::vector<double> prev;
-  std::vector<double> curr;
+  FrechetScratch scratch;
   for (std::size_t k = 0; k < entries.size(); ++k) {
     const SubsetEntry& e = entries[k];
     if (e.lb * lb_scale > state.threshold) {
@@ -144,7 +152,7 @@ MotifResult RunTight(const DistanceProvider& dist, const BtmOptions& options,
       continue;
     }
     EvaluateSubset(dist, options.motif, e.i, e.j, rb, options.use_end_cross,
-                   EndpointCaps{}, &state, stats, &prev, &curr);
+                   EndpointCaps{}, &state, stats, &scratch);
   }
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
 
@@ -165,13 +173,23 @@ StatusOr<MotifResult> BtmMotif(const DistanceProvider& dist,
 
   if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
 
+  // Worker pool for the bound sweep and the verification batches; absent
+  // (null) on the default threads=1 serial path.
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  const int threads = ResolveThreadCount(options.motif.threads);
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
+
   // Relaxed-bound arrays serve both the relaxed subset bounds and the
   // end-cross / endpoint-cap pruning inside the DP.
   const bool need_relaxed = options.relaxed || options.use_end_cross;
   RelaxedBounds rb;
   if (need_relaxed) {
     Timer timer;
-    rb = RelaxedBounds::Build(dist, options.motif);
+    rb = RelaxedBounds::Build(dist, options.motif, pool);
     if (stats != nullptr) {
       stats->memory.Add(rb.MemoryBytes());
       stats->precompute_seconds += timer.ElapsedSeconds();
@@ -179,9 +197,9 @@ StatusOr<MotifResult> BtmMotif(const DistanceProvider& dist,
   }
 
   if (options.relaxed) {
-    return RunRelaxed(dist, options, rb, stats);
+    return RunRelaxed(dist, options, rb, stats, pool);
   }
-  return RunTight(dist, options, need_relaxed ? &rb : nullptr, stats);
+  return RunTight(dist, options, need_relaxed ? &rb : nullptr, stats, pool);
 }
 
 StatusOr<MotifResult> BtmMotif(const Trajectory& s, const GroundMetric& metric,

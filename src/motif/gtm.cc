@@ -1,12 +1,14 @@
 #include "motif/gtm.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "motif/group.h"
 #include "motif/relaxed_bounds.h"
 #include "motif/subset_search.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace frechet_motif {
@@ -80,9 +82,19 @@ StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
   Timer timer;
   if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
 
+  // Worker pool for the bound sweeps and the final verification phase;
+  // absent (null) on the default threads=1 serial path.
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  const int threads = ResolveThreadCount(options.motif.threads);
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
+
   // Point-level relaxed bounds, used in the final phase and for end-cross
   // pruning inside the shared DP.
-  const RelaxedBounds rb = RelaxedBounds::Build(dist, options.motif);
+  const RelaxedBounds rb = RelaxedBounds::Build(dist, options.motif, pool);
   if (stats != nullptr) {
     stats->memory.Add(rb.MemoryBytes());
     stats->total_subsets = CountValidSubsets(options.motif, n, m);
@@ -140,10 +152,7 @@ StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
   std::vector<SubsetEntry> entries;
   const MotifOptions& motif = options.motif;
   auto add_entry = [&](Index i, Index j) {
-    const double lb =
-        std::max({dist.Distance(i, j), rb.StartCross(i, j), rb.BandRow(j),
-                  rb.BandCol(i)});
-    entries.push_back(SubsetEntry{lb, i, j});
+    entries.push_back(SubsetEntry{0.0, i, j});
   };
   if (have_pairs) {
     for (const auto& [i, j] : pairs) {
@@ -153,11 +162,17 @@ StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
     // τ was 1 from the start: degenerate to plain BTM over all subsets.
     ForEachValidSubset(motif, n, m, add_entry);
   }
+  // Bound sweep over the surviving subsets, sharded when a pool is given.
+  FillSubsetBounds(&entries, pool, [&](Index i, Index j) {
+    return std::max({dist.Distance(i, j), rb.StartCross(i, j), rb.BandRow(j),
+                     rb.BandCol(i)});
+  });
   if (stats != nullptr) {
     stats->memory.Add(entries.capacity() * sizeof(SubsetEntry));
   }
   RunSubsetQueue(dist, motif, &entries, &rb, options.use_end_cross,
-                 /*sort_entries=*/true, &state, stats);
+                 /*sort_entries=*/true, &state, stats, /*caps=*/nullptr,
+                 /*lb_scale=*/1.0, pool);
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
 
   MotifResult result;

@@ -1,11 +1,13 @@
 #include "motif/gtm_star.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "motif/group.h"
 #include "motif/relaxed_bounds.h"
 #include "motif/subset_search.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace frechet_motif {
@@ -34,11 +36,21 @@ StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
   Timer timer;
   if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
 
+  // Worker pool for the bound sweep and the block verification batches;
+  // absent (null) on the default threads=1 serial path.
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  const int threads = ResolveThreadCount(motif.threads);
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
+
   // Single grouping pass at τ (Idea iii) and O(n+m)-space relaxed bounds;
   // both scan the provider on the fly (Idea i).
   const Grouping grouping = Grouping::Build(dist, motif,
                                             options.group_size_tau);
-  const RelaxedBounds rb = RelaxedBounds::Build(dist, motif);
+  const RelaxedBounds rb = RelaxedBounds::Build(dist, motif, pool);
   if (stats != nullptr) {
     stats->memory.Add(grouping.MemoryBytes());
     stats->memory.Add(rb.MemoryBytes());
@@ -110,7 +122,8 @@ StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
       }
     }
     RunSubsetQueue(dist, motif, &block, &rb, options.use_end_cross,
-                   /*sort_entries=*/true, &state, stats, &caps);
+                   /*sort_entries=*/true, &state, stats, &caps,
+                   /*lb_scale=*/1.0, pool);
   }
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
 

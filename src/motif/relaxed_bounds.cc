@@ -30,7 +30,8 @@ std::vector<double> SlidingWindowMax(const std::vector<double>& values,
 }
 
 RelaxedBounds RelaxedBounds::Build(const DistanceProvider& dist,
-                                   const MotifOptions& options) {
+                                   const MotifOptions& options,
+                                   ThreadPool* pool) {
   const Index n = dist.rows();
   const Index m = dist.cols();
   const bool single = options.variant == MotifVariant::kSingleTrajectory;
@@ -40,40 +41,59 @@ RelaxedBounds RelaxedBounds::Build(const DistanceProvider& dist,
   rb.rmin_full_.assign(m, kInf);
   rb.cmin_.assign(n, kInf);
   rb.cmin_full_.assign(n, kInf);
+  rb.cmin_start_.assign(n, kInf);
 
-  // Rmin[j]: scan column j+1 over the admissible first-index prefix.
-  for (Index j = 0; j + 1 <= m - 1; ++j) {
-    const Index c_restricted_hi = single ? j - 1 : n - 1;
-    double full = kInf;
-    double restricted = kInf;
-    for (Index c = 0; c <= n - 1; ++c) {
-      const double d = dist.Distance(c, j + 1);
-      full = std::min(full, d);
-      if (c <= c_restricted_hi) restricted = std::min(restricted, d);
+  // Rmin[j]: scan column j+1 over the admissible first-index prefix. Each
+  // j writes only its own output slots, so the sweep shards freely.
+  const auto rmin_sweep = [&](Index j_lo, Index j_hi) {
+    for (Index j = j_lo; j < j_hi; ++j) {
+      if (j + 1 > m - 1) continue;
+      const Index c_restricted_hi = single ? j - 1 : n - 1;
+      double full = kInf;
+      double restricted = kInf;
+      for (Index c = 0; c <= n - 1; ++c) {
+        const double d = dist.Distance(c, j + 1);
+        full = std::min(full, d);
+        if (c <= c_restricted_hi) restricted = std::min(restricted, d);
+      }
+      rb.rmin_full_[j] = full;
+      rb.rmin_[j] = restricted;
     }
-    rb.rmin_full_[j] = full;
-    rb.rmin_[j] = restricted;
-  }
+  };
 
   // Cmin[i]: scan row i+1 over the admissible second-index suffix. Two
   // restrictions coexist (see header): end-cell queries admit j >= i+1,
   // start-cell and band queries admit j >= i+3.
-  rb.cmin_start_.assign(n, kInf);
-  for (Index i = 0; i + 1 <= n - 1; ++i) {
-    const Index r_end_lo = single ? i + 1 : 0;
-    const Index r_start_lo = single ? i + 3 : 0;
-    double full = kInf;
-    double end_restricted = kInf;
-    double start_restricted = kInf;
-    for (Index r = 0; r <= m - 1; ++r) {
-      const double d = dist.Distance(i + 1, r);
-      full = std::min(full, d);
-      if (r >= r_end_lo) end_restricted = std::min(end_restricted, d);
-      if (r >= r_start_lo) start_restricted = std::min(start_restricted, d);
+  const auto cmin_sweep = [&](Index i_lo, Index i_hi) {
+    for (Index i = i_lo; i < i_hi; ++i) {
+      if (i + 1 > n - 1) continue;
+      const Index r_end_lo = single ? i + 1 : 0;
+      const Index r_start_lo = single ? i + 3 : 0;
+      double full = kInf;
+      double end_restricted = kInf;
+      double start_restricted = kInf;
+      for (Index r = 0; r <= m - 1; ++r) {
+        const double d = dist.Distance(i + 1, r);
+        full = std::min(full, d);
+        if (r >= r_end_lo) end_restricted = std::min(end_restricted, d);
+        if (r >= r_start_lo) start_restricted = std::min(start_restricted, d);
+      }
+      rb.cmin_full_[i] = full;
+      rb.cmin_[i] = end_restricted;
+      rb.cmin_start_[i] = start_restricted;
     }
-    rb.cmin_full_[i] = full;
-    rb.cmin_[i] = end_restricted;
-    rb.cmin_start_[i] = start_restricted;
+  };
+
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->ParallelFor(m, [&](int, std::int64_t lo, std::int64_t hi) {
+      rmin_sweep(static_cast<Index>(lo), static_cast<Index>(hi));
+    });
+    pool->ParallelFor(n, [&](int, std::int64_t lo, std::int64_t hi) {
+      cmin_sweep(static_cast<Index>(lo), static_cast<Index>(hi));
+    });
+  } else {
+    rmin_sweep(0, m);
+    cmin_sweep(0, n);
   }
 
   rb.band_row_ = SlidingWindowMax(rb.rmin_, options.min_length_xi);

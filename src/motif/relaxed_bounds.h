@@ -6,6 +6,7 @@
 
 #include "core/distance_matrix.h"
 #include "core/options.h"
+#include "util/thread_pool.h"
 
 namespace frechet_motif {
 
@@ -38,8 +39,13 @@ class RelaxedBounds {
 
   /// Runs the precomputation pass. O(n·m) distance evaluations,
   /// O(n+m) memory — compatible with GTM*'s on-the-fly provider.
+  ///
+  /// `pool` (optional) shards the row/column sweeps across its lanes; each
+  /// output index is written by exactly one iteration, so the result is
+  /// bit-identical to the serial pass.
   static RelaxedBounds Build(const DistanceProvider& dist,
-                             const MotifOptions& options);
+                             const MotifOptions& options,
+                             ThreadPool* pool = nullptr);
 
   /// Relaxed row bound for any subset with second start index j.
   double Rmin(Index j) const { return rmin_[j]; }

@@ -1,22 +1,25 @@
 #include "motif/subset_search.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 
 namespace frechet_motif {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
 
-void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
-                    Index i, Index j, const RelaxedBounds* relaxed,
-                    bool use_end_cross, const EndpointCaps& caps,
-                    SearchState* state, MotifStats* stats,
-                    std::vector<double>* prev_scratch,
-                    std::vector<double>* row_scratch) {
-  const Index n = dist.rows();
-  const Index m = dist.cols();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The shared subset DP, templated on the ground-distance accessor so that
+/// the matrix-backed instantiation inlines to raw row-major loads (the
+/// devirtualized hot path) while any other provider keeps the generic
+/// virtual-call instantiation. `dist_at(r, c)` uses absolute indices.
+template <typename DistFn>
+void EvaluateSubsetImpl(const DistFn& dist_at, Index n, Index m,
+                        const MotifOptions& options, Index i, Index j,
+                        const RelaxedBounds* relaxed, bool use_end_cross,
+                        const EndpointCaps& caps, SearchState* state,
+                        MotifStats* stats, FrechetScratch* scratch) {
   const Index xi = options.min_length_xi;
   const bool single = options.variant == MotifVariant::kSingleTrajectory;
   const Index ie_max =
@@ -26,19 +29,23 @@ void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
 
   if (ie_max <= i || width <= 0) return;
 
-  std::vector<double>& prev = *prev_scratch;
-  std::vector<double>& curr = *row_scratch;
-  if (static_cast<Index>(prev.size()) < width) {
-    prev.resize(width);
-    curr.resize(width);
-  }
+  std::vector<double>& prev = scratch->prev;
+  std::vector<double>& curr = scratch->row;
+  // Guard the two rows independently: other kernels grow scratch->row on
+  // their own, and the swap below exchanges the members, so their sizes
+  // can legitimately differ on entry.
+  if (static_cast<Index>(prev.size()) < width) prev.resize(width);
+  if (static_cast<Index>(curr.size()) < width) curr.resize(width);
 
   std::int64_t cells = 0;
 
   // Init row ie = i: dF(i, i, j, je) = running max of dG(i, j..je).
-  prev[0] = dist.Distance(i, j);
+  double running = dist_at(i, j);
+  prev[0] = running;
   for (Index q = 1; q < width; ++q) {
-    prev[q] = std::max(prev[q - 1], dist.Distance(i, j + q));
+    const double d = dist_at(i, j + q);
+    if (d > running) running = d;
+    prev[q] = running;
   }
   cells += width;
 
@@ -48,7 +55,7 @@ void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
     const bool endpoint_row = ie >= i + xi + 1;
     Index live = 0;  // cells of this row that are not frozen
     // First column je = j (never a valid endpoint: je must exceed j+xi).
-    curr[0] = prev[0] == kInf ? kInf : std::max(prev[0], dist.Distance(ie, j));
+    curr[0] = prev[0] == kInf ? kInf : std::max(prev[0], dist_at(ie, j));
     if (curr[0] != kInf && pruning && relaxed->Cmin(ie) > state->threshold &&
         relaxed->Rmin(j) > state->threshold) {
       curr[0] = kInf;
@@ -61,7 +68,7 @@ void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
       if (best_predecessor == kInf) {
         v = kInf;  // unreachable through frozen frontier
       } else {
-        v = std::max(dist.Distance(ie, j + q), best_predecessor);
+        v = std::max(dist_at(ie, j + q), best_predecessor);
       }
       const Index je = j + q;
       if (v != kInf) {
@@ -96,23 +103,70 @@ void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
   }
 }
 
-void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
-                    std::vector<SubsetEntry>* entries,
-                    const RelaxedBounds* relaxed, bool use_end_cross,
-                    bool sort_entries, SearchState* state, MotifStats* stats,
-                    EndpointCaps* caps_io, double lb_scale) {
-  if (sort_entries) {
-    std::sort(entries->begin(), entries->end(),
-              [](const SubsetEntry& a, const SubsetEntry& b) {
-                return a.lb < b.lb;
-              });
+/// Devirtualized absolute-index accessor over a materialized matrix.
+struct MatrixDist {
+  const double* base;
+  std::size_t stride;
+  double operator()(Index r, Index c) const {
+    return base[static_cast<std::size_t>(r) * stride +
+                static_cast<std::size_t>(c)];
   }
+};
+
+/// Accumulates the counters EvaluateSubset touches, for the deterministic
+/// in-order merge of parallel batches.
+void MergeEvaluationStats(const MotifStats& from, MotifStats* into) {
+  into->subsets_evaluated += from.subsets_evaluated;
+  into->dfd_cells_computed += from.dfd_cells_computed;
+  into->bsf_updates += from.bsf_updates;
+}
+
+}  // namespace
+
+void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
+                    Index i, Index j, const RelaxedBounds* relaxed,
+                    bool use_end_cross, const EndpointCaps& caps,
+                    SearchState* state, MotifStats* stats,
+                    FrechetScratch* scratch) {
+  const Index n = dist.rows();
+  const Index m = dist.cols();
+  if (const auto* matrix = dynamic_cast<const DistanceMatrix*>(&dist)) {
+    const MatrixDist at{matrix->Row(0), static_cast<std::size_t>(m)};
+    EvaluateSubsetImpl(at, n, m, options, i, j, relaxed, use_end_cross, caps,
+                       state, stats, scratch);
+    return;
+  }
+  const auto at = [&dist](Index r, Index c) { return dist.Distance(r, c); };
+  EvaluateSubsetImpl(at, n, m, options, i, j, relaxed, use_end_cross, caps,
+                     state, stats, scratch);
+}
+
+namespace {
+
+/// Shrinks the global endpoint caps after a best-so-far improvement
+/// (Algorithm 2 lines 12-13, both axes), justified by whole-row/column
+/// minima: candidates ending beyond the capped index cross a row or column
+/// whose best ground distance already exceeds the threshold.
+void TightenCaps(const RelaxedBounds& relaxed, const SearchState& state,
+                 EndpointCaps* caps) {
+  if (relaxed.RminFull(state.best.je) > state.threshold) {
+    caps->je_cap = std::min(caps->je_cap, state.best.je);
+  }
+  if (relaxed.CminFull(state.best.ie) > state.threshold) {
+    caps->ie_cap = std::min(caps->ie_cap, state.best.ie);
+  }
+}
+
+void RunSubsetQueueSerial(const DistanceProvider& dist,
+                          const MotifOptions& options,
+                          const std::vector<SubsetEntry>& entries,
+                          const RelaxedBounds* relaxed, bool use_end_cross,
+                          bool sort_entries, SearchState* state,
+                          MotifStats* stats, EndpointCaps& caps,
+                          double lb_scale) {
   const Index xi = options.min_length_xi;
-  EndpointCaps local_caps;
-  EndpointCaps& caps = caps_io != nullptr ? *caps_io : local_caps;
-  std::vector<double> prev;
-  std::vector<double> curr;
-  for (const SubsetEntry& entry : *entries) {
+  FrechetScratch scratch;
+  for (const SubsetEntry& entry : entries) {
     if (entry.lb * lb_scale > state->threshold) {
       // With a sorted queue every remaining bound is at least as large, so
       // the search is complete (best-first paradigm of Algorithm 2).
@@ -125,19 +179,131 @@ void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
     }
     const double threshold_before = state->threshold;
     EvaluateSubset(dist, options, entry.i, entry.j, relaxed, use_end_cross,
-                   caps, state, stats, &prev, &curr);
+                   caps, state, stats, &scratch);
     if (relaxed != nullptr && state->found &&
         state->threshold < threshold_before) {
-      // Algorithm 2 lines 12-13 (both axes), justified by whole-row/column
-      // minima: candidates ending beyond the capped index cross a row or
-      // column whose best ground distance already exceeds the threshold.
-      if (relaxed->RminFull(state->best.je) > state->threshold) {
-        caps.je_cap = std::min(caps.je_cap, state->best.je);
-      }
-      if (relaxed->CminFull(state->best.ie) > state->threshold) {
-        caps.ie_cap = std::min(caps.ie_cap, state->best.ie);
-      }
+      TightenCaps(*relaxed, *state, &caps);
     }
+  }
+}
+
+void RunSubsetQueueParallel(const DistanceProvider& dist,
+                            const MotifOptions& options,
+                            const std::vector<SubsetEntry>& entries,
+                            const RelaxedBounds* relaxed, bool use_end_cross,
+                            bool sort_entries, SearchState* state,
+                            MotifStats* stats, EndpointCaps& caps,
+                            double lb_scale, ThreadPool* pool) {
+  const Index xi = options.min_length_xi;
+  const int lanes = pool->threads();
+  std::vector<FrechetScratch> scratch(lanes);
+  std::vector<SearchState> lane_state(lanes);
+  std::vector<MotifStats> lane_stats(lanes);
+  std::vector<std::size_t> batch;
+  batch.reserve(lanes);
+
+  std::size_t k = 0;
+  bool done = false;
+  while (!done && k < entries.size()) {
+    // Admit the next up-to-`lanes` subsets the serial loop could not have
+    // skipped for sure: the lb and cap tests use the batch-start state, so
+    // the batch may contain a few subsets the serial order would have
+    // pruned — harmless, they only re-derive candidates above the
+    // threshold (see header contract).
+    batch.clear();
+    while (k < entries.size() && static_cast<int>(batch.size()) < lanes) {
+      const SubsetEntry& entry = entries[k];
+      if (entry.lb * lb_scale > state->threshold) {
+        if (sort_entries) {
+          done = true;
+          break;
+        }
+        ++k;
+        continue;
+      }
+      if (entry.j > caps.je_cap - xi - 1 || entry.i > caps.ie_cap - xi - 1) {
+        ++k;
+        continue;
+      }
+      batch.push_back(k);
+      ++k;
+    }
+    if (batch.empty()) continue;
+
+    const double threshold_before = state->threshold;
+    pool->RunOnAllLanes([&](int lane) {
+      if (lane >= static_cast<int>(batch.size())) return;
+      lane_state[lane] = *state;  // frozen snapshot of threshold/best
+      lane_stats[lane] = MotifStats{};
+      const SubsetEntry& entry = entries[batch[static_cast<std::size_t>(
+          lane)]];
+      EvaluateSubset(dist, options, entry.i, entry.j, relaxed, use_end_cross,
+                     caps, &lane_state[lane],
+                     stats != nullptr ? &lane_stats[lane] : nullptr,
+                     &scratch[lane]);
+    });
+
+    // Deterministic merge in queue order: strict-< comparisons reproduce
+    // the serial first-wins tie-breaking.
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      SearchState& ls = lane_state[b];
+      if (ls.best_distance < state->best_distance) {
+        state->Record(ls.best, ls.best_distance);
+      }
+      if (ls.threshold < state->threshold) state->threshold = ls.threshold;
+      if (stats != nullptr) MergeEvaluationStats(lane_stats[b], stats);
+    }
+    if (relaxed != nullptr && state->found &&
+        state->threshold < threshold_before) {
+      TightenCaps(*relaxed, *state, &caps);
+    }
+  }
+}
+
+}  // namespace
+
+void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
+                    std::vector<SubsetEntry>* entries,
+                    const RelaxedBounds* relaxed, bool use_end_cross,
+                    bool sort_entries, SearchState* state, MotifStats* stats,
+                    EndpointCaps* caps_io, double lb_scale, ThreadPool* pool) {
+  if (sort_entries) {
+    std::sort(entries->begin(), entries->end(),
+              [](const SubsetEntry& a, const SubsetEntry& b) {
+                return a.lb < b.lb;
+              });
+  }
+  EndpointCaps local_caps;
+  EndpointCaps& caps = caps_io != nullptr ? *caps_io : local_caps;
+  // Approximate mode (lb_scale > 1) must stay serial: a subset the serial
+  // loop skips under the scaled bound may hold a candidate *better* than
+  // the running best, so a batch admitted against a stale threshold could
+  // legitimately return a different (1+ε)-valid answer. Exact mode has no
+  // such subsets — skipped means provably worse — which is what makes the
+  // parallel path bit-identical.
+  if (pool != nullptr && pool->threads() > 1 && lb_scale == 1.0) {
+    RunSubsetQueueParallel(dist, options, *entries, relaxed, use_end_cross,
+                           sort_entries, state, stats, caps, lb_scale, pool);
+    return;
+  }
+  RunSubsetQueueSerial(dist, options, *entries, relaxed, use_end_cross,
+                       sort_entries, state, stats, caps, lb_scale);
+}
+
+void FillSubsetBounds(std::vector<SubsetEntry>* entries, ThreadPool* pool,
+                      const std::function<double(Index, Index)>& bound) {
+  const auto fill = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = lo; k < hi; ++k) {
+      SubsetEntry& e = (*entries)[static_cast<std::size_t>(k)];
+      e.lb = bound(e.i, e.j);
+    }
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->ParallelFor(
+        static_cast<std::int64_t>(entries->size()),
+        [&](int, std::int64_t lo, std::int64_t hi) { fill(lo, hi); });
+  } else {
+    fill(0, static_cast<std::int64_t>(entries->size()));
   }
 }
 

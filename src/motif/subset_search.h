@@ -9,6 +9,8 @@
 #include "core/options.h"
 #include "motif/relaxed_bounds.h"
 #include "motif/stats.h"
+#include "similarity/frechet.h"
+#include "util/thread_pool.h"
 
 namespace frechet_motif {
 
@@ -52,9 +54,14 @@ struct EndpointCaps {
 /// computing dF(i, ie, j, je) for all end pairs, updating `state` with every
 /// valid candidate (Algorithm 1 lines 4-13 / Algorithm 2 lines 6-13).
 ///
-/// Uses two rolling DP rows (O(m) space — GTM*'s Idea (ii)); `row_scratch`
-/// and `prev_scratch` are caller-provided buffers reused across subsets to
-/// avoid re-allocation, resized on demand.
+/// Uses two rolling DP rows (O(m) space — GTM*'s Idea (ii)) held in the
+/// caller-provided `scratch`, reused across subsets so no evaluation
+/// allocates after warm-up.
+///
+/// When `dist` is a DistanceMatrix the DP inner loop runs monomorphized
+/// over the row-major storage (no virtual call per cell); any other
+/// provider takes the generic virtual-dispatch path. Results are
+/// bit-identical either way.
 ///
 /// When `relaxed` is non-null and `use_end_cross` is set, applies the
 /// end-cell cross bound (Equation 9): a DP cell whose extensions are all
@@ -66,8 +73,7 @@ void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
                     Index i, Index j, const RelaxedBounds* relaxed,
                     bool use_end_cross, const EndpointCaps& caps,
                     SearchState* state, MotifStats* stats,
-                    std::vector<double>* prev_scratch,
-                    std::vector<double>* row_scratch);
+                    FrechetScratch* scratch);
 
 /// A candidate subset queued for evaluation, with its combined lower bound.
 struct SubsetEntry {
@@ -94,11 +100,37 @@ struct SubsetEntry {
 /// (1+ε) times the optimum: whenever the optimum's subset is skipped, the
 /// best-so-far at that moment is already below (1+ε)·LB <= (1+ε)·optimum.
 /// lb_scale = 1 (default) keeps the search exact.
+///
+/// `pool` (optional) parallelizes the verification: batches of up to
+/// pool->threads() queue-eligible subsets are evaluated concurrently, each
+/// against a frozen snapshot of the search state, and the per-subset
+/// improvements are merged back in queue order. Because the end-cross
+/// freeze and the endpoint caps only ever discard candidates that are
+/// provably worse than the running threshold (which only tightens), a
+/// stale snapshot threshold prunes less but never changes which candidate
+/// wins — the returned motif (candidate, distance, found) is bit-identical
+/// to the serial path. Effort counters (subsets_evaluated,
+/// dfd_cells_computed, bsf_updates) may legitimately differ from the
+/// serial run — a batch is admitted against the batch-start threshold —
+/// but total_subsets and the pruning-soundness invariants do not.
+/// Exception: approximate mode (lb_scale > 1) ignores `pool` and runs
+/// serially — there a skipped subset may hold a better-than-best
+/// candidate, so batching could change which (1+ε)-valid answer is
+/// returned.
 void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
                     std::vector<SubsetEntry>* entries,
                     const RelaxedBounds* relaxed, bool use_end_cross,
                     bool sort_entries, SearchState* state, MotifStats* stats,
-                    EndpointCaps* caps = nullptr, double lb_scale = 1.0);
+                    EndpointCaps* caps = nullptr, double lb_scale = 1.0,
+                    ThreadPool* pool = nullptr);
+
+/// Fills entries[k].lb = bound(entries[k].i, entries[k].j) for every
+/// entry, sharded across `pool` when one is given (null or single-lane
+/// runs serially). Each index is written by exactly one lane, so the
+/// parallel sweep is bit-identical to the serial one. Shared by the
+/// algorithms' bound-precomputation phases.
+void FillSubsetBounds(std::vector<SubsetEntry>* entries, ThreadPool* pool,
+                      const std::function<double(Index, Index)>& bound);
 
 /// Invokes `fn(i, j)` for every candidate subset CS(i,j) that admits at
 /// least one valid candidate under `options`, in row-major order.

@@ -85,15 +85,14 @@ StatusOr<std::vector<MotifResult>> TopKMotifs(const DistanceProvider& dist,
   };
 
   std::vector<PoolEntry> pool;
-  std::vector<double> prev;
-  std::vector<double> curr;
+  FrechetScratch scratch;
   for (const SubsetEntry& e : entries) {
     if (e.lb > prune_threshold()) break;  // sorted: the rest are larger
     SearchState local;
     local.threshold = prune_threshold();
     EvaluateSubset(dist, options.motif, e.i, e.j, &rb,
                    /*use_end_cross=*/true, EndpointCaps{}, &local, stats,
-                   &prev, &curr);
+                   &scratch);
     if (!local.found) continue;  // whole subset above the threshold
     pool.push_back(PoolEntry{local.best_distance, local.best});
     best_k.push(local.best_distance);

@@ -9,52 +9,137 @@ namespace {
 /// Core rolling-row DP over an abstract distance accessor.
 /// dist(p, q) must return the ground distance between the p-th point of the
 /// first sequence (length la) and the q-th point of the second (length lb).
+///
+/// This template is the single source of truth for the recurrence; it is
+/// instantiated once per accessor so that cheap accessors (the row-major
+/// matrix functor below) inline into the loop with no virtual dispatch.
+///
+/// Threshold early exit: after finishing row p, the frontier minimum
+/// min_q dF(p, q) lower-bounds the final value (every monotone coupling
+/// path crosses row p somewhere and DP values only grow along a path).
+/// When that minimum exceeds `threshold` the function returns it — a lower
+/// bound above the threshold — without touching the remaining rows.
 template <typename DistFn>
-double FrechetDp(Index la, Index lb, const DistFn& dist) {
-  // One DP row over the second sequence; prev[q] = dF(prefix p-1, prefix q).
-  std::vector<double> row(static_cast<std::size_t>(lb));
-  // First row: dF(a[0..0], b[0..q]) = max over the first q+1 ground
-  // distances (the dog stands still while the man walks).
-  row[0] = dist(0, 0);
-  for (Index q = 1; q < lb; ++q) {
-    row[q] = std::max(row[q - 1], dist(0, q));
+double FrechetDpKernel(Index la, Index lb, const DistFn& dist,
+                       double threshold, std::vector<double>& row) {
+  if (static_cast<Index>(row.size()) < lb) {
+    row.resize(static_cast<std::size_t>(lb));
   }
+  // First row: dF(a[0..0], b[0..q]) = max over the first q+1 ground
+  // distances (the dog stands still while the man walks). The running max
+  // is carried in a register instead of re-read from row[q-1].
+  double running = dist(0, 0);
+  row[0] = running;
+  for (Index q = 1; q < lb; ++q) {
+    const double d = dist(0, q);
+    if (d > running) running = d;
+    row[q] = running;
+  }
+  const bool bounded = threshold != kNoFrechetThreshold;
   for (Index p = 1; p < la; ++p) {
     double diag = row[0];  // dF(p-1, 0)
-    row[0] = std::max(row[0], dist(p, 0));
-    for (Index q = 1; q < lb; ++q) {
-      const double up = row[q];        // dF(p-1, q)
-      const double left = row[q - 1];  // dF(p, q-1)
-      const double best_predecessor = std::min({up, left, diag});
-      row[q] = std::max(dist(p, q), best_predecessor);
-      diag = up;
+    double left = std::max(row[0], dist(p, 0));
+    row[0] = left;
+    if (bounded) {
+      double frontier_min = left;
+      for (Index q = 1; q < lb; ++q) {
+        const double up = row[q];  // dF(p-1, q)
+        double best_predecessor = diag < up ? diag : up;
+        if (left < best_predecessor) best_predecessor = left;
+        const double d = dist(p, q);
+        left = d > best_predecessor ? d : best_predecessor;
+        row[q] = left;
+        if (left < frontier_min) frontier_min = left;
+        diag = up;
+      }
+      if (frontier_min > threshold) return frontier_min;
+    } else {
+      // No threshold: skip the frontier-minimum bookkeeping so the inner
+      // loop carries only the recurrence's own dependency chain.
+      for (Index q = 1; q < lb; ++q) {
+        const double up = row[q];  // dF(p-1, q)
+        double best_predecessor = diag < up ? diag : up;
+        if (left < best_predecessor) best_predecessor = left;
+        const double d = dist(p, q);
+        left = d > best_predecessor ? d : best_predecessor;
+        row[q] = left;
+        diag = up;
+      }
     }
   }
   return row[static_cast<std::size_t>(lb) - 1];
 }
 
-}  // namespace
-
-StatusOr<double> DiscreteFrechet(const Trajectory& a, const Trajectory& b,
-                                 const GroundMetric& metric) {
-  if (a.empty() || b.empty()) {
-    return Status::InvalidArgument(
-        "discrete Fréchet distance of an empty trajectory is undefined");
+/// Devirtualized accessor into a row-major matrix block whose (0, 0) cell
+/// sits at `base`: pure pointer arithmetic, trivially inlined.
+struct MatrixBlockDist {
+  const double* base;
+  std::size_t stride;
+  double operator()(Index p, Index q) const {
+    return base[static_cast<std::size_t>(p) * stride +
+                static_cast<std::size_t>(q)];
   }
-  return FrechetDp(a.size(), b.size(), [&](Index p, Index q) {
-    return metric.Distance(a[p], b[q]);
-  });
-}
+};
 
-StatusOr<double> DiscreteFrechetOnRange(const DistanceProvider& dist, Index i,
-                                        Index ie, Index j, Index je) {
+Status ValidateRange(const DistanceProvider& dist, Index i, Index ie, Index j,
+                     Index je) {
   if (i < 0 || j < 0 || i > ie || j > je || ie >= dist.rows() ||
       je >= dist.cols()) {
     return Status::InvalidArgument("invalid subtrajectory range");
   }
-  return FrechetDp(ie - i + 1, je - j + 1, [&](Index p, Index q) {
-    return dist.Distance(i + p, j + q);
-  });
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<double> DiscreteFrechet(const Trajectory& a, const Trajectory& b,
+                                 const GroundMetric& metric,
+                                 FrechetScratch* scratch) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "discrete Fréchet distance of an empty trajectory is undefined");
+  }
+  FrechetScratch local;
+  FrechetScratch& s = scratch != nullptr ? *scratch : local;
+  return FrechetDpKernel(
+      a.size(), b.size(),
+      [&](Index p, Index q) { return metric.Distance(a[p], b[q]); },
+      kNoFrechetThreshold, s.row);
+}
+
+StatusOr<double> DiscreteFrechetOnRange(const DistanceMatrix& dist, Index i,
+                                        Index ie, Index j, Index je,
+                                        double threshold,
+                                        FrechetScratch* scratch) {
+  FM_RETURN_IF_ERROR(ValidateRange(dist, i, ie, j, je));
+  FrechetScratch local;
+  FrechetScratch& s = scratch != nullptr ? *scratch : local;
+  const MatrixBlockDist at{dist.Row(i) + j,
+                           static_cast<std::size_t>(dist.cols())};
+  return FrechetDpKernel(ie - i + 1, je - j + 1, at, threshold, s.row);
+}
+
+StatusOr<double> DiscreteFrechetOnRangeGeneric(const DistanceProvider& dist,
+                                               Index i, Index ie, Index j,
+                                               Index je, double threshold,
+                                               FrechetScratch* scratch) {
+  FM_RETURN_IF_ERROR(ValidateRange(dist, i, ie, j, je));
+  FrechetScratch local;
+  FrechetScratch& s = scratch != nullptr ? *scratch : local;
+  return FrechetDpKernel(
+      ie - i + 1, je - j + 1,
+      [&](Index p, Index q) { return dist.Distance(i + p, j + q); },
+      threshold, s.row);
+}
+
+StatusOr<double> DiscreteFrechetOnRange(const DistanceProvider& dist, Index i,
+                                        Index ie, Index j, Index je,
+                                        double threshold,
+                                        FrechetScratch* scratch) {
+  if (const auto* matrix = dynamic_cast<const DistanceMatrix*>(&dist)) {
+    return DiscreteFrechetOnRange(*matrix, i, ie, j, je, threshold, scratch);
+  }
+  return DiscreteFrechetOnRangeGeneric(dist, i, ie, j, je, threshold, scratch);
 }
 
 StatusOr<std::vector<double>> DiscreteFrechetMatrix(
@@ -86,7 +171,8 @@ StatusOr<std::vector<double>> DiscreteFrechetMatrix(
 
 StatusOr<bool> DiscreteFrechetAtMost(const Trajectory& a, const Trajectory& b,
                                      const GroundMetric& metric,
-                                     double threshold) {
+                                     double threshold,
+                                     FrechetScratch* scratch) {
   if (a.empty() || b.empty()) {
     return Status::InvalidArgument(
         "discrete Fréchet distance of an empty trajectory is undefined");
@@ -94,8 +180,11 @@ StatusOr<bool> DiscreteFrechetAtMost(const Trajectory& a, const Trajectory& b,
   if (threshold < 0.0) return false;
   const Index la = a.size();
   const Index lb = b.size();
+  FrechetScratch local;
+  FrechetScratch& s = scratch != nullptr ? *scratch : local;
   // reach[q]: prefix b[0..q] is reachable with leash <= threshold.
-  std::vector<char> reach(static_cast<std::size_t>(lb), 0);
+  std::vector<char>& reach = s.reach;
+  reach.assign(static_cast<std::size_t>(lb), 0);
   reach[0] = metric.Distance(a[0], b[0]) <= threshold ? 1 : 0;
   for (Index q = 1; q < lb; ++q) {
     reach[q] = (reach[q - 1] != 0 &&

@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace frechet_motif {
+
+ThreadPool::ThreadPool(int threads) {
+  const int lanes = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int lane = 1; lane < lanes; ++lane) {
+    workers_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop(int lane) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_ && generation_ == seen_generation) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(lane);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunOnAllLanes(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    outstanding_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  fn(0);  // the caller is lane 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::ChunkRange(std::int64_t n, int lanes, int lane,
+                            std::int64_t* begin, std::int64_t* end) {
+  const std::int64_t per_lane = n / lanes;
+  const std::int64_t remainder = n % lanes;
+  // The first `remainder` lanes take one extra element.
+  *begin = lane * per_lane + std::min<std::int64_t>(lane, remainder);
+  *end = *begin + per_lane + (lane < remainder ? 1 : 0);
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int lanes = threads();
+  if (lanes == 1 || n == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  RunOnAllLanes([&](int lane) {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    ChunkRange(n, lanes, lane, &begin, &end);
+    if (begin < end) fn(lane, begin, end);
+  });
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace frechet_motif

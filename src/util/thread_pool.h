@@ -1,0 +1,83 @@
+#ifndef FRECHET_MOTIF_UTIL_THREAD_POOL_H_
+#define FRECHET_MOTIF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frechet_motif {
+
+/// A fixed-size pool of worker threads for the embarrassingly-parallel
+/// phases of the motif search and the similarity join.
+///
+/// Design goals, in order:
+///  1. *Determinism*: work is assigned by a static partition that depends
+///     only on (job size, lane count), never on scheduling. Results merged
+///     in lane order are therefore bit-identical run to run, and the serial
+///     path (`threads() == 1`) is byte-for-byte the same computation.
+///  2. *No per-job allocation or thread spawn*: workers are created once and
+///     parked on a condition variable between jobs.
+///
+/// The calling thread participates as lane 0, so a pool of `threads` lanes
+/// spawns only `threads - 1` OS threads and `ThreadPool(1)` spawns none.
+/// Jobs must not throw — an exception escaping a lane terminates the
+/// process (same contract as std::thread).
+///
+/// The pool itself is not re-entrant: only one job runs at a time, and
+/// lanes must not submit nested jobs to the same pool.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` execution lanes (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. A job in flight completes first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes, including the calling thread.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invokes fn(lane) once per lane in [0, threads()) concurrently and
+  /// blocks until every invocation returns. Lane 0 runs on the caller.
+  void RunOnAllLanes(const std::function<void(int)>& fn);
+
+  /// Splits [0, n) into threads() contiguous chunks (sizes differing by at
+  /// most one, fixed by n and the lane count alone) and invokes
+  /// fn(lane, begin, end) for each non-empty chunk concurrently. Blocks
+  /// until done. Deterministic: lane k always receives the same range.
+  void ParallelFor(std::int64_t n,
+                   const std::function<void(int, std::int64_t, std::int64_t)>&
+                       fn);
+
+  /// The contiguous chunk of [0, n) that `ParallelFor` hands to `lane`
+  /// when splitting across `lanes` lanes. Exposed for tests and for
+  /// callers that pre-size per-lane outputs.
+  static void ChunkRange(std::int64_t n, int lanes, int lane,
+                         std::int64_t* begin, std::int64_t* end);
+
+ private:
+  void WorkerLoop(int lane);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per job; workers wake on change
+  int outstanding_ = 0;           // workers still running the current job
+  bool shutting_down_ = false;
+};
+
+/// Resolves a requested thread count from Options: values >= 1 are taken
+/// as-is, 0 means "all hardware threads" (at least 1).
+int ResolveThreadCount(int requested);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_THREAD_POOL_H_

@@ -67,10 +67,9 @@ TEST(EvaluateSubsetTest, FindsTheSubsetOptimum) {
   const Index j = 8;
   ASSERT_TRUE(IsValidSubsetStart(options, n, n, i, j));
   SearchState state;
-  std::vector<double> prev;
-  std::vector<double> curr;
+  FrechetScratch scratch;
   EvaluateSubset(dg, options, i, j, nullptr, false, EndpointCaps{}, &state,
-                 nullptr, &prev, &curr);
+                 nullptr, &scratch);
   ASSERT_TRUE(state.found);
   double expect = std::numeric_limits<double>::infinity();
   for (Index ie = i + xi + 1; ie <= j - 1; ++ie) {
@@ -93,10 +92,9 @@ TEST(EvaluateSubsetTest, RespectsEndpointCaps) {
   EndpointCaps caps;
   caps.je_cap = 12;
   SearchState state;
-  std::vector<double> prev;
-  std::vector<double> curr;
+  FrechetScratch scratch;
   EvaluateSubset(dg, options, i, j, nullptr, false, caps, &state, nullptr,
-                 &prev, &curr);
+                 &scratch);
   double expect = std::numeric_limits<double>::infinity();
   for (Index ie = i + xi + 1; ie <= j - 1; ++ie) {
     for (Index je = j + xi + 1; je <= 12; ++je) {
@@ -116,14 +114,14 @@ TEST(EvaluateSubsetTest, ThresholdSemanticsRecordWithoutPruningOptimum) {
   // With end-cross pruning against a tight-but-valid threshold, the subset
   // optimum must still be found if it is <= threshold.
   SearchState no_prune;
-  std::vector<double> b1, b2, b3, b4;
+  FrechetScratch scratch;
   EvaluateSubset(dg, options, 0, 6, nullptr, false, EndpointCaps{}, &no_prune,
-                 nullptr, &b1, &b2);
+                 nullptr, &scratch);
   ASSERT_TRUE(no_prune.found);
   SearchState pruned;
   pruned.threshold = no_prune.best_distance;  // exact optimum as threshold
   EvaluateSubset(dg, options, 0, 6, &rb, true, EndpointCaps{}, &pruned,
-                 nullptr, &b3, &b4);
+                 nullptr, &scratch);
   ASSERT_TRUE(pruned.found);
   EXPECT_DOUBLE_EQ(pruned.best_distance, no_prune.best_distance);
 }

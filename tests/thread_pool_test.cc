@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace frechet_motif {
+namespace {
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  int calls = 0;
+  pool.RunOnAllLanes([&](int lane) {
+    EXPECT_EQ(lane, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, RunOnAllLanesVisitsEveryLaneOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> counts(4);
+  for (int round = 0; round < 50; ++round) {
+    pool.RunOnAllLanes([&](int lane) { ++counts[lane]; });
+  }
+  for (int lane = 0; lane < 4; ++lane) EXPECT_EQ(counts[lane], 50);
+}
+
+TEST(ThreadPoolTest, ChunkRangeIsAStaticPartition) {
+  // 10 elements over 4 lanes: sizes 3,3,2,2, contiguous and exhaustive.
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t expected_begin = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    ThreadPool::ChunkRange(10, 4, lane, &begin, &end);
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_EQ(end - begin, lane < 2 ? 3 : 2);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 10);
+  // More lanes than elements: trailing lanes receive empty ranges.
+  ThreadPool::ChunkRange(2, 4, 3, &begin, &end);
+  EXPECT_EQ(begin, end);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](int, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = lo; k < hi; ++k) ++hits[k];
+  });
+  for (std::int64_t k = 0; k < n; ++k) EXPECT_EQ(hits[k], 1) << k;
+}
+
+TEST(ThreadPoolTest, ParallelForDeterministicLaneAssignment) {
+  // The lane that owns an index is a pure function of (n, lanes): two runs
+  // must agree — this is what makes per-lane merges reproducible.
+  ThreadPool pool(4);
+  const std::int64_t n = 97;
+  std::vector<int> owner_a(n, -1);
+  std::vector<int> owner_b(n, -1);
+  pool.ParallelFor(n, [&](int lane, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = lo; k < hi; ++k) owner_a[k] = lane;
+  });
+  pool.ParallelFor(n, [&](int lane, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = lo; k < hi; ++k) owner_b[k] = lane;
+  });
+  EXPECT_EQ(owner_a, owner_b);
+  // Ownership is contiguous and non-decreasing in k.
+  for (std::int64_t k = 1; k < n; ++k) {
+    EXPECT_LE(owner_a[k - 1], owner_a[k]);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int, std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(1, [&](int, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = lo; k < hi; ++k) sum += k + 1;
+  });
+  EXPECT_EQ(sum, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  // Regression guard for lost-wakeup bugs: many small jobs back to back.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(8, [&](int, std::int64_t lo, std::int64_t hi) {
+      total += hi - lo;
+    });
+  }
+  EXPECT_EQ(total, 200 * 8);
+}
+
+TEST(ResolveThreadCountTest, Semantics) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GE(ResolveThreadCount(0), 1);  // 0 = all hardware threads
+}
+
+}  // namespace
+}  // namespace frechet_motif
