@@ -7,9 +7,10 @@
 #include <cstdio>
 #include <string>
 
-#include "data/datasets.h"
-#include "geo/metric.h"
-#include "motif/motif.h"
+// The public API surface an installed consumer sees; only the CLI flag
+// parser comes from the internal (impl) headers.
+#include <frechet_motif/frechet_motif.h>
+
 #include "util/flags.h"
 
 using frechet_motif::DatasetKind;

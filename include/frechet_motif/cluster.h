@@ -1,0 +1,17 @@
+#ifndef FRECHET_MOTIF_PUBLIC_CLUSTER_H_
+#define FRECHET_MOTIF_PUBLIC_CLUSTER_H_
+
+/// \file
+/// Public subtrajectory-clustering surface: group the sliding windows of
+/// one trajectory into star-shaped clusters around a reference window — a
+/// motif generalized from "the best pair" to "all repetitions" (Section 7
+/// outlook, in the spirit of Buchin et al.'s commuting patterns).
+///
+/// `ClusterSubtrajectories()` greedily extracts pairwise window-disjoint
+/// clusters; `BestSubtrajectoryCluster()` exposes the single-cluster
+/// primitive. `ClusterOptions` sets the window length, stride, membership
+/// threshold θ (meters) and minimum cluster size.
+
+#include "cluster/subtrajectory_cluster.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_CLUSTER_H_

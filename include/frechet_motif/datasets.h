@@ -1,0 +1,25 @@
+#ifndef FRECHET_MOTIF_PUBLIC_DATASETS_H_
+#define FRECHET_MOTIF_PUBLIC_DATASETS_H_
+
+/// \file
+/// Public synthetic-data surface: reproducible trajectory generation for
+/// experiments, demos and tests.
+///
+/// The paper evaluates on three real corpora (GeoLife, Athens trucks,
+/// Mpala wild-baboon collars) that are not redistributable; `MakeDataset()`
+/// (`data/datasets.h`) emulates each one's motion profile, sampling
+/// behaviour and — crucially for motif discovery — route re-use, so
+/// genuine motifs exist. `GenerateWalk()` / `FollowRoute()`
+/// (`data/generator.h`) expose the underlying correlated-random-walk
+/// sampler, and `PlantMotif()` (`data/planted.h`) builds instances with a
+/// known ground-truth motif and a certified DFD upper bound.
+///
+/// Everything is deterministic given a seed (`frechet_motif::Rng`), so
+/// results reproduce bit-identically across runs and platforms. The
+/// `fmotif gen` subcommand is a thin CLI over this header.
+
+#include "data/datasets.h"
+#include "data/generator.h"
+#include "data/planted.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_DATASETS_H_

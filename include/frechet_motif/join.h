@@ -1,0 +1,21 @@
+#ifndef FRECHET_MOTIF_PUBLIC_JOIN_H_
+#define FRECHET_MOTIF_PUBLIC_JOIN_H_
+
+/// \file
+/// Public similarity-join surface: report every trajectory pair within a
+/// DFD threshold (the paper's Section 7 outlook).
+///
+/// `DfdSimilarityJoin()` joins two collections, `DfdSelfJoin()` one; both
+/// run a cascade of O(1)/O(ℓ) lower bounds (bounding box, endpoints,
+/// sampled one-sided Hausdorff) before the O(ℓ²) early-abandoning decision
+/// kernel, and can generate candidates with a uniform grid index
+/// (`JoinOptions::use_grid_index`) for spread-out collections.
+///
+/// `JoinOptions::threshold` is the join radius ε in meters (the `fmotif
+/// join --eps` flag); `JoinOptions::threads` parallelizes candidate
+/// verification deterministically. `JoinStats` counts how each pruning
+/// stage resolved the candidate pairs.
+
+#include "join/similarity_join.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_JOIN_H_

@@ -1,0 +1,34 @@
+#ifndef FRECHET_MOTIF_PUBLIC_MOTIF_H_
+#define FRECHET_MOTIF_PUBLIC_MOTIF_H_
+
+/// \file
+/// Public motif-discovery surface: the paper's exact algorithms behind one
+/// front door, plus the top-k extension and search instrumentation.
+///
+/// The **motif** of a trajectory is the pair of non-overlapping
+/// subtrajectories, each spanning more than ξ index steps, with the
+/// smallest discrete Fréchet distance. Most applications only need
+///
+/// ```
+/// FindMotifOptions options;                 // ξ = 100, GTM, τ = 32
+/// auto result = FindMotif(trajectory, Haversine(), options);
+/// ```
+///
+/// `FindMotifOptions::algorithm` selects among the paper's algorithms —
+/// BruteDP (Algorithm 1), BTM (Algorithm 2), GTM (Algorithm 3, the
+/// fastest) and the space-efficient GTM* (Section 5.5); all four are exact
+/// and return identical distances. The individual algorithm headers
+/// (`motif/btm.h`, `motif/gtm.h`, `motif/gtm_star.h`, `motif/brute_dp.h`)
+/// stay available through this header for fine-grained control over the
+/// pruning cascade (bound toggles, approximation ε, best-first order).
+///
+/// `TopKMotifs()` (`motif/top_k.h`) generalizes from "the best pair" to
+/// the k best subset optima with a diversity separation knob, and
+/// `MotifStats` (`motif/stats.h`) exposes the pruning counters behind the
+/// paper's Figures 13–19.
+
+#include "motif/motif.h"
+#include "motif/stats.h"
+#include "motif/top_k.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_MOTIF_H_

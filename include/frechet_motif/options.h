@@ -1,0 +1,22 @@
+#ifndef FRECHET_MOTIF_PUBLIC_OPTIONS_H_
+#define FRECHET_MOTIF_PUBLIC_OPTIONS_H_
+
+/// \file
+/// Public configuration surface shared by every motif-discovery algorithm:
+/// `MotifOptions`, `MotifVariant`, `Candidate` and `MotifResult`.
+///
+/// House convention (docs/ARCHITECTURE.md): every algorithm takes a plain
+/// aggregate `*Options` struct whose fields default to the paper's values
+/// (ξ = 100, τ = 32, θ, ε), so `{}` is always a sensible configuration.
+/// Options are validated inside the callee — never silently clamped — and
+/// a violation returns `Status::InvalidArgument`.
+///
+/// The shared knobs here are the minimum motif length ξ
+/// (`MotifOptions::min_length_xi`), the problem variant (same-trajectory
+/// Problem 1 vs the cross-trajectory variant of Section 3) and the worker
+/// thread count, which is deterministic: results are bit-identical for
+/// every `threads` setting.
+
+#include "core/options.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_OPTIONS_H_

@@ -1,0 +1,20 @@
+#ifndef FRECHET_MOTIF_PUBLIC_STATUS_H_
+#define FRECHET_MOTIF_PUBLIC_STATUS_H_
+
+/// \file
+/// Public error-handling surface: `frechet_motif::Status` and
+/// `frechet_motif::StatusOr<T>`.
+///
+/// The library never throws. Every fallible entry point returns a `Status`
+/// (plain success/failure) or a `StatusOr<T>` (a value or the failure that
+/// prevented producing it), RocksDB/Arrow style. Callers check `.ok()` and
+/// unwrap with `.value()`; `Status::ToString()` renders a diagnostic that
+/// names the offending parameter and value.
+///
+/// Stability: the `StatusCode` enumerators and the `Status`/`StatusOr`
+/// member signatures are part of the public API (see CONTRIBUTING.md for
+/// the stability rule).
+
+#include "util/status.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_STATUS_H_

@@ -1,0 +1,17 @@
+#ifndef FRECHET_MOTIF_PUBLIC_SYMBOLIC_H_
+#define FRECHET_MOTIF_PUBLIC_SYMBOLIC_H_
+
+/// \file
+/// Public symbolic-baseline surface: the movement-pattern-string approach
+/// the paper dismisses in Section 2 (Figure 4).
+///
+/// `SymbolizeTrajectory()` maps fixed-length fragments to a five-letter
+/// movement alphabet (vertical/horizontal straight, left/right turn,
+/// diagonal) and `SymbolicMotifDiscovery()` matches repeated substrings. The
+/// approach is fast but cannot capture spatial distance — two trajectories
+/// in different cities can map to the same string — which this module
+/// exists to demonstrate against the DFD-based algorithms.
+
+#include "symbolic/symbolic.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_SYMBOLIC_H_

@@ -1,0 +1,35 @@
+#ifndef FRECHET_MOTIF_PUBLIC_TRAJECTORY_H_
+#define FRECHET_MOTIF_PUBLIC_TRAJECTORY_H_
+
+/// \file
+/// Public trajectory surface: the `frechet_motif::Trajectory` model, the
+/// pluggable ground metric, trajectory I/O, simplification and summary
+/// statistics.
+///
+/// A `Trajectory` is a sequence of `Point`s with optional strictly
+/// ascending timestamps (the paper's Definition 1). All similarity
+/// computations are order-based — the tolerance to non-uniform sampling is
+/// exactly why Tang et al. pick the discrete Fréchet distance — so
+/// timestamps are carried only for ingest, reporting and the non-overlap
+/// semantics of the motif definition.
+///
+/// What this header provides:
+///  * `Trajectory`, `SubtrajectoryRef`, the `Index` typedef
+///    (`core/trajectory.h`);
+///  * `GroundMetric` with the built-in `Haversine()` / `Euclidean()`
+///    singletons (`geo/metric.h`) and the `Point` representation
+///    (`geo/point.h`);
+///  * file ingest/egress: CSV (`lat,lon[,timestamp]`), GeoLife PLT and
+///    GeoJSON LineString (`data/io.h`);
+///  * Douglas–Peucker simplification (`data/simplify.h`);
+///  * one-pass descriptive statistics, `Summarize()`
+///    (`core/trajectory_stats.h`).
+
+#include "core/trajectory.h"
+#include "core/trajectory_stats.h"
+#include "data/io.h"
+#include "data/simplify.h"
+#include "geo/metric.h"
+#include "geo/point.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_TRAJECTORY_H_

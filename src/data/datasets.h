@@ -1,6 +1,12 @@
 #ifndef FRECHET_MOTIF_DATA_DATASETS_H_
 #define FRECHET_MOTIF_DATA_DATASETS_H_
 
+/// Synthetic dataset emulators for the paper's three evaluation corpora
+/// (Section 6.1). One call — MakeDataset(kind, {length, seed}) — yields a
+/// trajectory with the right motion profile, sampling behaviour and route
+/// re-use for that corpus, bit-identical per seed. The `fmotif gen`
+/// subcommand and most benches/tests sit on top of this header.
+
 #include <cstdint>
 #include <string>
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/json_writer.h"
+
 namespace frechet_motif {
 
 namespace {
@@ -132,6 +134,191 @@ StatusOr<Trajectory> ReadPlt(const std::string& path) {
     return Status::InvalidArgument("no data rows in " + path);
   }
   return Trajectory::Create(std::move(points), std::move(timestamps));
+}
+
+namespace {
+
+/// Advances *pos past JSON whitespace.
+void SkipJsonWs(const std::string& s, std::size_t* pos) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+}
+
+/// Parses a JSON number at *pos, advancing past it.
+bool ParseJsonNumber(const std::string& s, std::size_t* pos, double* out) {
+  if (*pos >= s.size()) return false;
+  const char* start = s.c_str() + *pos;
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  if (end == start) return false;
+  *pos += static_cast<std::size_t>(end - start);
+  return true;
+}
+
+/// Parses the flat number array at *pos (positioned at '['): `[a, b, ...]`.
+bool ParseJsonNumberArray(const std::string& s, std::size_t* pos,
+                          std::vector<double>* out) {
+  SkipJsonWs(s, pos);
+  if (*pos >= s.size() || s[*pos] != '[') return false;
+  ++*pos;
+  SkipJsonWs(s, pos);
+  if (*pos < s.size() && s[*pos] == ']') {
+    ++*pos;
+    return true;
+  }
+  while (true) {
+    double value = 0.0;
+    SkipJsonWs(s, pos);
+    if (!ParseJsonNumber(s, pos, &value)) return false;
+    out->push_back(value);
+    SkipJsonWs(s, pos);
+    if (*pos >= s.size()) return false;
+    if (s[*pos] == ']') {
+      ++*pos;
+      return true;
+    }
+    if (s[*pos] != ',') return false;
+    ++*pos;
+  }
+}
+
+/// Locates `"key"` followed by ':' and returns the position just past the
+/// colon, or npos. Good enough for the fixed document shapes this reader
+/// accepts; the subsequent value parse rejects anything unexpected.
+std::size_t FindJsonKey(const std::string& s, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t at = 0;
+  while ((at = s.find(quoted, at)) != std::string::npos) {
+    std::size_t pos = at + quoted.size();
+    SkipJsonWs(s, &pos);
+    if (pos < s.size() && s[pos] == ':') return pos + 1;
+    at += quoted.size();
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+StatusOr<Trajectory> ReadGeoJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  std::size_t pos = FindJsonKey(content, "coordinates");
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("no \"coordinates\" member in " + path);
+  }
+  SkipJsonWs(content, &pos);
+  if (pos >= content.size() || content[pos] != '[') {
+    return Status::InvalidArgument("\"coordinates\" is not an array in " +
+                                   path);
+  }
+  ++pos;  // into the LineString's position list
+
+  std::vector<Point> points;
+  SkipJsonWs(content, &pos);
+  if (pos < content.size() && content[pos] == ']') {
+    return Status::InvalidArgument("empty \"coordinates\" in " + path);
+  }
+  while (true) {
+    SkipJsonWs(content, &pos);
+    if (pos >= content.size()) {
+      return Status::InvalidArgument("unterminated \"coordinates\" in " +
+                                     path);
+    }
+    if (content[pos] != '[') {
+      return Status::InvalidArgument(
+          "expected a [lon, lat] position at offset " + std::to_string(pos) +
+          " in " + path);
+    }
+    std::vector<double> position;
+    std::size_t probe = pos;
+    if (!ParseJsonNumberArray(content, &probe, &position)) {
+      // A '[' whose first element is not a number means deeper nesting —
+      // MultiLineString/Polygon documents, which we reject explicitly.
+      return Status::InvalidArgument(
+          "only LineString geometries are supported (nested coordinate "
+          "arrays at offset " +
+          std::to_string(pos) + " in " + path + ")");
+    }
+    pos = probe;
+    if (position.size() < 2 || position.size() > 3) {
+      return Status::InvalidArgument(
+          "GeoJSON positions must be [lon, lat] or [lon, lat, alt] in " +
+          path);
+    }
+    // RFC 7946: positions are longitude first.
+    points.push_back(LatLon(position[1], position[0]));
+    SkipJsonWs(content, &pos);
+    if (pos >= content.size()) {
+      return Status::InvalidArgument("unterminated \"coordinates\" in " +
+                                     path);
+    }
+    if (content[pos] == ']') break;  // end of the position list
+    if (content[pos] != ',') {
+      return Status::InvalidArgument("malformed \"coordinates\" near offset " +
+                                     std::to_string(pos) + " in " + path);
+    }
+    ++pos;
+  }
+
+  std::vector<double> timestamps;
+  std::size_t times_pos = FindJsonKey(content, "times");
+  if (times_pos != std::string::npos) {
+    if (!ParseJsonNumberArray(content, &times_pos, &timestamps) ||
+        timestamps.size() != points.size()) {
+      return Status::InvalidArgument(
+          "\"times\" must be a number array matching the position count in " +
+          path);
+    }
+  }
+  return Trajectory::Create(std::move(points), std::move(timestamps));
+}
+
+Status WriteGeoJson(const Trajectory& trajectory, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type");
+  w.String("Feature");
+  w.Key("properties");
+  w.BeginObject();
+  w.Key("points");
+  w.Int(trajectory.size());
+  if (trajectory.has_timestamps()) {
+    w.Key("times");
+    w.BeginArray();
+    for (Index i = 0; i < trajectory.size(); ++i) {
+      // Millisecond precision, same as WriteCsv — %g-style shortest
+      // rendering would truncate epoch-scale times to whole seconds.
+      w.Double(trajectory.timestamp(i), 3);
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.Key("geometry");
+  w.BeginObject();
+  w.Key("type");
+  w.String("LineString");
+  w.Key("coordinates");
+  w.BeginArray();
+  for (Index i = 0; i < trajectory.size(); ++i) {
+    w.BeginArray();
+    w.Double(trajectory[i].lon(), 8);  // ~1 mm, matching WriteCsv
+    w.Double(trajectory[i].lat(), 8);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+  out << w.str();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
 }
 
 Status WritePlt(const Trajectory& trajectory, const std::string& path) {

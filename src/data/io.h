@@ -28,6 +28,24 @@ StatusOr<Trajectory> ReadPlt(const std::string& path);
 /// can be fed to existing GeoLife tooling.
 Status WritePlt(const Trajectory& trajectory, const std::string& path);
 
+/// Reads a GeoJSON file holding a single LineString geometry (bare
+/// geometry, Feature, or the first geometry of a FeatureCollection):
+/// positions are `[lon, lat]` (an optional third element is ignored, per
+/// RFC 7946 altitude). When the document carries a `"times"` array of the
+/// same length (the convention WriteGeoJson emits), it is read back as
+/// per-point timestamps in seconds.
+///
+/// Returns IoError on filesystem problems, InvalidArgument for documents
+/// without a parsable LineString `"coordinates"` member (including
+/// MultiLineString/Polygon nesting, which is not supported).
+StatusOr<Trajectory> ReadGeoJson(const std::string& path);
+
+/// Writes a GeoJSON Feature with a LineString geometry. Timestamps (when
+/// present) go to `properties.times`, which ReadGeoJson restores — so
+/// CSV/PLT/GeoJSON are interchangeable interchange formats for the
+/// `fmotif` pipeline.
+Status WriteGeoJson(const Trajectory& trajectory, const std::string& path);
+
 }  // namespace frechet_motif
 
 #endif  // FRECHET_MOTIF_DATA_IO_H_

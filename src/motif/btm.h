@@ -1,6 +1,14 @@
 #ifndef FRECHET_MOTIF_MOTIF_BTM_H_
 #define FRECHET_MOTIF_MOTIF_BTM_H_
 
+/// BTM, the bounding-based trajectory motif algorithm (the paper's
+/// Algorithm 2): precompute DFD lower bounds per candidate subset, process
+/// subsets best-first, prune with the bound cascade (LB_cell, cross, band —
+/// tight per Section 4.2 or relaxed per Section 4.3), and share the DFD
+/// dynamic program within each surviving subset. Exact; the BtmOptions
+/// toggles exist for the paper's ablation figures. Most applications
+/// should call FindMotif (motif/motif.h) instead of BtmMotif directly.
+
 #include "core/distance_matrix.h"
 #include "core/options.h"
 #include "core/trajectory.h"

@@ -1,6 +1,14 @@
 #ifndef FRECHET_MOTIF_MOTIF_GTM_H_
 #define FRECHET_MOTIF_MOTIF_GTM_H_
 
+/// GTM, the grouping-based trajectory motif algorithm (the paper's
+/// Algorithm 3 and its fastest): multi-level grouping of candidate subsets
+/// with O(1) pattern bounds and group-level DFD bounds (GLB_DFD/GUB_DFD),
+/// halving the group size τ each round until the surviving subsets are
+/// processed point-level with Algorithm 2's best-first search. Exact.
+/// Most applications should call FindMotif (motif/motif.h) instead of
+/// GtmMotif directly.
+
 #include "core/distance_matrix.h"
 #include "core/options.h"
 #include "core/trajectory.h"

@@ -1,6 +1,12 @@
 #ifndef FRECHET_MOTIF_MOTIF_GTM_STAR_H_
 #define FRECHET_MOTIF_MOTIF_GTM_STAR_H_
 
+/// GTM*, the space-efficient motif algorithm (the paper's Section 5.5):
+/// trades a little of GTM's speed for O(max{(n/τ)², n}) memory by computing
+/// ground distances on the fly, keeping only two DP rows, and running the
+/// grouping loop once at a fixed τ. The right choice when the dG matrix of
+/// a very long trajectory would not fit in memory (Figure 19). Exact.
+
 #include "core/distance_matrix.h"
 #include "core/options.h"
 #include "core/trajectory.h"

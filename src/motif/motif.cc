@@ -23,6 +23,7 @@ MotifOptions MakeMotifOptions(const FindMotifOptions& options,
   MotifOptions motif;
   motif.min_length_xi = options.min_length_xi;
   motif.variant = variant;
+  motif.threads = options.threads;
   return motif;
 }
 

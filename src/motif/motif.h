@@ -41,6 +41,12 @@ struct FindMotifOptions {
 
   /// Initial group size τ for the grouping algorithms (paper default 32).
   Index group_size_tau = 32;
+
+  /// Worker threads for bound precomputation and subset verification,
+  /// forwarded to MotifOptions::threads: 1 (default) is the canonical
+  /// serial path, 0 means "all hardware threads". Results are bit-identical
+  /// for every setting.
+  int threads = 1;
 };
 
 /// Finds the motif of `s` (Problem 1): the pair of non-overlapping

@@ -1,6 +1,15 @@
 #ifndef FRECHET_MOTIF_SIMILARITY_FRECHET_H_
 #define FRECHET_MOTIF_SIMILARITY_FRECHET_H_
 
+/// Discrete Fréchet distance (DFD) kernels — the computational heart of
+/// the library. The paper's d_F (Section 2, Eiter & Mannila 1994) comes in
+/// four forms: the exact whole-trajectory distance, the subtrajectory-range
+/// DP with a threshold early-exit contract (what every motif algorithm
+/// calls), the boolean decision kernel the join/clustering use, and the
+/// coupling backtrack for visualization. All kernels accept an optional
+/// FrechetScratch so steady-state evaluations allocate nothing; see
+/// docs/PERFORMANCE.md for the monomorphization and early-exit design.
+
 #include <limits>
 #include <vector>
 

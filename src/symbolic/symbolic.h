@@ -1,6 +1,12 @@
 #ifndef FRECHET_MOTIF_SYMBOLIC_SYMBOLIC_H_
 #define FRECHET_MOTIF_SYMBOLIC_SYMBOLIC_H_
 
+/// The symbolic (movement-pattern-string) motif baseline the paper
+/// dismisses in Section 2: trajectories become strings over a five-letter
+/// movement alphabet and motifs become repeated substrings. Fast, but
+/// blind to spatial distance — kept as the comparison subject for
+/// Figure 4 (tests and bench_fig4_symbolic demonstrate the failure mode).
+
 #include <string>
 
 #include "core/trajectory.h"

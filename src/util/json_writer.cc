@@ -1,0 +1,156 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace frechet_motif {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Prepare([[maybe_unused]] bool is_key) {
+  if (key_pending_) {
+    // A value directly follows its key on the same line.
+    assert(!is_key && "Key() while another key's value is pending");
+    key_pending_ = false;
+    return;
+  }
+  assert((stack_.empty() || stack_.back() == Scope::kArray || is_key) &&
+         "a value inside an object needs a Key() first");
+  if (!stack_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+    has_element_.back() = true;
+  } else {
+    assert(out_.empty() && "JSON documents hold exactly one root value");
+  }
+}
+
+void JsonWriter::Append(const std::string& text) { out_ += text; }
+
+void JsonWriter::BeginObject() {
+  Prepare(/*is_key=*/false);
+  Append("{");
+  stack_.push_back(Scope::kObject);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject && !key_pending_);
+  const bool had_elements = has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  Append("}");
+  if (stack_.empty()) out_ += '\n';
+}
+
+void JsonWriter::BeginArray() {
+  Prepare(/*is_key=*/false);
+  Append("[");
+  stack_.push_back(Scope::kArray);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray && !key_pending_);
+  const bool had_elements = has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  Append("]");
+  if (stack_.empty()) out_ += '\n';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  Prepare(/*is_key=*/true);
+  Append("\"" + JsonEscape(name) + "\": ");
+  key_pending_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Prepare(/*is_key=*/false);
+  Append("\"" + JsonEscape(value) + "\"");
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Prepare(/*is_key=*/false);
+  Append(std::to_string(value));
+}
+
+void JsonWriter::Double(double value) {
+  Prepare(/*is_key=*/false);
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN literal; null is the conventional stand-in.
+    Append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  std::string text = buf;
+  // Keep the value typed as a number-with-fraction where possible so
+  // schema-checking consumers see a stable shape.
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  Append(text);
+}
+
+void JsonWriter::Double(double value, int decimals) {
+  Prepare(/*is_key=*/false);
+  if (!std::isfinite(value)) {
+    Append("null");
+    return;
+  }
+  char buf[352];  // worst case: ~309 integral digits + fraction
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  Append(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  Prepare(/*is_key=*/false);
+  Append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Prepare(/*is_key=*/false);
+  Append("null");
+}
+
+}  // namespace frechet_motif

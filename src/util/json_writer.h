@@ -1,0 +1,80 @@
+#ifndef FRECHET_MOTIF_UTIL_JSON_WRITER_H_
+#define FRECHET_MOTIF_UTIL_JSON_WRITER_H_
+
+/// Minimal streaming JSON writer for machine-readable CLI/bench output.
+///
+/// Produces pretty-printed (2-space indent), syntactically valid JSON with
+/// full string escaping. The writer tracks the open container stack and
+/// inserts commas/indentation itself, so call sites read like the document
+/// they emit:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("command"); w.String("motif");
+///   w.Key("result");  w.BeginObject();
+///   w.Key("distance_m"); w.Double(12.5);
+///   w.EndObject();
+///   w.EndObject();
+///   std::fputs(w.str().c_str(), stdout);
+///
+/// Misuse (a value without a pending Key inside an object, unbalanced
+/// End*) is a programming error caught by assert, not a Status — the
+/// document shape is static at every call site.
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frechet_motif {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  /// Opens an object/array, as a document root, object value or array
+  /// element.
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Names the next value. Only valid directly inside an object.
+  void Key(const std::string& name);
+
+  /// Scalar values (document root, object value after Key, array element).
+  void String(const std::string& value);
+  void Int(std::int64_t value);
+  void Double(double value);
+  /// Fixed-point rendering with exactly `decimals` fractional digits, for
+  /// values whose precision contract is decimal (coordinates, timestamps —
+  /// matches the CSV writer's %.Nf so formats round-trip identically).
+  void Double(double value, int decimals);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Complete once every Begin* is balanced; ends
+  /// with a newline.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  /// Indent/comma bookkeeping before a key or an array/root value.
+  void Prepare(bool is_key);
+  void Append(const std::string& text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  /// Whether the current container already holds an element (comma needed).
+  std::vector<bool> has_element_;
+  /// A Key() was emitted and its value is pending.
+  bool key_pending_ = false;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_JSON_WRITER_H_

@@ -1,0 +1,317 @@
+// Integration tests for the fmotif command-line tool: exit codes, --help,
+// malformed-input diagnostics, determinism, and the JSON output schema of
+// every subcommand, with golden-file comparisons of number-normalized
+// output.
+//
+// The binary path and golden directory arrive as compile definitions
+// (FMOTIF_BINARY, FMOTIF_GOLDEN_DIR) from tests/CMakeLists.txt. To update
+// goldens after an intentional output change:
+//
+//   FMOTIF_UPDATE_GOLDEN=1 ./build/tests/cli_test
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Runs `fmotif <args>` capturing stdout+stderr and the exit code.
+CommandResult RunFmotif(const std::string& args) {
+  const std::string command =
+      std::string(FMOTIF_BINARY) + " " + args + " 2>&1";
+  CommandResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fmotif_cli_" + name;
+}
+
+/// Replaces every numeric literal with <num> and the test temp dir with
+/// <tmp>, so goldens pin the output *structure* without rotting on
+/// platform FP differences or temp paths.
+std::string Normalize(std::string text) {
+  const std::string tmp = ::testing::TempDir();
+  std::size_t at = 0;
+  while ((at = text.find(tmp, at)) != std::string::npos) {
+    text.replace(at, tmp.size(), "<tmp>/");
+  }
+  static const std::regex number(R"(-?\d+(\.\d+)?([eE][+-]?\d+)?)");
+  return std::regex_replace(text, number, "<num>");
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(FMOTIF_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` (already normalized) against the golden file;
+/// rewrites the golden when FMOTIF_UPDATE_GOLDEN is set.
+void ExpectMatchesGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("FMOTIF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to update " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with FMOTIF_UPDATE_GOLDEN=1 to create)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual) << "golden mismatch: " << name;
+}
+
+/// Structural JSON well-formedness: balanced braces/brackets outside
+/// string literals, at least one top-level object.
+bool LooksLikeValidJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool saw_root = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        saw_root = true;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string && saw_root;
+}
+
+/// Writes a fixed deterministic trace and returns its path.
+std::string WriteTrace(const std::string& name, const std::string& gen_args) {
+  const std::string path = TempPath(name);
+  const CommandResult gen = RunFmotif("gen " + gen_args + " --out=" + path);
+  EXPECT_EQ(0, gen.exit_code) << gen.output;
+  return path;
+}
+
+TEST(CliUsage, RootHelpExitsZero) {
+  const CommandResult r = RunFmotif("--help");
+  EXPECT_EQ(0, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("usage: fmotif"));
+  ExpectMatchesGolden(Normalize(r.output), "help.golden");
+}
+
+TEST(CliUsage, PerCommandHelpExitsZero) {
+  for (const char* command :
+       {"motif", "topk", "cross", "join", "cluster", "stats", "simplify",
+        "gen"}) {
+    const CommandResult r = RunFmotif(std::string(command) + " --help");
+    EXPECT_EQ(0, r.exit_code) << command;
+    EXPECT_NE(std::string::npos, r.output.find("usage: fmotif")) << command;
+  }
+}
+
+TEST(CliUsage, NoArgumentsIsUsageError) {
+  const CommandResult r = RunFmotif("");
+  EXPECT_EQ(2, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("usage:"));
+}
+
+TEST(CliUsage, UnknownCommandIsUsageError) {
+  const CommandResult r = RunFmotif("frobnicate");
+  EXPECT_EQ(2, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("unknown command"));
+}
+
+TEST(CliUsage, MissingPositionalIsUsageError) {
+  EXPECT_EQ(2, RunFmotif("motif").exit_code);
+  EXPECT_EQ(2, RunFmotif("cross one.csv").exit_code);
+  EXPECT_EQ(2, RunFmotif("join only_one.csv").exit_code);
+  EXPECT_EQ(2, RunFmotif("simplify in.csv").exit_code);  // --out required
+}
+
+TEST(CliDiagnostics, MissingFileIsRuntimeError) {
+  const CommandResult r = RunFmotif("stats /nonexistent/trace.csv");
+  EXPECT_EQ(1, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("cannot open"));
+}
+
+TEST(CliDiagnostics, MalformedCsvNamesTheRow) {
+  const std::string path = TempPath("bad.csv");
+  std::ofstream(path) << "lat,lon\n39.9,not_a_number\n";
+  const CommandResult r = RunFmotif("stats " + path);
+  EXPECT_EQ(1, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("malformed CSV row 2"));
+}
+
+TEST(CliDiagnostics, MalformedGeoJsonIsRuntimeError) {
+  const std::string path = TempPath("bad.geojson");
+  std::ofstream(path) << "{\"type\": \"Feature\"}";
+  const CommandResult r = RunFmotif("stats " + path);
+  EXPECT_EQ(1, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("coordinates"));
+}
+
+TEST(CliGen, DeterministicPerSeed) {
+  const CommandResult a = RunFmotif("gen --kind=truck --n=50 --seed=9");
+  const CommandResult b = RunFmotif("gen --kind=truck --n=50 --seed=9");
+  const CommandResult c = RunFmotif("gen --kind=truck --n=50 --seed=10");
+  EXPECT_EQ(0, a.exit_code);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output, c.output);
+  EXPECT_EQ(0u, a.output.find("lat,lon"));  // CSV header first
+}
+
+TEST(CliGen, JsonWithoutOutIsUsageError) {
+  const CommandResult r = RunFmotif("gen --json");
+  EXPECT_EQ(2, r.exit_code);
+  EXPECT_NE(std::string::npos, r.output.find("--out"));
+}
+
+TEST(CliGen, UnknownKindIsUsageError) {
+  EXPECT_EQ(2, RunFmotif("gen --kind=airplane").exit_code);
+}
+
+TEST(CliJson, MotifSchemaAndGolden) {
+  const std::string path = WriteTrace("m.csv", "--kind=geolife --n=400 --seed=7");
+  const CommandResult r = RunFmotif("motif " + path + " --xi=60 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output)) << r.output;
+  for (const char* key : {"\"command\"", "\"options\"", "\"result\"",
+                          "\"distance_m\"", "\"stats\"", "\"pruning_ratio\""}) {
+    EXPECT_NE(std::string::npos, r.output.find(key)) << key;
+  }
+  ExpectMatchesGolden(Normalize(r.output), "motif_json.golden");
+}
+
+TEST(CliJson, TopKReturnsAscendingDistances) {
+  const std::string path = WriteTrace("k.csv", "--kind=geolife --n=400 --seed=7");
+  const CommandResult r = RunFmotif("topk " + path + " --k=3 --xi=50 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  EXPECT_NE(std::string::npos, r.output.find("\"results\""));
+}
+
+TEST(CliJson, LegacyMotifTopkFlagRoutesToTopK) {
+  // The pre-subcommand CLI spelled top-k as `motif --topk=N`; that must
+  // keep returning N ranked motifs, not silently fall back to the best.
+  const std::string path = WriteTrace("lk.csv", "--kind=geolife --n=400 --seed=7");
+  const CommandResult legacy =
+      RunFmotif("motif " + path + " --topk=3 --xi=50 --json");
+  const CommandResult modern =
+      RunFmotif("topk " + path + " --k=3 --xi=50 --json");
+  ASSERT_EQ(0, legacy.exit_code) << legacy.output;
+  EXPECT_NE(std::string::npos, legacy.output.find("\"results\""));
+  EXPECT_EQ(Normalize(legacy.output), Normalize(modern.output));
+}
+
+TEST(CliJson, JoinSchemaAndGolden) {
+  const std::string a = WriteTrace("ja.csv", "--kind=geolife --n=200 --seed=1");
+  const std::string b = WriteTrace("jb.csv", "--kind=geolife --n=200 --seed=1");
+  const std::string c = WriteTrace("jc.csv", "--kind=truck --n=200 --seed=2");
+  const CommandResult r =
+      RunFmotif("join " + a + " " + b + " " + c + " --eps=100 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  // Identical seeds must match; the truck trace must not.
+  EXPECT_NE(std::string::npos, r.output.find("ja.csv"));
+  EXPECT_NE(std::string::npos, r.output.find("\"matched\": 1"));
+  ExpectMatchesGolden(Normalize(r.output), "join_json.golden");
+}
+
+TEST(CliJson, ClusterSchema) {
+  const std::string path = WriteTrace("c.csv", "--kind=geolife --n=400 --seed=7");
+  const CommandResult r =
+      RunFmotif("cluster " + path + " --window=50 --stride=25 --eps=5000 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  EXPECT_NE(std::string::npos, r.output.find("\"clusters\""));
+  EXPECT_NE(std::string::npos, r.output.find("\"window_pairs\""));
+}
+
+TEST(CliJson, StatsSchema) {
+  const std::string path = WriteTrace("s.csv", "--kind=baboon --n=100 --seed=3");
+  const CommandResult r = RunFmotif("stats " + path + " --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  EXPECT_NE(std::string::npos, r.output.find("\"path_length_m\""));
+}
+
+TEST(CliJson, SimplifyReportsPointCounts) {
+  const std::string in = WriteTrace("sp.csv", "--kind=geolife --n=300 --seed=4");
+  const std::string out = TempPath("sp_out.geojson");
+  const CommandResult r =
+      RunFmotif("simplify " + in + " --tolerance=20 --out=" + out + " --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  EXPECT_NE(std::string::npos, r.output.find("\"points_before\": 300"));
+  // The simplified GeoJSON must itself load.
+  const CommandResult reread = RunFmotif("stats " + out);
+  EXPECT_EQ(0, reread.exit_code) << reread.output;
+}
+
+TEST(CliPipeline, ThreadsProduceIdenticalResults) {
+  const std::string path = WriteTrace("t.csv", "--kind=geolife --n=400 --seed=7");
+  const CommandResult serial = RunFmotif("motif " + path + " --xi=60 --json");
+  const CommandResult parallel =
+      RunFmotif("motif " + path + " --xi=60 --threads=4 --json");
+  ASSERT_EQ(0, serial.exit_code);
+  ASSERT_EQ(0, parallel.exit_code);
+  // Thread count appears in the echoed options; results must be identical.
+  EXPECT_EQ(Normalize(serial.output), Normalize(parallel.output));
+}
+
+TEST(CliPipeline, IngestSimplificationChangesPointCount) {
+  const std::string path = WriteTrace("is.csv", "--kind=geolife --n=300 --seed=4");
+  const CommandResult full = RunFmotif("stats " + path + " --json");
+  const CommandResult simplified =
+      RunFmotif("stats " + path + " --simplify-tolerance=25 --json");
+  ASSERT_EQ(0, full.exit_code);
+  ASSERT_EQ(0, simplified.exit_code);
+  EXPECT_NE(std::string::npos, full.output.find("\"points\": 300"));
+  EXPECT_EQ(std::string::npos, simplified.output.find("\"points\": 300"));
+}
+
+TEST(CliPipeline, CrossTrajectoryMotif) {
+  const std::string a = WriteTrace("xa.csv", "--kind=geolife --n=250 --seed=1");
+  const std::string b = WriteTrace("xb.csv", "--kind=geolife --n=250 --seed=1");
+  const CommandResult r = RunFmotif("cross " + a + " " + b + " --xi=60 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  EXPECT_NE(std::string::npos, r.output.find("\"command\": \"cross\""));
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "data/datasets.h"
@@ -307,6 +308,114 @@ TEST(IoTest, PltRoundTrip) {
 TEST(IoTest, PltRequiresTimestamps) {
   Trajectory t({LatLon(1, 2)});
   EXPECT_FALSE(WritePlt(t, TempPath("x.plt")).ok());
+}
+
+TEST(IoTest, GeoJsonRoundTripWithTimestamps) {
+  DatasetOptions options;
+  options.length = 60;
+  const Trajectory t =
+      MakeDataset(DatasetKind::kGeoLifeLike, options).value();
+  const std::string path = TempPath("roundtrip.geojson");
+  ASSERT_TRUE(WriteGeoJson(t, path).ok());
+  const Trajectory back = ReadGeoJson(path).value();
+  ASSERT_EQ(back.size(), t.size());
+  ASSERT_TRUE(back.has_timestamps());
+  for (Index i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(back[i].lat(), t[i].lat(), 1e-7);
+    EXPECT_NEAR(back[i].lon(), t[i].lon(), 1e-7);
+    EXPECT_NEAR(back.timestamp(i), t.timestamp(i), 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonPreservesSubSecondEpochTimestamps) {
+  // Regression: %g-style shortest rendering truncated GeoLife-era epoch
+  // seconds (~3.4e9) to whole seconds, making sub-second trajectories
+  // unreadable after a GeoJSON round-trip (non-ascending timestamps).
+  Trajectory t({LatLon(39.9, 116.4), LatLon(39.91, 116.41),
+                LatLon(39.92, 116.42)},
+               {3400000000.1, 3400000000.6, 3400000001.2});
+  const std::string path = TempPath("epoch.geojson");
+  ASSERT_TRUE(WriteGeoJson(t, path).ok());
+  const Trajectory back = ReadGeoJson(path).value();
+  ASSERT_EQ(back.size(), 3);
+  ASSERT_TRUE(back.has_timestamps());
+  for (Index i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(back.timestamp(i), t.timestamp(i), 1e-3) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonRoundTripWithoutTimestamps) {
+  Trajectory t({LatLon(39.9, 116.4), LatLon(39.91, 116.41)});
+  const std::string path = TempPath("plain.geojson");
+  ASSERT_TRUE(WriteGeoJson(t, path).ok());
+  const Trajectory back = ReadGeoJson(path).value();
+  ASSERT_EQ(back.size(), 2);
+  EXPECT_FALSE(back.has_timestamps());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonReadsForeignLineString) {
+  // A hand-written document (bare geometry, lon-first positions with an
+  // altitude, arbitrary whitespace) — not something WriteGeoJson emits.
+  const std::string path = TempPath("foreign.geojson");
+  {
+    std::ofstream out(path);
+    out << "{ \"type\": \"LineString\",\n"
+           "  \"coordinates\": [ [116.40, 39.90, 55.0],\n"
+           "                     [116.41,39.91], [ 116.42 , 39.92 ] ] }";
+  }
+  const Trajectory back = ReadGeoJson(path).value();
+  ASSERT_EQ(back.size(), 3);
+  EXPECT_NEAR(back[0].lat(), 39.90, 1e-9);
+  EXPECT_NEAR(back[0].lon(), 116.40, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonWithoutCoordinatesIsInvalidArgument) {
+  const std::string path = TempPath("nocoords.geojson");
+  {
+    std::ofstream out(path);
+    out << "{\"type\": \"Feature\", \"properties\": {}}";
+  }
+  StatusOr<Trajectory> r = ReadGeoJson(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonRejectsMultiLineStringNesting) {
+  const std::string path = TempPath("multi.geojson");
+  {
+    std::ofstream out(path);
+    out << "{\"type\": \"MultiLineString\", \"coordinates\": "
+           "[[[116.4, 39.9], [116.5, 39.8]]]}";
+  }
+  StatusOr<Trajectory> r = ReadGeoJson(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonMismatchedTimesIsInvalidArgument) {
+  const std::string path = TempPath("badtimes.geojson");
+  {
+    std::ofstream out(path);
+    out << "{\"properties\": {\"times\": [0.0]}, \"geometry\": "
+           "{\"type\": \"LineString\", \"coordinates\": "
+           "[[116.4, 39.9], [116.5, 39.8]]}}";
+  }
+  StatusOr<Trajectory> r = ReadGeoJson(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, GeoJsonReadMissingFileIsIoError) {
+  StatusOr<Trajectory> r = ReadGeoJson("/nonexistent/missing.geojson");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+// Consumer smoke test: the quickstart, driven purely through the installed
+// public API (<frechet_motif/frechet_motif.h> + find_package).
+//
+// Mirrors docs/TUTORIAL.md: generate a GeoLife-like trajectory with a
+// planted motif, discover the motif with GTM, and check the search found
+// the planted copy within its certified DFD bound. Exits non-zero on any
+// failure so CI treats a regression as a hard error.
+
+#include <frechet_motif/frechet_motif.h>
+
+#include <cstdio>
+
+namespace fm = frechet_motif;
+
+int main() {
+  fm::DatasetOptions dataset_options;
+  dataset_options.length = 900;
+  dataset_options.seed = 7;
+  fm::StatusOr<fm::Trajectory> base =
+      fm::MakeDataset(fm::DatasetKind::kGeoLifeLike, dataset_options);
+  if (!base.ok()) {
+    std::fprintf(stderr, "MakeDataset: %s\n", base.status().ToString().c_str());
+    return 1;
+  }
+
+  fm::StatusOr<fm::PlantedMotif> planted =
+      fm::PlantMotif(base.value(), /*segment_start=*/100,
+                     /*segment_length=*/160, /*gap_length=*/80,
+                     /*noise_m=*/4.0, /*seed=*/11);
+  if (!planted.ok()) {
+    std::fprintf(stderr, "PlantMotif: %s\n",
+                 planted.status().ToString().c_str());
+    return 1;
+  }
+
+  fm::FindMotifOptions options;
+  options.algorithm = fm::MotifAlgorithm::kGtm;
+  options.min_length_xi = 120;
+  fm::MotifStats stats;
+  fm::StatusOr<fm::MotifResult> result = fm::FindMotif(
+      planted.value().trajectory, fm::Haversine(), options, &stats);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FindMotif: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result.value().found) {
+    std::fprintf(stderr, "no motif found in a planted instance\n");
+    return 1;
+  }
+  if (result.value().distance > planted.value().dfd_upper_bound_m) {
+    std::fprintf(stderr,
+                 "motif distance %.2f m exceeds the planted bound %.2f m\n",
+                 result.value().distance, planted.value().dfd_upper_bound_m);
+    return 1;
+  }
+
+  std::printf("install smoke OK: motif S[%d..%d] ~ S[%d..%d], DFD %.2f m "
+              "(bound %.2f m), %lld subsets pruned\n",
+              result.value().best.i, result.value().best.ie,
+              result.value().best.j, result.value().best.je,
+              result.value().distance, planted.value().dfd_upper_bound_m,
+              static_cast<long long>(stats.pruned_total()));
+  return 0;
+}

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
 
 #include "util/flags.h"
+#include "util/json_writer.h"
 #include "util/memory_tracker.h"
 #include "util/random.h"
 #include "util/table_printer.h"
@@ -236,6 +238,60 @@ TEST(TablePrinterTest, Formatters) {
   EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Fmt(static_cast<std::int64_t>(42)), "42");
   EXPECT_EQ(TablePrinter::FmtPercent(0.923, 1), "92.3%");
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(JsonWriterTest, NestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("motif");
+  w.Key("found");
+  w.Bool(true);
+  w.Key("ranges");
+  w.BeginArray();
+  w.Int(3);
+  w.Int(7);
+  w.EndArray();
+  w.Key("empty");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"name\": \"motif\",\n"
+            "  \"found\": true,\n"
+            "  \"ranges\": [\n"
+            "    3,\n"
+            "    7\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, NumbersKeepFractionAndMapNonFiniteToNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(100.0);
+  w.Double(0.5);
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Null();
+  w.EndArray();
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("100.0"), std::string::npos);
+  EXPECT_NE(doc.find("0.5"), std::string::npos);
+  // Infinity has no JSON literal; both nulls render identically.
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonEscape("say \"hi\"\n\tback\\slash"),
+            "say \\\"hi\\\"\\n\\tback\\\\slash");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  JsonWriter w;
+  w.String("a\"b");
+  EXPECT_EQ(w.str(), "\"a\\\"b\"");
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repository resolve.
+
+Scans every tracked-directory *.md file for inline links/images
+(`[text](target)`) and reference definitions (`[id]: target`), and fails
+if a relative target does not exist on disk. External (scheme://),
+mailto: and pure-anchor (#...) targets are skipped; a `target#anchor`
+only checks the file part. Registered as the `markdown_links` CTest test
+and run by CI's docs job, so READMEs cannot accumulate dead pointers.
+
+Usage: check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "node_modules", ".claude"}
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def find_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    # Fenced code blocks routinely contain bracketed text that is not a
+    # link (array indexing, CLI examples); drop them before scanning.
+    content = FENCE.sub("", content)
+    errors = []
+    targets = INLINE_LINK.findall(content) + REFERENCE_DEF.findall(content)
+    for target in targets:
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme: / mailto:
+            continue
+        if target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        base = root if file_part.startswith("/") else os.path.dirname(path)
+        resolved = os.path.normpath(os.path.join(base, file_part.lstrip("/")))
+        if not os.path.exists(resolved):
+            errors.append(f"{os.path.relpath(path, root)}: broken link "
+                          f"-> {target}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    count = 0
+    for path in find_markdown_files(root):
+        count += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,21 @@
-// fmotif — command-line front end for the library.
+// fmotif — command-line front end driving the whole library pipeline:
+// ingest (CSV / GeoJSON / GeoLife PLT), optional simplification, motif
+// discovery / top-k / join / clustering / synthetic generation, and
+// human-readable or JSON (--json) results on stdout.
 //
-//   fmotif motif  <file> [--xi=100] [--algorithm=gtm] [--tau=32] [--topk=1]
-//   fmotif cross  <fileA> <fileB> [--xi=100] [--algorithm=gtm]
-//   fmotif join   <file>... --threshold=250 [--no-pruning]
-//   fmotif stats  <file>...
-//   fmotif simplify <file> --tolerance=10 --out=<file>
+// Subcommands and flags are documented by `fmotif --help` and
+// `fmotif <command> --help`; the full walkthrough is docs/TUTORIAL.md.
 //
-// Files are CSV ("lat,lon[,timestamp]") or GeoLife PLT (by .plt suffix).
+// Exit codes: 0 success, 1 runtime/data error, 2 usage error.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cluster/subtrajectory_cluster.h"
 #include "core/trajectory_stats.h"
+#include "data/datasets.h"
 #include "data/io.h"
 #include "data/simplify.h"
 #include "geo/metric.h"
@@ -21,29 +23,193 @@
 #include "motif/motif.h"
 #include "motif/top_k.h"
 #include "util/flags.h"
+#include "util/json_writer.h"
 
 namespace fm = frechet_motif;
 
 namespace {
 
-int Usage() {
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+constexpr char kGlobalFlagsHelp[] =
+    "global flags:\n"
+    "  --json                    machine-readable JSON results on stdout\n"
+    "  --threads=N               worker threads (1 = serial, 0 = all "
+    "hardware threads);\n"
+    "                            results are bit-identical for every "
+    "setting\n"
+    "  --metric=haversine|euclidean\n"
+    "                            ground distance (default haversine, "
+    "meters)\n"
+    "  --simplify-tolerance=M    Douglas-Peucker simplify every input at "
+    "ingest\n"
+    "  --help                    print usage (global or per command)\n";
+
+int Usage(std::FILE* stream) {
   std::fprintf(
-      stderr,
-      "usage:\n"
-      "  fmotif motif  <file> [--xi=100] [--algorithm=gtm|gtm_star|btm|brute]"
-      " [--tau=32] [--topk=1]\n"
-      "  fmotif cross  <fileA> <fileB> [--xi=100] [--algorithm=...]\n"
-      "  fmotif join   <file> <file>... --threshold=250 [--no-pruning]\n"
-      "  fmotif stats  <file>...\n"
-      "  fmotif simplify <file> --tolerance=10 --out=<file>\n");
-  return 2;
+      stream,
+      "fmotif — trajectory motif discovery under the discrete Fréchet "
+      "distance\n"
+      "(Tang et al., EDBT 2017)\n"
+      "\n"
+      "usage: fmotif <command> [<files>] [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  motif    <file>            best motif pair within one trajectory\n"
+      "  topk     <file>            the k best motifs, diversity-separated\n"
+      "  cross    <fileA> <fileB>   best motif pair across two "
+      "trajectories\n"
+      "  join     <file> <file>...  all pairs with DFD <= eps\n"
+      "  cluster  <file>            star-shaped subtrajectory clusters\n"
+      "  stats    <file>...         descriptive trajectory statistics\n"
+      "  simplify <file>            Douglas-Peucker simplification\n"
+      "  gen                        synthetic dataset generation\n"
+      "\n"
+      "Input files are CSV (\"lat,lon[,timestamp]\"), GeoJSON LineString\n"
+      "(.geojson/.json) or GeoLife PLT (.plt), chosen by extension.\n"
+      "\n"
+      "%s"
+      "\n"
+      "`fmotif <command> --help` documents the per-command flags.\n",
+      kGlobalFlagsHelp);
+  return stream == stdout ? kExitOk : kExitUsage;
 }
 
-fm::StatusOr<fm::Trajectory> Load(const std::string& path) {
-  if (path.size() > 4 && path.substr(path.size() - 4) == ".plt") {
-    return fm::ReadPlt(path);
+int CommandUsage(std::FILE* stream, const std::string& command) {
+  if (command == "motif" || command == "cross") {
+    std::fprintf(
+        stream,
+        "usage: fmotif %s [--xi=100] [--algorithm=gtm|gtm_star|btm|brute]\n"
+        "       [--tau=32] [--json] [--threads=N]\n"
+        "\n"
+        "Finds the pair of non-overlapping subtrajectories (one file) or "
+        "the best\n"
+        "cross-trajectory pair (two files), each spanning more than xi "
+        "index\n"
+        "steps, with the smallest discrete Fréchet distance. All "
+        "algorithms are\n"
+        "exact; they differ in pruning power (gtm is the paper's "
+        "fastest).\n",
+        command == "motif" ? "motif <file>" : "cross <fileA> <fileB>");
+  } else if (command == "topk") {
+    std::fprintf(
+        stream,
+        "usage: fmotif topk <file> [--k=5] [--xi=100] [--separation=xi]\n"
+        "       [--json] [--threads=N]\n"
+        "\n"
+        "The k best motifs, at most one per candidate subset, pairwise\n"
+        "separated by at least --separation in start-cell Chebyshev "
+        "distance.\n"
+        "(`fmotif motif <file> --topk=N` is kept as a legacy alias.)\n");
+  } else if (command == "join") {
+    std::fprintf(
+        stream,
+        "usage: fmotif join <file> <file>... --eps=250 [--no-pruning]\n"
+        "       [--grid] [--json] [--threads=N]\n"
+        "\n"
+        "DFD similarity self-join: every pair of input trajectories whose\n"
+        "discrete Fréchet distance is <= eps meters (--threshold is an\n"
+        "accepted alias for --eps). --grid generates candidates with a\n"
+        "uniform grid index; --no-pruning forces every pair through the\n"
+        "exact decision kernel.\n");
+  } else if (command == "cluster") {
+    std::fprintf(
+        stream,
+        "usage: fmotif cluster <file> [--window=100] [--stride=25]\n"
+        "       [--eps=100] [--min-members=2] [--json]\n"
+        "\n"
+        "Greedy star-shaped clustering of sliding windows: every member\n"
+        "window is within eps meters (DFD) of its cluster's reference\n"
+        "window, members are pairwise non-overlapping.\n");
+  } else if (command == "stats") {
+    std::fprintf(stream,
+                 "usage: fmotif stats <file>... [--json]\n"
+                 "\n"
+                 "One-pass descriptive statistics per input: path length, "
+                 "sampling\n"
+                 "periods, dropout events, geographic extent.\n");
+  } else if (command == "simplify") {
+    std::fprintf(
+        stream,
+        "usage: fmotif simplify <file> --tolerance=10 --out=<file> "
+        "[--json]\n"
+        "\n"
+        "Douglas-Peucker simplification with the given tolerance in "
+        "meters.\n"
+        "The output format follows the --out extension (CSV, .geojson, "
+        ".plt).\n");
+  } else if (command == "gen") {
+    std::fprintf(
+        stream,
+        "usage: fmotif gen [--kind=geolife|truck|baboon] [--n=5000] "
+        "[--seed=42]\n"
+        "       [--out=<file>] [--json]\n"
+        "\n"
+        "Generates a synthetic trajectory emulating one of the paper's "
+        "three\n"
+        "datasets. Deterministic per seed. Without --out, CSV rows go to\n"
+        "stdout; with --out, the extension picks CSV/GeoJSON/PLT. --json\n"
+        "(requires --out) prints a generation summary instead of data.\n");
+  } else {
+    return Usage(stream);
+  }
+  if (stream == stderr) {
+    std::fprintf(stream, "\n%s", kGlobalFlagsHelp);
+  }
+  return stream == stdout ? kExitOk : kExitUsage;
+}
+
+int Fail(const fm::Status& status) {
+  std::fprintf(stderr, "fmotif: %s\n", status.ToString().c_str());
+  return kExitError;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Reads `path` in the format its extension names (PLT, GeoJSON, CSV).
+fm::StatusOr<fm::Trajectory> LoadRaw(const std::string& path) {
+  if (HasSuffix(path, ".plt")) return fm::ReadPlt(path);
+  if (HasSuffix(path, ".geojson") || HasSuffix(path, ".json")) {
+    return fm::ReadGeoJson(path);
   }
   return fm::ReadCsv(path);
+}
+
+/// Ingest: format by extension, then the optional global
+/// --simplify-tolerance pass.
+fm::StatusOr<fm::Trajectory> Load(const std::string& path,
+                                  const fm::Flags& flags) {
+  fm::StatusOr<fm::Trajectory> t = LoadRaw(path);
+  if (!t.ok()) return t;
+  if (flags.Has("simplify-tolerance")) {
+    return SimplifyDouglasPeucker(t.value(),
+                                  flags.GetDouble("simplify-tolerance", 0.0));
+  }
+  return t;
+}
+
+/// Egress: format by extension (CSV unless .geojson/.json/.plt).
+fm::Status Save(const fm::Trajectory& t, const std::string& path) {
+  if (HasSuffix(path, ".plt")) return fm::WritePlt(t, path);
+  if (HasSuffix(path, ".geojson") || HasSuffix(path, ".json")) {
+    return fm::WriteGeoJson(t, path);
+  }
+  return fm::WriteCsv(t, path);
+}
+
+const fm::GroundMetric& Metric(const fm::Flags& flags) {
+  return flags.GetString("metric", "haversine") == "euclidean"
+             ? fm::Euclidean()
+             : fm::Haversine();
+}
+
+int Threads(const fm::Flags& flags) {
+  return static_cast<int>(flags.GetInt("threads", 1));
 }
 
 fm::MotifAlgorithm ParseAlgorithm(const std::string& name) {
@@ -53,7 +219,70 @@ fm::MotifAlgorithm ParseAlgorithm(const std::string& name) {
   return fm::MotifAlgorithm::kGtm;
 }
 
-void PrintMotif(const fm::Trajectory& s, const fm::MotifResult& r, int rank) {
+// --- JSON helpers -----------------------------------------------------------
+
+void JsonRange(fm::JsonWriter* w, const fm::SubtrajectoryRef& ref) {
+  w->BeginObject();
+  w->Key("start");
+  w->Int(ref.first);
+  w->Key("end");
+  w->Int(ref.last);
+  w->EndObject();
+}
+
+void JsonMotifResult(fm::JsonWriter* w, const fm::Trajectory& s,
+                     const fm::MotifResult& r) {
+  w->BeginObject();
+  w->Key("found");
+  w->Bool(r.found);
+  w->Key("distance_m");
+  w->Double(r.distance);
+  w->Key("first");
+  JsonRange(w, r.first());
+  w->Key("second");
+  JsonRange(w, r.second());
+  if (s.has_timestamps() && r.found) {
+    w->Key("first_time_s");
+    w->BeginArray();
+    w->Double(s.timestamp(r.best.i));
+    w->Double(s.timestamp(r.best.ie));
+    w->EndArray();
+    w->Key("second_time_s");
+    w->BeginArray();
+    w->Double(s.timestamp(r.best.j));
+    w->Double(s.timestamp(r.best.je));
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+void JsonMotifStats(fm::JsonWriter* w, const fm::MotifStats& stats) {
+  w->BeginObject();
+  w->Key("total_subsets");
+  w->Int(stats.total_subsets);
+  w->Key("pruned_subsets");
+  w->Int(stats.pruned_total());
+  w->Key("pruning_ratio");
+  w->Double(stats.pruning_ratio());
+  w->Key("subsets_evaluated");
+  w->Int(stats.subsets_evaluated);
+  w->Key("dfd_cells_computed");
+  w->Int(stats.dfd_cells_computed);
+  w->Key("precompute_seconds");
+  w->Double(stats.precompute_seconds);
+  w->Key("search_seconds");
+  w->Double(stats.search_seconds);
+  w->EndObject();
+}
+
+void PrintJson(const fm::JsonWriter& w) {
+  std::fputs(w.str().c_str(), stdout);
+}
+
+// --- subcommands ------------------------------------------------------------
+
+void PrintMotifText(const fm::Trajectory& s, const fm::MotifResult& r,
+                    int rank) {
   std::printf("#%d  S[%d..%d] ~ S[%d..%d]  DFD=%.2f m", rank, r.best.i,
               r.best.ie, r.best.j, r.best.je, r.distance);
   if (s.has_timestamps()) {
@@ -65,159 +294,527 @@ void PrintMotif(const fm::Trajectory& s, const fm::MotifResult& r, int rank) {
 }
 
 int RunMotif(const fm::Flags& flags) {
-  if (flags.positional().size() != 2) return Usage();
-  fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[1]);
-  if (!t.ok()) {
-    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
-    return 1;
-  }
-  const int topk = static_cast<int>(flags.GetInt("topk", 1));
-  const fm::Index xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
-  if (topk > 1) {
-    fm::TopKOptions options;
-    options.motif.min_length_xi = xi;
-    options.k = topk;
-    options.min_start_separation =
-        static_cast<fm::Index>(flags.GetInt("separation", xi));
-    fm::StatusOr<std::vector<fm::MotifResult>> r =
-        TopKMotifs(t.value(), fm::Haversine(), options);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
-    int rank = 1;
-    for (const fm::MotifResult& m : r.value()) {
-      PrintMotif(t.value(), m, rank++);
-    }
-    return 0;
-  }
-  fm::FindMotifOptions options;
-  options.min_length_xi = xi;
-  options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
-  options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
-  fm::MotifStats stats;
-  fm::StatusOr<fm::MotifResult> r =
-      FindMotif(t.value(), fm::Haversine(), options, &stats);
-  if (!r.ok()) {
-    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-    return 1;
-  }
-  PrintMotif(t.value(), r.value(), 1);
-  std::printf("%s\n", stats.ToString().c_str());
-  return 0;
-}
+  if (flags.positional().size() != 2) return CommandUsage(stderr, "motif");
+  const std::string& path = flags.positional()[1];
+  fm::StatusOr<fm::Trajectory> t = Load(path, flags);
+  if (!t.ok()) return Fail(t.status());
 
-int RunCross(const fm::Flags& flags) {
-  if (flags.positional().size() != 3) return Usage();
-  fm::StatusOr<fm::Trajectory> a = Load(flags.positional()[1]);
-  fm::StatusOr<fm::Trajectory> b = Load(flags.positional()[2]);
-  if (!a.ok() || !b.ok()) {
-    std::fprintf(stderr, "failed to load inputs\n");
-    return 1;
-  }
   fm::FindMotifOptions options;
   options.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
   options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
   options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
+  options.threads = Threads(flags);
+  fm::MotifStats stats;
   fm::StatusOr<fm::MotifResult> r =
-      FindMotif(a.value(), b.value(), fm::Haversine(), options);
-  if (!r.ok()) {
-    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-    return 1;
+      FindMotif(t.value(), Metric(flags), options, &stats);
+  if (!r.ok()) return Fail(r.status());
+
+  if (flags.GetBool("json", false)) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("motif");
+    w.Key("input");
+    w.String(path);
+    w.Key("points");
+    w.Int(t.value().size());
+    w.Key("options");
+    w.BeginObject();
+    w.Key("xi");
+    w.Int(options.min_length_xi);
+    w.Key("tau");
+    w.Int(options.group_size_tau);
+    w.Key("algorithm");
+    w.String(AlgorithmName(options.algorithm));
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.Key("threads");
+    w.Int(options.threads);
+    w.EndObject();
+    w.Key("result");
+    JsonMotifResult(&w, t.value(), r.value());
+    w.Key("stats");
+    JsonMotifStats(&w, stats);
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    PrintMotifText(t.value(), r.value(), 1);
+    std::printf("%s\n", stats.ToString().c_str());
   }
+  return kExitOk;
+}
+
+int RunTopK(const fm::Flags& flags) {
+  if (flags.positional().size() != 2) return CommandUsage(stderr, "topk");
+  const std::string& path = flags.positional()[1];
+  fm::StatusOr<fm::Trajectory> t = Load(path, flags);
+  if (!t.ok()) return Fail(t.status());
+
+  fm::TopKOptions options;
+  // --topk is honored as an alias for --k: the pre-subcommand CLI spelled
+  // this query `fmotif motif <file> --topk=N`, and main() still routes
+  // that invocation here.
+  options.k = static_cast<int>(flags.GetInt("k", flags.GetInt("topk", 5)));
+  options.motif.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
+  options.motif.threads = Threads(flags);
+  options.min_start_separation = static_cast<fm::Index>(
+      flags.GetInt("separation", options.motif.min_length_xi));
+  fm::MotifStats stats;
+  fm::StatusOr<std::vector<fm::MotifResult>> r =
+      TopKMotifs(t.value(), Metric(flags), options, &stats);
+  if (!r.ok()) return Fail(r.status());
+
+  if (flags.GetBool("json", false)) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("topk");
+    w.Key("input");
+    w.String(path);
+    w.Key("points");
+    w.Int(t.value().size());
+    w.Key("options");
+    w.BeginObject();
+    w.Key("k");
+    w.Int(options.k);
+    w.Key("xi");
+    w.Int(options.motif.min_length_xi);
+    w.Key("separation");
+    w.Int(options.min_start_separation);
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.Key("threads");
+    w.Int(options.motif.threads);
+    w.EndObject();
+    w.Key("results");
+    w.BeginArray();
+    for (const fm::MotifResult& m : r.value()) {
+      JsonMotifResult(&w, t.value(), m);
+    }
+    w.EndArray();
+    w.Key("stats");
+    JsonMotifStats(&w, stats);
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    int rank = 1;
+    for (const fm::MotifResult& m : r.value()) {
+      PrintMotifText(t.value(), m, rank++);
+    }
+  }
+  return kExitOk;
+}
+
+int RunCross(const fm::Flags& flags) {
+  if (flags.positional().size() != 3) return CommandUsage(stderr, "cross");
+  fm::StatusOr<fm::Trajectory> a = Load(flags.positional()[1], flags);
+  if (!a.ok()) return Fail(a.status());
+  fm::StatusOr<fm::Trajectory> b = Load(flags.positional()[2], flags);
+  if (!b.ok()) return Fail(b.status());
+
+  fm::FindMotifOptions options;
+  options.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
+  options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
+  options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
+  options.threads = Threads(flags);
+  fm::MotifStats stats;
+  fm::StatusOr<fm::MotifResult> r =
+      FindMotif(a.value(), b.value(), Metric(flags), options, &stats);
+  if (!r.ok()) return Fail(r.status());
   const fm::MotifResult& m = r.value();
-  std::printf("A[%d..%d] ~ B[%d..%d]  DFD=%.2f m\n", m.best.i, m.best.ie,
-              m.best.j, m.best.je, m.distance);
-  return 0;
+
+  if (flags.GetBool("json", false)) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("cross");
+    w.Key("inputs");
+    w.BeginArray();
+    w.String(flags.positional()[1]);
+    w.String(flags.positional()[2]);
+    w.EndArray();
+    w.Key("options");
+    w.BeginObject();
+    w.Key("xi");
+    w.Int(options.min_length_xi);
+    w.Key("tau");
+    w.Int(options.group_size_tau);
+    w.Key("algorithm");
+    w.String(AlgorithmName(options.algorithm));
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.Key("threads");
+    w.Int(options.threads);
+    w.EndObject();
+    w.Key("result");
+    w.BeginObject();
+    w.Key("found");
+    w.Bool(m.found);
+    w.Key("distance_m");
+    w.Double(m.distance);
+    w.Key("first");
+    JsonRange(&w, m.first());
+    w.Key("second");
+    JsonRange(&w, m.second());
+    w.EndObject();
+    w.Key("stats");
+    JsonMotifStats(&w, stats);
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    std::printf("A[%d..%d] ~ B[%d..%d]  DFD=%.2f m\n", m.best.i, m.best.ie,
+                m.best.j, m.best.je, m.distance);
+  }
+  return kExitOk;
 }
 
 int RunJoin(const fm::Flags& flags) {
-  if (flags.positional().size() < 3) return Usage();
+  if (flags.positional().size() < 3) return CommandUsage(stderr, "join");
   std::vector<fm::Trajectory> trajectories;
   for (std::size_t k = 1; k < flags.positional().size(); ++k) {
-    fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k]);
-    if (!t.ok()) {
-      std::fprintf(stderr, "%s: %s\n", flags.positional()[k].c_str(),
-                   t.status().ToString().c_str());
-      return 1;
-    }
+    fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k], flags);
+    if (!t.ok()) return Fail(t.status());
     trajectories.push_back(std::move(t).value());
   }
   fm::JoinOptions options;
-  options.threshold = flags.GetDouble("threshold", 250.0);
+  // --eps is the join radius ε; --threshold stays as the historical alias.
+  options.threshold =
+      flags.GetDouble("eps", flags.GetDouble("threshold", 250.0));
   options.use_pruning = !flags.GetBool("no-pruning", false);
+  options.use_grid_index = flags.GetBool("grid", false);
+  options.threads = Threads(flags);
   fm::JoinStats stats;
   fm::StatusOr<std::vector<fm::JoinPair>> matches =
-      DfdSelfJoin(trajectories, fm::Haversine(), options, &stats);
-  if (!matches.ok()) {
-    std::fprintf(stderr, "%s\n", matches.status().ToString().c_str());
-    return 1;
+      DfdSelfJoin(trajectories, Metric(flags), options, &stats);
+  if (!matches.ok()) return Fail(matches.status());
+
+  if (flags.GetBool("json", false)) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("join");
+    w.Key("inputs");
+    w.BeginArray();
+    for (std::size_t k = 1; k < flags.positional().size(); ++k) {
+      w.String(flags.positional()[k]);
+    }
+    w.EndArray();
+    w.Key("options");
+    w.BeginObject();
+    w.Key("eps_m");
+    w.Double(options.threshold);
+    w.Key("pruning");
+    w.Bool(options.use_pruning);
+    w.Key("grid_index");
+    w.Bool(options.use_grid_index);
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.Key("threads");
+    w.Int(options.threads);
+    w.EndObject();
+    w.Key("matches");
+    w.BeginArray();
+    for (const fm::JoinPair& p : matches.value()) {
+      w.BeginObject();
+      w.Key("left");
+      w.String(flags.positional()[p.li + 1]);
+      w.Key("right");
+      w.String(flags.positional()[p.ri + 1]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("stats");
+    w.BeginObject();
+    w.Key("pairs_total");
+    w.Int(stats.pairs_total);
+    w.Key("pruned_bbox");
+    w.Int(stats.pruned_bbox);
+    w.Key("pruned_endpoints");
+    w.Int(stats.pruned_endpoints);
+    w.Key("pruned_hausdorff");
+    w.Int(stats.pruned_hausdorff);
+    w.Key("decided_exact");
+    w.Int(stats.decided_exact);
+    w.Key("matched");
+    w.Int(stats.matched);
+    w.EndObject();
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    for (const fm::JoinPair& p : matches.value()) {
+      std::printf("%s ~ %s\n", flags.positional()[p.li + 1].c_str(),
+                  flags.positional()[p.ri + 1].c_str());
+    }
+    std::printf("%s\n", stats.ToString().c_str());
   }
-  for (const fm::JoinPair& p : matches.value()) {
-    std::printf("%s ~ %s\n", flags.positional()[p.li + 1].c_str(),
-                flags.positional()[p.ri + 1].c_str());
+  return kExitOk;
+}
+
+int RunCluster(const fm::Flags& flags) {
+  if (flags.positional().size() != 2) return CommandUsage(stderr, "cluster");
+  const std::string& path = flags.positional()[1];
+  fm::StatusOr<fm::Trajectory> t = Load(path, flags);
+  if (!t.ok()) return Fail(t.status());
+
+  fm::ClusterOptions options;
+  options.window_length =
+      static_cast<fm::Index>(flags.GetInt("window", options.window_length));
+  options.stride = static_cast<fm::Index>(flags.GetInt("stride", options.stride));
+  options.threshold_m = flags.GetDouble("eps", options.threshold_m);
+  options.min_members =
+      static_cast<int>(flags.GetInt("min-members", options.min_members));
+  fm::ClusterStats stats;
+  fm::StatusOr<std::vector<fm::SubtrajectoryCluster>> clusters =
+      ClusterSubtrajectories(t.value(), Metric(flags), options, &stats);
+  if (!clusters.ok()) return Fail(clusters.status());
+
+  if (flags.GetBool("json", false)) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("cluster");
+    w.Key("input");
+    w.String(path);
+    w.Key("points");
+    w.Int(t.value().size());
+    w.Key("options");
+    w.BeginObject();
+    w.Key("window");
+    w.Int(options.window_length);
+    w.Key("stride");
+    w.Int(options.stride);
+    w.Key("eps_m");
+    w.Double(options.threshold_m);
+    w.Key("min_members");
+    w.Int(options.min_members);
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.EndObject();
+    w.Key("clusters");
+    w.BeginArray();
+    for (const fm::SubtrajectoryCluster& c : clusters.value()) {
+      w.BeginObject();
+      w.Key("reference");
+      JsonRange(&w, c.reference);
+      w.Key("members");
+      w.BeginArray();
+      for (const fm::SubtrajectoryRef& m : c.members) {
+        JsonRange(&w, m);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("stats");
+    w.BeginObject();
+    w.Key("window_pairs");
+    w.Int(stats.window_pairs);
+    w.Key("pruned_endpoints");
+    w.Int(stats.pruned_endpoints);
+    w.Key("decided_exact");
+    w.Int(stats.decided_exact);
+    w.EndObject();
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    int rank = 1;
+    for (const fm::SubtrajectoryCluster& c : clusters.value()) {
+      std::printf("#%d  reference S[%d..%d], %d members:", rank++,
+                  c.reference.first, c.reference.last, c.size());
+      for (const fm::SubtrajectoryRef& m : c.members) {
+        std::printf(" [%d..%d]", m.first, m.last);
+      }
+      std::printf("\n");
+    }
+    std::printf("%s\n", stats.ToString().c_str());
   }
-  std::printf("%s\n", stats.ToString().c_str());
-  return 0;
+  return kExitOk;
 }
 
 int RunStats(const fm::Flags& flags) {
-  if (flags.positional().size() < 2) return Usage();
-  for (std::size_t k = 1; k < flags.positional().size(); ++k) {
-    fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k]);
-    if (!t.ok()) {
-      std::fprintf(stderr, "%s: %s\n", flags.positional()[k].c_str(),
-                   t.status().ToString().c_str());
-      return 1;
-    }
-    fm::StatusOr<fm::TrajectorySummary> s =
-        Summarize(t.value(), fm::Haversine());
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("== %s ==\n%s\n", flags.positional()[k].c_str(),
-                s.value().ToString().c_str());
+  if (flags.positional().size() < 2) return CommandUsage(stderr, "stats");
+  const bool json = flags.GetBool("json", false);
+  fm::JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Key("command");
+    w.String("stats");
+    w.Key("trajectories");
+    w.BeginArray();
   }
-  return 0;
+  for (std::size_t k = 1; k < flags.positional().size(); ++k) {
+    fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k], flags);
+    if (!t.ok()) return Fail(t.status());
+    fm::StatusOr<fm::TrajectorySummary> s =
+        Summarize(t.value(), Metric(flags));
+    if (!s.ok()) return Fail(s.status());
+    if (json) {
+      const fm::TrajectorySummary& sum = s.value();
+      w.BeginObject();
+      w.Key("file");
+      w.String(flags.positional()[k]);
+      w.Key("points");
+      w.Int(sum.num_points);
+      w.Key("path_length_m");
+      w.Double(sum.path_length_m);
+      w.Key("net_displacement_m");
+      w.Double(sum.net_displacement_m);
+      w.Key("duration_s");
+      w.Double(sum.duration_s);
+      w.Key("mean_speed_mps");
+      w.Double(sum.mean_speed_mps);
+      w.Key("median_period_s");
+      w.Double(sum.median_period_s);
+      w.Key("dropout_events");
+      w.Int(sum.dropout_events);
+      w.EndObject();
+    } else {
+      std::printf("== %s ==\n%s\n", flags.positional()[k].c_str(),
+                  s.value().ToString().c_str());
+    }
+  }
+  if (json) {
+    w.EndArray();
+    w.EndObject();
+    PrintJson(w);
+  }
+  return kExitOk;
 }
 
 int RunSimplify(const fm::Flags& flags) {
-  if (flags.positional().size() != 2 || !flags.Has("out")) return Usage();
-  fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[1]);
-  if (!t.ok()) {
-    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
-    return 1;
+  if (flags.positional().size() != 2 || !flags.Has("out")) {
+    return CommandUsage(stderr, "simplify");
   }
+  const std::string& path = flags.positional()[1];
+  // Deliberately LoadRaw, without the global --simplify-tolerance pass:
+  // this command's own --tolerance is the simplification.
+  fm::StatusOr<fm::Trajectory> t = LoadRaw(path);
+  if (!t.ok()) return Fail(t.status());
+  const double tolerance = flags.GetDouble("tolerance", 10.0);
   fm::StatusOr<fm::Trajectory> simplified =
-      SimplifyDouglasPeucker(t.value(), flags.GetDouble("tolerance", 10.0));
-  if (!simplified.ok()) {
-    std::fprintf(stderr, "%s\n", simplified.status().ToString().c_str());
-    return 1;
+      SimplifyDouglasPeucker(t.value(), tolerance);
+  if (!simplified.ok()) return Fail(simplified.status());
+  const std::string out_path = flags.GetString("out", "");
+  const fm::Status written = Save(simplified.value(), out_path);
+  if (!written.ok()) return Fail(written);
+
+  if (flags.GetBool("json", false)) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("simplify");
+    w.Key("input");
+    w.String(path);
+    w.Key("output");
+    w.String(out_path);
+    w.Key("tolerance_m");
+    w.Double(tolerance);
+    w.Key("points_before");
+    w.Int(t.value().size());
+    w.Key("points_after");
+    w.Int(simplified.value().size());
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    std::printf("%d -> %d points\n", t.value().size(),
+                simplified.value().size());
   }
-  const fm::Status w =
-      fm::WriteCsv(simplified.value(), flags.GetString("out", ""));
-  if (!w.ok()) {
-    std::fprintf(stderr, "%s\n", w.ToString().c_str());
-    return 1;
+  return kExitOk;
+}
+
+int RunGen(const fm::Flags& flags) {
+  if (flags.positional().size() != 1) return CommandUsage(stderr, "gen");
+  const std::string kind_name = flags.GetString("kind", "geolife");
+  fm::DatasetKind kind;
+  if (kind_name == "geolife") {
+    kind = fm::DatasetKind::kGeoLifeLike;
+  } else if (kind_name == "truck") {
+    kind = fm::DatasetKind::kTruckLike;
+  } else if (kind_name == "baboon") {
+    kind = fm::DatasetKind::kBaboonLike;
+  } else {
+    std::fprintf(stderr, "fmotif: unknown --kind=%s (geolife|truck|baboon)\n",
+                 kind_name.c_str());
+    return kExitUsage;
   }
-  std::printf("%d -> %d points\n", t.value().size(),
-              simplified.value().size());
-  return 0;
+  fm::DatasetOptions options;
+  options.length = static_cast<fm::Index>(flags.GetInt("n", 5000));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  fm::StatusOr<fm::Trajectory> t = fm::MakeDataset(kind, options);
+  if (!t.ok()) return Fail(t.status());
+
+  const std::string out_path = flags.GetString("out", "");
+  const bool json = flags.GetBool("json", false);
+  if (json && out_path.empty()) {
+    std::fprintf(stderr, "fmotif: gen --json requires --out "
+                         "(data and JSON would interleave on stdout)\n");
+    return kExitUsage;
+  }
+  if (!out_path.empty()) {
+    const fm::Status written = Save(t.value(), out_path);
+    if (!written.ok()) return Fail(written);
+  } else {
+    // CSV to stdout, identical to WriteCsv's file format.
+    const bool timed = t.value().has_timestamps();
+    std::printf(timed ? "lat,lon,timestamp\n" : "lat,lon\n");
+    for (fm::Index i = 0; i < t.value().size(); ++i) {
+      if (timed) {
+        std::printf("%.8f,%.8f,%.3f\n", t.value()[i].lat(), t.value()[i].lon(),
+                    t.value().timestamp(i));
+      } else {
+        std::printf("%.8f,%.8f\n", t.value()[i].lat(), t.value()[i].lon());
+      }
+    }
+  }
+
+  if (json) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("gen");
+    w.Key("kind");
+    w.String(DatasetName(kind));
+    w.Key("n");
+    w.Int(t.value().size());
+    w.Key("seed");
+    w.Int(static_cast<std::int64_t>(options.seed));
+    w.Key("output");
+    w.String(out_path);
+    w.EndObject();
+    PrintJson(w);
+  } else if (!out_path.empty()) {
+    std::printf("wrote %d points to %s\n", t.value().size(),
+                out_path.c_str());
+  }
+  return kExitOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   fm::Flags flags;
-  if (!flags.Parse(argc, argv).ok() || flags.positional().empty()) {
-    return Usage();
+  const fm::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "fmotif: %s\n", parsed.ToString().c_str());
+    return kExitUsage;
+  }
+  if (flags.positional().empty()) {
+    return Usage(flags.GetBool("help", false) ? stdout : stderr);
   }
   const std::string& command = flags.positional()[0];
-  if (command == "motif") return RunMotif(flags);
+  if (flags.GetBool("help", false)) return CommandUsage(stdout, command);
+  if (command == "motif") {
+    // Back-compat: `motif --topk=N` predates the topk subcommand.
+    if (flags.GetInt("topk", 1) > 1) return RunTopK(flags);
+    return RunMotif(flags);
+  }
+  if (command == "topk") return RunTopK(flags);
   if (command == "cross") return RunCross(flags);
   if (command == "join") return RunJoin(flags);
+  if (command == "cluster") return RunCluster(flags);
   if (command == "stats") return RunStats(flags);
   if (command == "simplify") return RunSimplify(flags);
-  return Usage();
+  if (command == "gen") return RunGen(flags);
+  std::fprintf(stderr, "fmotif: unknown command \"%s\"\n\n", command.c_str());
+  return Usage(stderr);
 }
