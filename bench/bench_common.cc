@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/numeric.h"
+
 namespace frechet_motif {
 namespace bench {
 
@@ -120,12 +122,18 @@ bool WriteKernelJson(const std::string& path, const std::string& bench_name,
   std::fprintf(f, "  \"kernels\": [\n");
   for (std::size_t k = 0; k < results.size(); ++k) {
     const KernelResult& r = results[k];
+    std::string extras;
+    for (const auto& [key, value] : r.extras) {
+      extras += ", \"" + JsonEscape(key) +
+                "\": " + DoubleToStringGeneral(value, 10);
+    }
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"n\": %lld, \"threads\": %lld, "
-                 "\"ns_per_op\": %.3f, \"iterations\": %lld}%s\n",
+                 "\"ns_per_op\": %s, \"iterations\": %lld%s}%s\n",
                  JsonEscape(r.name).c_str(), static_cast<long long>(r.n),
-                 static_cast<long long>(r.threads), r.ns_per_op,
-                 static_cast<long long>(r.iterations),
+                 static_cast<long long>(r.threads),
+                 DoubleToStringFixed(r.ns_per_op, 3).c_str(),
+                 static_cast<long long>(r.iterations), extras.c_str(),
                  k + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

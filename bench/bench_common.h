@@ -2,6 +2,7 @@
 #define FRECHET_MOTIF_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,9 @@ struct KernelResult {
   double ns_per_op = 0.0;
   /// Operations timed to produce the mean.
   std::int64_t iterations = 0;
+  /// Additional numeric facts about the run (e.g. work counters such as
+  /// dfd_cells_per_slide), emitted verbatim as extra JSON fields.
+  std::map<std::string, double> extras;
 };
 
 /// `git describe --always --dirty` of the working tree the bench runs in,

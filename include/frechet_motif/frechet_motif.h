@@ -30,6 +30,8 @@
 ///  * `<frechet_motif/similarity.h>` — DFD kernels + Table 1 measures;
 ///  * `<frechet_motif/motif.h>` — FindMotif front door, BTM/GTM/GTM*,
 ///    top-k;
+///  * `<frechet_motif/stream.h>` — incremental sliding-window motif
+///    maintenance over live point streams;
 ///  * `<frechet_motif/join.h>` — DFD similarity join;
 ///  * `<frechet_motif/cluster.h>` — subtrajectory clustering;
 ///  * `<frechet_motif/symbolic.h>` — the symbolic baseline of Figure 4;
@@ -46,6 +48,7 @@
 #include "frechet_motif/options.h"
 #include "frechet_motif/similarity.h"
 #include "frechet_motif/status.h"
+#include "frechet_motif/stream.h"
 #include "frechet_motif/symbolic.h"
 #include "frechet_motif/trajectory.h"
 

@@ -1,0 +1,42 @@
+#ifndef FRECHET_MOTIF_PUBLIC_STREAM_H_
+#define FRECHET_MOTIF_PUBLIC_STREAM_H_
+
+/// \file
+/// Public streaming surface: incremental sliding-window motif
+/// maintenance for live trajectory feeds.
+///
+/// `StreamingMotifMonitor` ingests points one at a time (or in batches)
+/// into a bounded window of the last W points, and re-derives the
+/// window's motif on a fixed cadence without ever rebuilding state from
+/// scratch: the ground-distance matrix is maintained as a ring buffer
+/// (one fresh row/column per arrival, O(1) eviction), the relaxed-bound
+/// minima are updated under eviction, and each search carries the
+/// previous window's motif distance forward as its pruning threshold.
+///
+/// ```
+/// StreamOptions options;                     // W = 512, slide 32, ξ = 100
+/// auto monitor = StreamingMotifMonitor::Create(options, Haversine());
+/// for (const Point& p : feed) {
+///   auto update = monitor.value().Push(p);
+///   if (update.ok() && update.value().has_value()) {
+///     // update->motif is bit-identical to FindMotif over the window
+///     // with options.BaselineOptions().
+///   }
+/// }
+/// ```
+///
+/// Every per-slide answer reports exactly the window's optimal motif
+/// distance — bit-identical to a from-scratch `FindMotif` on the
+/// identical window configured with `StreamOptions::BaselineOptions()`;
+/// streaming trades no exactness for its incrementality. The reported
+/// *pair* is also bit-identical whenever the optimum is uniquely
+/// attained; when several pairs tie at exactly the optimal distance, a
+/// carried slide keeps the previous pair (shifted) while a from-scratch
+/// run re-breaks the tie from its own enumeration — the one divergence
+/// possible, spelled out in the StreamingMotifMonitor contract. The
+/// `fmotif stream` subcommand exposes the same engine on the command
+/// line.
+
+#include "stream/streaming_motif_monitor.h"
+
+#endif  // FRECHET_MOTIF_PUBLIC_STREAM_H_

@@ -84,6 +84,51 @@ StatusOr<DistanceMatrix> DistanceMatrix::FromValues(
   return DistanceMatrix(rows, cols, std::move(values));
 }
 
+RingDistanceMatrix::RingDistanceMatrix(Index row_capacity, Index col_capacity)
+    : row_capacity_(row_capacity),
+      col_capacity_(col_capacity),
+      values_(static_cast<std::size_t>(row_capacity) * col_capacity, 0.0) {}
+
+void RingDistanceMatrix::AppendRow(
+    const std::function<double(Index)>& value_of_col) {
+  if (row_size_ == row_capacity_) {
+    // Evict logical row 0; its physical slot becomes the new last row.
+    row_head_ = row_head_ + 1 == row_capacity_ ? 0 : row_head_ + 1;
+    --row_size_;
+  }
+  const Index i = row_size_++;
+  for (Index j = 0; j < col_size_; ++j) *Cell(i, j) = value_of_col(j);
+}
+
+void RingDistanceMatrix::AppendCol(
+    const std::function<double(Index)>& value_of_row) {
+  if (col_size_ == col_capacity_) {
+    col_head_ = col_head_ + 1 == col_capacity_ ? 0 : col_head_ + 1;
+    --col_size_;
+  }
+  const Index j = col_size_++;
+  for (Index i = 0; i < row_size_; ++i) *Cell(i, j) = value_of_row(i);
+}
+
+void RingDistanceMatrix::AppendPoint(
+    const std::function<double(Index)>& dist_new_to_k,
+    const std::function<double(Index)>& dist_k_to_new, double self_distance) {
+  if (row_size_ == row_capacity_) {
+    row_head_ = row_head_ + 1 == row_capacity_ ? 0 : row_head_ + 1;
+    col_head_ = col_head_ + 1 == col_capacity_ ? 0 : col_head_ + 1;
+    --row_size_;
+    --col_size_;
+  }
+  const Index k_new = row_size_;
+  ++row_size_;
+  ++col_size_;
+  for (Index k = 0; k < k_new; ++k) {
+    *Cell(k_new, k) = dist_new_to_k(k);
+    *Cell(k, k_new) = dist_k_to_new(k);
+  }
+  *Cell(k_new, k_new) = self_distance;
+}
+
 CachedHaversineDistance::CachedHaversineDistance(const Trajectory& s,
                                                  const Trajectory& t)
     : rows_vec_(VectorizePoints(s)), cols_vec_(VectorizePoints(t)) {}

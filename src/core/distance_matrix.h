@@ -2,6 +2,7 @@
 #define FRECHET_MOTIF_CORE_DISTANCE_MATRIX_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/trajectory.h"
@@ -108,6 +109,95 @@ class OnTheFlyDistance final : public DistanceProvider {
   const Trajectory& s_;
   const Trajectory& t_;
   const GroundMetric& metric_;
+};
+
+/// Bounded sliding-window ground-distance matrix whose storage is reused
+/// as a ring buffer: appending a point writes one fresh row (and, for the
+/// self-matrix of the single-trajectory problem, one column) of ground
+/// distances, and evicting the oldest point is O(1) head advancement —
+/// surviving cells are never recomputed and the buffer is never
+/// reallocated. Logical index (i, j) maps to physical slot
+/// ((i + row_head) mod row_capacity, (j + col_head) mod col_capacity), so
+/// algorithms see an ordinary DistanceProvider over the current window.
+///
+/// This is the incremental-matrix API behind StreamingMotifMonitor
+/// (src/stream/): a window slide costs O(s·W) metric evaluations instead
+/// of the O(W²) a from-scratch DistanceMatrix::Build pays. Cells are
+/// bit-identical to Build's because the caller computes them with the
+/// same metric on the same points — so every motif algorithm returns
+/// identical results over either provider.
+///
+/// EvaluateSubset (motif/subset_search.cc) recognizes this provider and
+/// runs its DP monomorphized over the ring layout, like it does for
+/// DistanceMatrix.
+class RingDistanceMatrix final : public DistanceProvider {
+ public:
+  /// A fixed-capacity rows x cols buffer; both capacities must be >= 1.
+  RingDistanceMatrix(Index row_capacity, Index col_capacity);
+
+  double Distance(Index i, Index j) const override {
+    return values_[static_cast<std::size_t>(PhysicalRow(i)) * col_capacity_ +
+                   PhysicalCol(j)];
+  }
+  Index rows() const override { return row_size_; }
+  Index cols() const override { return col_size_; }
+  std::size_t MemoryBytes() const override {
+    return values_.capacity() * sizeof(double);
+  }
+
+  Index row_capacity() const { return row_capacity_; }
+  Index col_capacity() const { return col_capacity_; }
+
+  /// Appends a logical row at index rows(), evicting logical row 0 first
+  /// when at capacity. `value_of_col(j)` must return the ground distance
+  /// between the new row point and the current column point j, for
+  /// j in [0, cols()).
+  void AppendRow(const std::function<double(Index)>& value_of_col);
+
+  /// Column counterpart of AppendRow: `value_of_row(i)` is the distance
+  /// between row point i and the new column point.
+  void AppendCol(const std::function<double(Index)>& value_of_row);
+
+  /// Self-matrix form (square capacities, rows() == cols()): appends one
+  /// point as the last row *and* last column in a single step, evicting
+  /// the oldest point from both dimensions when full.
+  /// `dist_new_to_k(k)` fills the new row (new point is the row point),
+  /// `dist_k_to_new(k)` the new column, and `self_distance` the diagonal
+  /// cell — the argument split keeps asymmetric metrics honest.
+  void AppendPoint(const std::function<double(Index)>& dist_new_to_k,
+                   const std::function<double(Index)>& dist_k_to_new,
+                   double self_distance);
+
+  /// Raw layout accessors for monomorphized kernels (subset_search) and
+  /// incremental bound maintenance: cell (i, j) lives at
+  /// data()[phys(i, row_head, row_capacity) * col_capacity +
+  ///        phys(j, col_head, col_capacity)].
+  const double* data() const { return values_.data(); }
+  Index row_head() const { return row_head_; }
+  Index col_head() const { return col_head_; }
+
+ private:
+  Index PhysicalRow(Index i) const {
+    const Index p = row_head_ + i;
+    return p >= row_capacity_ ? p - row_capacity_ : p;
+  }
+  Index PhysicalCol(Index j) const {
+    const Index p = col_head_ + j;
+    return p >= col_capacity_ ? p - col_capacity_ : p;
+  }
+  double* Cell(Index i, Index j) {
+    return values_.data() +
+           static_cast<std::size_t>(PhysicalRow(i)) * col_capacity_ +
+           PhysicalCol(j);
+  }
+
+  Index row_capacity_;
+  Index col_capacity_;
+  Index row_head_ = 0;
+  Index col_head_ = 0;
+  Index row_size_ = 0;
+  Index col_size_ = 0;
+  std::vector<double> values_;
 };
 
 /// On-the-fly great-circle distances with O(n+m) cached unit vectors: each

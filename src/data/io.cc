@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/json_writer.h"
+#include "util/numeric.h"
 
 namespace frechet_motif {
 
@@ -15,6 +16,14 @@ namespace {
 
 /// Seconds per day, for the PLT fractional-days timestamp field.
 constexpr double kSecondsPerDay = 86400.0;
+
+/// Strips one trailing '\r', so files authored on Windows (CRLF line
+/// endings) parse identically to their LF twins. std::getline only
+/// consumes the '\n'; without this a CRLF blank line looks like a
+/// one-field data row and fails the whole parse.
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
 
 /// Splits a line on commas, trimming surrounding whitespace.
 std::vector<std::string> SplitCsvLine(const std::string& line) {
@@ -38,29 +47,45 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
 }
 
 bool ParseDouble(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  // C-locale parse: a host application may have called setlocale(), under
+  // which strtod("39.9") would stop at the decimal point and corrupt
+  // every coordinate.
+  return !s.empty() && ParseDoubleC(s, out);
 }
 
 }  // namespace
+
+CsvRow ParseCsvPointRow(const std::string& line, double* lat, double* lon,
+                        double* timestamp, bool* has_timestamp) {
+  std::string stripped = line;
+  StripTrailingCr(&stripped);
+  if (stripped.empty()) return CsvRow::kBlank;
+  const std::vector<std::string> fields = SplitCsvLine(stripped);
+  if (fields.size() == 1 && fields[0].empty()) return CsvRow::kBlank;
+  if (fields.size() < 2 || !ParseDouble(fields[0], lat) ||
+      !ParseDouble(fields[1], lon)) {
+    return CsvRow::kMalformed;
+  }
+  *has_timestamp = fields.size() >= 3;
+  if (*has_timestamp && !ParseDouble(fields[2], timestamp)) {
+    return CsvRow::kMalformedTimestamp;
+  }
+  return CsvRow::kPoint;
+}
 
 Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   const bool timed = trajectory.has_timestamps();
   out << (timed ? "lat,lon,timestamp\n" : "lat,lon\n");
-  char buf[128];
   for (Index i = 0; i < trajectory.size(); ++i) {
     const Point& p = trajectory[i];
-    if (timed) {
-      std::snprintf(buf, sizeof(buf), "%.8f,%.8f,%.3f\n", p.lat(), p.lon(),
-                    trajectory.timestamp(i));
-    } else {
-      std::snprintf(buf, sizeof(buf), "%.8f,%.8f\n", p.lat(), p.lon());
-    }
-    out << buf;
+    // Locale-independent formatting ("39.9" never "39,9"); precision
+    // matches the historical %.8f / %.3f exactly.
+    out << DoubleToStringFixed(p.lat(), 8) << ','
+        << DoubleToStringFixed(p.lon(), 8);
+    if (timed) out << ',' << DoubleToStringFixed(trajectory.timestamp(i), 3);
+    out << '\n';
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::Ok();
@@ -76,24 +101,27 @@ StatusOr<Trajectory> ReadCsv(const std::string& path) {
   bool saw_timestamps = false;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
-    const std::vector<std::string> fields = SplitCsvLine(line);
     double lat = 0.0;
     double lon = 0.0;
-    if (fields.size() < 2 || !ParseDouble(fields[0], &lat) ||
-        !ParseDouble(fields[1], &lon)) {
-      if (line_no == 1) continue;  // header row
-      return Status::InvalidArgument("malformed CSV row " +
-                                     std::to_string(line_no) + " in " + path);
-    }
-    points.push_back(LatLon(lat, lon));
-    if (fields.size() >= 3) {
-      double ts = 0.0;
-      if (!ParseDouble(fields[2], &ts)) {
+    double ts = 0.0;
+    bool has_ts = false;
+    switch (ParseCsvPointRow(line, &lat, &lon, &ts, &has_ts)) {
+      case CsvRow::kBlank:
+        continue;
+      case CsvRow::kMalformed:
+        if (line_no == 1) continue;  // header row
+        return Status::InvalidArgument("malformed CSV row " +
+                                       std::to_string(line_no) + " in " +
+                                       path);
+      case CsvRow::kMalformedTimestamp:
         return Status::InvalidArgument("malformed timestamp on row " +
                                        std::to_string(line_no) + " in " +
                                        path);
-      }
+      case CsvRow::kPoint:
+        break;
+    }
+    points.push_back(LatLon(lat, lon));
+    if (has_ts) {
       timestamps.push_back(ts);
       saw_timestamps = true;
     } else if (saw_timestamps) {
@@ -116,6 +144,7 @@ StatusOr<Trajectory> ReadPlt(const std::string& path) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    StripTrailingCr(&line);
     if (line_no <= 6) continue;  // PLT preamble
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
@@ -146,12 +175,12 @@ void SkipJsonWs(const std::string& s, std::size_t* pos) {
   }
 }
 
-/// Parses a JSON number at *pos, advancing past it.
+/// Parses a JSON number at *pos, advancing past it. C-locale semantics:
+/// JSON mandates '.' decimals no matter what the global locale says.
 bool ParseJsonNumber(const std::string& s, std::size_t* pos, double* out) {
   if (*pos >= s.size()) return false;
   const char* start = s.c_str() + *pos;
-  char* end = nullptr;
-  *out = std::strtod(start, &end);
+  const char* end = ParseDoublePrefixC(start, s.c_str() + s.size(), out);
   if (end == start) return false;
   *pos += static_cast<std::size_t>(end - start);
   return true;
@@ -330,13 +359,12 @@ Status WritePlt(const Trajectory& trajectory, const std::string& path) {
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
       << "0,2,255,My Track,0,0,2,8421376\n0\n";
-  char buf[160];
   for (Index i = 0; i < trajectory.size(); ++i) {
     const Point& p = trajectory[i];
     const double days = trajectory.timestamp(i) / kSecondsPerDay;
-    std::snprintf(buf, sizeof(buf), "%.8f,%.8f,0,0,%.9f,1899-12-30,00:00:00\n",
-                  p.lat(), p.lon(), days);
-    out << buf;
+    out << DoubleToStringFixed(p.lat(), 8) << ','
+        << DoubleToStringFixed(p.lon(), 8) << ",0,0,"
+        << DoubleToStringFixed(days, 9) << ",1899-12-30,00:00:00\n";
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::Ok();

@@ -14,8 +14,26 @@ Status WriteCsv(const Trajectory& trajectory, const std::string& path);
 
 /// Reads a CSV produced by WriteCsv (or any two/three numeric-column file
 /// with an optional header row). Returns IoError on filesystem problems and
-/// InvalidArgument on malformed rows.
+/// InvalidArgument on malformed rows. CRLF files parse identically to
+/// their LF twins, and parsing is locale-independent.
 StatusOr<Trajectory> ReadCsv(const std::string& path);
+
+/// Classification of one CSV line by ParseCsvPointRow.
+enum class CsvRow {
+  kBlank,               ///< Empty (possibly just "\r") or whitespace-only.
+  kMalformed,           ///< Not `lat,lon[,...]` — a header or a bad row.
+  kMalformedTimestamp,  ///< Coordinates fine, third field unparsable.
+  kPoint,               ///< Parsed; outputs are set.
+};
+
+/// Parses a single CSV line of the WriteCsv dialect
+/// (`lat,lon[,timestamp]`, whitespace- and CRLF-tolerant, C-locale
+/// numbers). This is the line-level primitive behind ReadCsv, exposed so
+/// streaming consumers (`fmotif stream`) can ingest rows as they arrive
+/// without buffering a whole file. On kPoint, `*lat`/`*lon` are set and
+/// `*timestamp` is set iff `*has_timestamp`.
+CsvRow ParseCsvPointRow(const std::string& line, double* lat, double* lon,
+                        double* timestamp, bool* has_timestamp);
 
 /// GeoLife PLT reader: skips the 6-line preamble, then parses rows of
 ///   latitude,longitude,0,altitude_ft,days,date,time

@@ -101,6 +101,23 @@ RelaxedBounds RelaxedBounds::Build(const DistanceProvider& dist,
   return rb;
 }
 
+RelaxedBounds RelaxedBounds::FromComponents(std::vector<double> rmin,
+                                            std::vector<double> cmin,
+                                            std::vector<double> cmin_start,
+                                            std::vector<double> rmin_full,
+                                            std::vector<double> cmin_full,
+                                            Index min_length_xi) {
+  RelaxedBounds rb;
+  rb.rmin_ = std::move(rmin);
+  rb.cmin_ = std::move(cmin);
+  rb.cmin_start_ = std::move(cmin_start);
+  rb.rmin_full_ = std::move(rmin_full);
+  rb.cmin_full_ = std::move(cmin_full);
+  rb.band_row_ = SlidingWindowMax(rb.rmin_, min_length_xi);
+  rb.band_col_ = SlidingWindowMax(rb.cmin_start_, min_length_xi);
+  return rb;
+}
+
 std::size_t RelaxedBounds::MemoryBytes() const {
   return (rmin_.capacity() + cmin_.capacity() + cmin_start_.capacity() +
           rmin_full_.capacity() +

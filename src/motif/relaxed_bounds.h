@@ -47,6 +47,20 @@ class RelaxedBounds {
                              const MotifOptions& options,
                              ThreadPool* pool = nullptr);
 
+  /// Assembles an instance from externally maintained component arrays —
+  /// the hook for incremental maintainers (the streaming engine keeps the
+  /// row/column minima up to date under window eviction instead of
+  /// re-running Build). The arrays must hold exactly the values Build
+  /// would produce for the same provider and options; the band arrays
+  /// are derived here via SlidingWindowMax with window `min_length_xi`,
+  /// exactly as Build derives them.
+  static RelaxedBounds FromComponents(std::vector<double> rmin,
+                                      std::vector<double> cmin,
+                                      std::vector<double> cmin_start,
+                                      std::vector<double> rmin_full,
+                                      std::vector<double> cmin_full,
+                                      Index min_length_xi);
+
   /// Relaxed row bound for any subset with second start index j.
   double Rmin(Index j) const { return rmin_[j]; }
 

@@ -113,6 +113,26 @@ struct MatrixDist {
   }
 };
 
+/// Devirtualized accessor over the sliding-window ring matrix: same
+/// row-major loads, plus the logical-to-physical head rotation (a
+/// branchless-friendly compare per axis, no modulo).
+struct RingDist {
+  const double* base;
+  std::size_t stride;
+  Index row_head;
+  Index col_head;
+  Index row_capacity;
+  Index col_capacity;
+  double operator()(Index r, Index c) const {
+    Index pr = row_head + r;
+    if (pr >= row_capacity) pr -= row_capacity;
+    Index pc = col_head + c;
+    if (pc >= col_capacity) pc -= col_capacity;
+    return base[static_cast<std::size_t>(pr) * stride +
+                static_cast<std::size_t>(pc)];
+  }
+};
+
 /// Accumulates the counters EvaluateSubset touches, for the deterministic
 /// in-order merge of parallel batches.
 void MergeEvaluationStats(const MotifStats& from, MotifStats* into) {
@@ -132,6 +152,17 @@ void EvaluateSubset(const DistanceProvider& dist, const MotifOptions& options,
   const Index m = dist.cols();
   if (const auto* matrix = dynamic_cast<const DistanceMatrix*>(&dist)) {
     const MatrixDist at{matrix->Row(0), static_cast<std::size_t>(m)};
+    EvaluateSubsetImpl(at, n, m, options, i, j, relaxed, use_end_cross, caps,
+                       state, stats, scratch);
+    return;
+  }
+  if (const auto* ring = dynamic_cast<const RingDistanceMatrix*>(&dist)) {
+    const RingDist at{ring->data(),
+                      static_cast<std::size_t>(ring->col_capacity()),
+                      ring->row_head(),
+                      ring->col_head(),
+                      ring->row_capacity(),
+                      ring->col_capacity()};
     EvaluateSubsetImpl(at, n, m, options, i, j, relaxed, use_end_cross, caps,
                        state, stats, scratch);
     return;
@@ -268,9 +299,16 @@ void RunSubsetQueue(const DistanceProvider& dist, const MotifOptions& options,
                     bool sort_entries, SearchState* state, MotifStats* stats,
                     EndpointCaps* caps_io, double lb_scale, ThreadPool* pool) {
   if (sort_entries) {
+    // Deterministic total order: ties on the bound break by (i, j), so
+    // the processing order does not depend on std::sort's treatment of
+    // equal keys — and, crucially for the streaming engine, filtering
+    // entries out of the array beforehand cannot reorder the survivors
+    // relative to the unfiltered queue.
     std::sort(entries->begin(), entries->end(),
               [](const SubsetEntry& a, const SubsetEntry& b) {
-                return a.lb < b.lb;
+                if (a.lb != b.lb) return a.lb < b.lb;
+                if (a.i != b.i) return a.i < b.i;
+                return a.j < b.j;
               });
   }
   EndpointCaps local_caps;

@@ -1,0 +1,184 @@
+#include "stream/incremental_bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace frechet_motif {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Minimum (value, achiever) of column `col` over logical rows
+/// [row_lo, row_hi]; (inf, -1) when the range is empty.
+void ColumnMin(const RingDistanceMatrix& dg, Index col, Index row_lo,
+               Index row_hi, double* value, Index* arg) {
+  *value = kInf;
+  *arg = -1;
+  for (Index c = row_lo; c <= row_hi; ++c) {
+    const double d = dg.Distance(c, col);
+    if (d < *value) {
+      *value = d;
+      *arg = c;
+    }
+  }
+}
+
+/// Row counterpart of ColumnMin.
+void RowMin(const RingDistanceMatrix& dg, Index row, Index col_lo,
+            Index col_hi, double* value, Index* arg) {
+  *value = kInf;
+  *arg = -1;
+  for (Index r = col_lo; r <= col_hi; ++r) {
+    const double d = dg.Distance(row, r);
+    if (d < *value) {
+      *value = d;
+      *arg = r;
+    }
+  }
+}
+
+}  // namespace
+
+void IncrementalRelaxedBounds::Reset(const RingDistanceMatrix& dg,
+                                     Index min_length_xi) {
+  (void)min_length_xi;  // bands are derived in Snapshot()
+  const Index w = dg.rows();
+  window_ = w;
+  rmin_.assign(w, kInf);
+  rmin_full_.assign(w, kInf);
+  cmin_.assign(w, kInf);
+  cmin_start_.assign(w, kInf);
+  cmin_full_.assign(w, kInf);
+  rmin_arg_.assign(w, -1);
+  rmin_full_arg_.assign(w, -1);
+  cmin_full_arg_.assign(w, -1);
+
+  // Mirrors RelaxedBounds::Build for the single-trajectory variant, with
+  // achiever tracking on the prefix-containing minima.
+  for (Index j = 0; j + 1 <= w - 1; ++j) {
+    ColumnMin(dg, j + 1, 0, w - 1, &rmin_full_[j], &rmin_full_arg_[j]);
+    ColumnMin(dg, j + 1, 0, j - 1, &rmin_[j], &rmin_arg_[j]);
+  }
+  for (Index i = 0; i + 1 <= w - 1; ++i) {
+    Index unused = -1;
+    RowMin(dg, i + 1, 0, w - 1, &cmin_full_[i], &cmin_full_arg_[i]);
+    RowMin(dg, i + 1, i + 1, w - 1, &cmin_[i], &unused);
+    RowMin(dg, i + 1, i + 3, w - 1, &cmin_start_[i], &unused);
+  }
+}
+
+void IncrementalRelaxedBounds::Slide(const RingDistanceMatrix& dg,
+                                     Index min_length_xi, Index shift) {
+  const Index w = dg.rows();
+  if (w != window_ || shift >= w) {
+    Reset(dg, min_length_xi);
+    return;
+  }
+  const Index old_lo = 0;          // first surviving logical index
+  const Index new_lo = w - shift;  // first freshly appended logical index
+  (void)old_lo;
+
+  std::vector<double> rmin(w, kInf), rmin_full(w, kInf), cmin(w, kInf),
+      cmin_start(w, kInf), cmin_full(w, kInf);
+  std::vector<Index> rmin_arg(w, -1), rmin_full_arg(w, -1),
+      cmin_full_arg(w, -1);
+
+  // ---- Rmin / RminFull: minima of column j+1 over row ranges. ----
+  for (Index j = 0; j + 1 <= w - 1; ++j) {
+    if (j + 1 < new_lo) {
+      // Column j+1 survived the slide; its old index was j+1+shift.
+      const Index oj = j + shift;
+      // Restricted range [0, j-1] = old rows [shift, oj-1] — a subrange
+      // of the old [0, oj-1]; the old value carries iff its achiever did.
+      if (rmin_arg_[oj] >= shift) {
+        rmin[j] = rmin_[oj];
+        rmin_arg[j] = rmin_arg_[oj] - shift;
+      } else {
+        ++rescans_;
+        ColumnMin(dg, j + 1, 0, j - 1, &rmin[j], &rmin_arg[j]);
+      }
+      // Full range [0, w-1] = surviving old rows plus the fresh rows.
+      double old_part = kInf;
+      Index old_arg = -1;
+      if (rmin_full_arg_[oj] >= shift) {
+        old_part = rmin_full_[oj];
+        old_arg = rmin_full_arg_[oj] - shift;
+      } else {
+        ++rescans_;
+        ColumnMin(dg, j + 1, 0, new_lo - 1, &old_part, &old_arg);
+      }
+      double fresh_part = kInf;
+      Index fresh_arg = -1;
+      ColumnMin(dg, j + 1, new_lo, w - 1, &fresh_part, &fresh_arg);
+      if (fresh_part < old_part) {
+        rmin_full[j] = fresh_part;
+        rmin_full_arg[j] = fresh_arg;
+      } else {
+        rmin_full[j] = old_part;
+        rmin_full_arg[j] = old_arg;
+      }
+    } else {
+      // Column j+1 is fresh: scan it once.
+      ColumnMin(dg, j + 1, 0, w - 1, &rmin_full[j], &rmin_full_arg[j]);
+      ColumnMin(dg, j + 1, 0, j - 1, &rmin[j], &rmin_arg[j]);
+    }
+  }
+
+  // ---- Cmin / CminStart / CminFull: minima of row i+1 over columns. ----
+  for (Index i = 0; i + 1 <= w - 1; ++i) {
+    if (i + 1 < new_lo) {
+      const Index oi = i + shift;
+      // Suffix ranges never lose a column to eviction: the old suffix
+      // [oi+1, w-1] maps exactly onto the surviving part of the new
+      // range, which additionally gains the fresh columns.
+      double fresh = kInf;
+      Index unused = -1;
+      RowMin(dg, i + 1, std::max(new_lo, i + 1), w - 1, &fresh, &unused);
+      cmin[i] = fresh < cmin_[oi] ? fresh : cmin_[oi];
+      RowMin(dg, i + 1, std::max(new_lo, i + 3), w - 1, &fresh, &unused);
+      cmin_start[i] = fresh < cmin_start_[oi] ? fresh : cmin_start_[oi];
+      // Full range: prefix part may lose its achiever, like RminFull.
+      double old_part = kInf;
+      Index old_arg = -1;
+      if (cmin_full_arg_[oi] >= shift) {
+        old_part = cmin_full_[oi];
+        old_arg = cmin_full_arg_[oi] - shift;
+      } else {
+        ++rescans_;
+        RowMin(dg, i + 1, 0, new_lo - 1, &old_part, &old_arg);
+      }
+      double fresh_part = kInf;
+      Index fresh_arg = -1;
+      RowMin(dg, i + 1, new_lo, w - 1, &fresh_part, &fresh_arg);
+      if (fresh_part < old_part) {
+        cmin_full[i] = fresh_part;
+        cmin_full_arg[i] = fresh_arg;
+      } else {
+        cmin_full[i] = old_part;
+        cmin_full_arg[i] = old_arg;
+      }
+    } else {
+      Index unused = -1;
+      RowMin(dg, i + 1, 0, w - 1, &cmin_full[i], &cmin_full_arg[i]);
+      RowMin(dg, i + 1, i + 1, w - 1, &cmin[i], &unused);
+      RowMin(dg, i + 1, i + 3, w - 1, &cmin_start[i], &unused);
+    }
+  }
+
+  rmin_.swap(rmin);
+  rmin_full_.swap(rmin_full);
+  cmin_.swap(cmin);
+  cmin_start_.swap(cmin_start);
+  cmin_full_.swap(cmin_full);
+  rmin_arg_.swap(rmin_arg);
+  rmin_full_arg_.swap(rmin_full_arg);
+  cmin_full_arg_.swap(cmin_full_arg);
+}
+
+RelaxedBounds IncrementalRelaxedBounds::Snapshot(Index min_length_xi) const {
+  return RelaxedBounds::FromComponents(rmin_, cmin_, cmin_start_, rmin_full_,
+                                       cmin_full_, min_length_xi);
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,81 @@
+#ifndef FRECHET_MOTIF_STREAM_INCREMENTAL_BOUNDS_H_
+#define FRECHET_MOTIF_STREAM_INCREMENTAL_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/trajectory.h"
+#include "motif/relaxed_bounds.h"
+
+namespace frechet_motif {
+
+/// Incremental maintenance of the RelaxedBounds component arrays for the
+/// single-trajectory problem over a sliding window, backed by a square
+/// RingDistanceMatrix.
+///
+/// The five component arrays (see motif/relaxed_bounds.h) are prefix or
+/// suffix minima of matrix rows/columns. When the window slides by `s`,
+/// each surviving entry's index range shifts with the window:
+///
+///  * The suffix-type minima (`Cmin[i]`, `CminStart[i]`: column ranges
+///    `[i+1, W-1]` / `[i+3, W-1]` of row i+1) lose nothing to eviction —
+///    the old value at index i+s covers exactly the surviving old
+///    columns — so the new value is `min(old value, min over the s new
+///    columns)`. O(1) per entry plus the fresh-cell scan.
+///  * The prefix-containing minima (`Rmin[j]` over rows `[0, j-1]`, and
+///    the full-row/column minima) can lose their minimizer to eviction.
+///    Each entry tracks the index of one achiever ("argmin"); when the
+///    achiever survives the shift the value carries over verbatim, and
+///    only when it was evicted is the (rare) O(W) rescan paid.
+///
+/// Values are *bit-identical* to a fresh RelaxedBounds::Build over the
+/// same window: a minimum of a set of doubles does not depend on the
+/// reduction order, and every carried value is justified by a surviving
+/// achiever. The band arrays are rebuilt from the maintained components
+/// by Snapshot() (via RelaxedBounds::FromComponents), exactly as Build
+/// derives them.
+///
+/// Cost per slide: O(s·W) reads for the fresh rows/columns, O(W) for the
+/// carries, plus O(W) per evicted-achiever rescan (expected O(s·log W)
+/// rescans per slide on non-adversarial data).
+class IncrementalRelaxedBounds {
+ public:
+  IncrementalRelaxedBounds() = default;
+
+  /// Cold build over the full window (dg.rows() == dg.cols()).
+  void Reset(const RingDistanceMatrix& dg, Index min_length_xi);
+
+  /// Advances the window by `shift` evicted/appended points. The ring must
+  /// already hold the post-slide window, at the same size as the last
+  /// Reset/Slide. A shift of >= the window size degenerates to Reset.
+  void Slide(const RingDistanceMatrix& dg, Index min_length_xi, Index shift);
+
+  /// Assembles the RelaxedBounds (including the derived band arrays) the
+  /// search consumes. O(W) copies.
+  RelaxedBounds Snapshot(Index min_length_xi) const;
+
+  /// Number of achiever-evicted rescans paid so far (engine statistics).
+  std::int64_t rescans() const { return rescans_; }
+
+ private:
+  Index window_ = 0;
+
+  std::vector<double> rmin_;
+  std::vector<double> rmin_full_;
+  std::vector<double> cmin_;
+  std::vector<double> cmin_start_;
+  std::vector<double> cmin_full_;
+
+  /// Logical row index achieving rmin_[j] / rmin_full_[j] (-1 when the
+  /// range is empty), and column index achieving cmin_full_[i].
+  std::vector<Index> rmin_arg_;
+  std::vector<Index> rmin_full_arg_;
+  std::vector<Index> cmin_full_arg_;
+
+  std::int64_t rescans_ = 0;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_STREAM_INCREMENTAL_BOUNDS_H_

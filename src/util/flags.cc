@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/numeric.h"
+
 namespace frechet_motif {
 
 Status Flags::Parse(int argc, const char* const* argv) {
@@ -51,9 +53,10 @@ std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') return def;
+  // C-locale parse regardless of the global locale, so "--eps=2.5" means
+  // the same thing in every environment.
+  double v = 0.0;
+  if (!ParseDoubleC(it->second, &v)) return def;
   return v;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/numeric.h"
+
 namespace frechet_motif {
 
 std::string JsonEscape(const std::string& s) {
@@ -26,7 +28,11 @@ std::string JsonEscape(const std::string& s) {
         out += "\\t";
         break;
       default:
-        if (c < 0x20) {
+        // Escape the C0 controls (required by RFC 8259) and DEL (0x7f),
+        // which is a control character many log pipelines mangle even
+        // though the RFC tolerates it raw. Bytes >= 0x80 pass through
+        // untouched — see the pass-through contract in json_writer.h.
+        if (c < 0x20 || c == 0x7f) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x", c);
           out += buf;
@@ -123,9 +129,9 @@ void JsonWriter::Double(double value) {
     Append("null");
     return;
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
-  std::string text = buf;
+  // Locale-independent: under a comma-decimal global locale snprintf("%g")
+  // would emit "12,5", which is not JSON.
+  std::string text = DoubleToStringGeneral(value, 10);
   // Keep the value typed as a number-with-fraction where possible so
   // schema-checking consumers see a stable shape.
   if (text.find_first_of(".eE") == std::string::npos) text += ".0";
@@ -138,9 +144,7 @@ void JsonWriter::Double(double value, int decimals) {
     Append("null");
     return;
   }
-  char buf[352];  // worst case: ~309 integral digits + fraction
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
-  Append(buf);
+  Append(DoubleToStringFixed(value, decimals));
 }
 
 void JsonWriter::Bool(bool value) {

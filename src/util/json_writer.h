@@ -73,6 +73,19 @@ class JsonWriter {
 };
 
 /// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+///
+/// Escaping contract:
+///  * `"` and `\` get backslash escapes; `\n`, `\r`, `\t` use the short
+///    forms; the remaining C0 controls and DEL (0x7f) are emitted as
+///    `\u00XX`.
+///  * Bytes >= 0x80 pass through **unchanged**. The writer neither
+///    validates nor repairs UTF-8: callers own the encoding of their
+///    strings, and well-formed UTF-8 input yields well-formed UTF-8
+///    JSON. A lone continuation byte in the input therefore produces a
+///    document that is structurally valid JSON but not valid UTF-8 —
+///    exactly as invalid as the input was. (File paths and user labels,
+///    the only strings this library round-trips, are treated as opaque
+///    bytes end to end.)
 std::string JsonEscape(const std::string& s);
 
 }  // namespace frechet_motif

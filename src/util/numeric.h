@@ -1,0 +1,62 @@
+#ifndef FRECHET_MOTIF_UTIL_NUMERIC_H_
+#define FRECHET_MOTIF_UTIL_NUMERIC_H_
+
+/// Locale-independent floating-point formatting and parsing.
+///
+/// The C standard library's `snprintf("%g"/"%f")` and `strtod` honor the
+/// process-global LC_NUMERIC locale: under a comma-decimal locale such as
+/// de_DE.UTF-8 they emit "39,9" and parse "39.9" only up to the decimal
+/// point. A library cannot assume its host application never calls
+/// setlocale(), so every data-plane writer/reader (CSV, GeoJSON, JSON
+/// output) must go through these helpers instead. They always use
+/// C-locale semantics ('.' decimal point, no grouping) regardless of the
+/// global locale, and produce byte-identical output to the C-locale
+/// printf formats they replace.
+///
+/// Human-facing ToString() dumps (stats tables, memory sizes) deliberately
+/// keep plain printf: they are display text, not data.
+
+#include <cstddef>
+#include <string>
+
+namespace frechet_motif {
+
+/// Formats `v` exactly as C-locale `printf("%.*g", significant, v)`.
+/// Writes into [buf, buf+size) and returns the number of characters
+/// written (no NUL is appended). `size` must be >= 40 for significant
+/// <= 17; passing a short buffer truncates to 0 characters.
+std::size_t FormatDoubleGeneral(char* buf, std::size_t size, double v,
+                                int significant);
+
+/// Formats `v` exactly as C-locale `printf("%.*f", decimals, v)`. Same
+/// buffer contract; fixed notation of a large double can need ~310 + the
+/// fractional digits, so size the buffer generously (>= 352).
+std::size_t FormatDoubleFixed(char* buf, std::size_t size, double v,
+                              int decimals);
+
+/// Convenience std::string forms of the two formatters.
+std::string DoubleToStringGeneral(double v, int significant);
+std::string DoubleToStringFixed(double v, int decimals);
+
+/// Parses a double from [begin, end) with C-locale semantics, requiring
+/// the whole range to be consumed. Accepts an optional leading '+' (which
+/// strtod accepted and CSV files in the wild use — but never "+-");
+/// accepts "inf"/"nan" spellings like strtod; saturates out-of-range
+/// magnitudes like strtod (overflow to +/-infinity, underflow toward
+/// zero); rejects empty input, trailing garbage, and locale decimal
+/// commas. Returns true and sets *out on success.
+bool ParseDoubleC(const char* begin, const char* end, double* out);
+
+/// std::string convenience overload of ParseDoubleC.
+bool ParseDoubleC(const std::string& s, double* out);
+
+/// strtod-style prefix parse with C-locale semantics: parses the longest
+/// valid double at `begin` and returns the first unconsumed position, or
+/// `begin` itself when no number starts there. Used by the JSON number
+/// scanner, which parses inside a larger document.
+const char* ParseDoublePrefixC(const char* begin, const char* end,
+                               double* out);
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_NUMERIC_H_

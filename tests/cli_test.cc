@@ -136,8 +136,8 @@ TEST(CliUsage, RootHelpExitsZero) {
 
 TEST(CliUsage, PerCommandHelpExitsZero) {
   for (const char* command :
-       {"motif", "topk", "cross", "join", "cluster", "stats", "simplify",
-        "gen"}) {
+       {"motif", "stream", "topk", "cross", "join", "cluster", "stats",
+        "simplify", "gen"}) {
     const CommandResult r = RunFmotif(std::string(command) + " --help");
     EXPECT_EQ(0, r.exit_code) << command;
     EXPECT_NE(std::string::npos, r.output.find("usage: fmotif")) << command;
@@ -158,6 +158,7 @@ TEST(CliUsage, UnknownCommandIsUsageError) {
 
 TEST(CliUsage, MissingPositionalIsUsageError) {
   EXPECT_EQ(2, RunFmotif("motif").exit_code);
+  EXPECT_EQ(2, RunFmotif("stream").exit_code);
   EXPECT_EQ(2, RunFmotif("cross one.csv").exit_code);
   EXPECT_EQ(2, RunFmotif("join only_one.csv").exit_code);
   EXPECT_EQ(2, RunFmotif("simplify in.csv").exit_code);  // --out required
@@ -215,6 +216,72 @@ TEST(CliJson, MotifSchemaAndGolden) {
     EXPECT_NE(std::string::npos, r.output.find(key)) << key;
   }
   ExpectMatchesGolden(Normalize(r.output), "motif_json.golden");
+}
+
+TEST(CliStream, JsonReportsPerSlideAndSummaryGolden) {
+  const std::string path =
+      WriteTrace("st.csv", "--kind=geolife --n=200 --seed=7");
+  const CommandResult r = RunFmotif(
+      "stream " + path + " --window=80 --slide=20 --xi=12 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output)) << r.output;
+  for (const char* key :
+       {"\"window_start\"", "\"seeded\"", "\"carried\"", "\"distance_m\"",
+        "\"dfd_cells_computed\"", "\"command\"", "\"points_ingested\"",
+        "\"seeded_searches\""}) {
+    EXPECT_NE(std::string::npos, r.output.find(key)) << key;
+  }
+  // (200 - 80) / 20 + 1 slides, one report each.
+  std::size_t reports = 0;
+  for (std::size_t at = 0;
+       (at = r.output.find("\"window_start\"", at)) != std::string::npos;
+       ++at) {
+    ++reports;
+  }
+  EXPECT_EQ(7u, reports);
+  ExpectMatchesGolden(Normalize(r.output), "stream_json.golden");
+}
+
+TEST(CliStream, StdinTailsIdenticallyToFileInput) {
+  const std::string path =
+      WriteTrace("sin.csv", "--kind=geolife --n=160 --seed=9");
+  const std::string args = " --window=60 --slide=30 --xi=8";
+  const CommandResult from_file = RunFmotif("stream " + path + args);
+  ASSERT_EQ(0, from_file.exit_code) << from_file.output;
+  // Feed the same rows through a pipe: `fmotif stream -` consumes stdin
+  // line by line, so live tailing works (`tail -f x.csv | fmotif stream -`).
+  CommandResult from_stdin;
+  const std::string command = "cat " + path + " | " +
+                              std::string(FMOTIF_BINARY) + " stream -" + args +
+                              " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(nullptr, pipe);
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    from_stdin.output.append(buffer, n);
+  }
+  from_stdin.exit_code = WEXITSTATUS(pclose(pipe));
+  EXPECT_EQ(0, from_stdin.exit_code) << from_stdin.output;
+  EXPECT_EQ(from_file.output, from_stdin.output);
+  EXPECT_NE(std::string::npos, from_file.output.find("seeded"));
+}
+
+TEST(CliStream, WindowLargerThanInputEmitsNoSlides) {
+  const std::string path =
+      WriteTrace("small.csv", "--kind=geolife --n=30 --seed=3");
+  const CommandResult r =
+      RunFmotif("stream " + path + " --window=60 --slide=10 --xi=8");
+  EXPECT_EQ(0, r.exit_code) << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("0 slides"));
+}
+
+TEST(CliStream, InvalidWindowIsRuntimeError) {
+  const std::string path =
+      WriteTrace("inv.csv", "--kind=geolife --n=50 --seed=3");
+  // xi=100 needs a window of at least 204 points.
+  const CommandResult r = RunFmotif("stream " + path + " --window=50");
+  EXPECT_EQ(1, r.exit_code);
 }
 
 TEST(CliJson, TopKReturnsAscendingDistances) {

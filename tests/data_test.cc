@@ -269,6 +269,99 @@ TEST(IoTest, CsvRoundTripWithoutTimestamps) {
   std::remove(path.c_str());
 }
 
+TEST(IoTest, CrlfCsvParsesIdenticallyToLfTwin) {
+  // Windows-authored file: CRLF line endings, a blank CRLF line in the
+  // middle and a trailing one — both used to be fatal ("malformed CSV
+  // row"), and the \r previously leaked into the last field.
+  const std::string lf_path = TempPath("unix.csv");
+  const std::string crlf_path = TempPath("windows.csv");
+  {
+    FILE* f = fopen(lf_path.c_str(), "w");
+    fputs("lat,lon,timestamp\n39.9,116.3,100.5\n\n39.95,116.35,101.5\n\n",
+          f);
+    fclose(f);
+    f = fopen(crlf_path.c_str(), "w");
+    fputs(
+        "lat,lon,timestamp\r\n39.9,116.3,100.5\r\n\r\n"
+        "39.95,116.35,101.5\r\n\r\n",
+        f);
+    fclose(f);
+  }
+  const Trajectory lf = ReadCsv(lf_path).value();
+  StatusOr<Trajectory> crlf = ReadCsv(crlf_path);
+  ASSERT_TRUE(crlf.ok()) << crlf.status();
+  ASSERT_EQ(lf.size(), crlf.value().size());
+  for (Index i = 0; i < lf.size(); ++i) {
+    EXPECT_EQ(lf[i].lat(), crlf.value()[i].lat());
+    EXPECT_EQ(lf[i].lon(), crlf.value()[i].lon());
+    EXPECT_EQ(lf.timestamp(i), crlf.value().timestamp(i));
+  }
+  std::remove(lf_path.c_str());
+  std::remove(crlf_path.c_str());
+}
+
+TEST(IoTest, CrlfPltParsesIdenticallyToLfTwin) {
+  DatasetOptions options;
+  options.length = 20;
+  const Trajectory t = MakeDataset(DatasetKind::kTruckLike, options).value();
+  const std::string lf_path = TempPath("unix.plt");
+  ASSERT_TRUE(WritePlt(t, lf_path).ok());
+  // Re-author the same file with CRLF endings.
+  std::string content;
+  {
+    FILE* f = fopen(lf_path.c_str(), "r");
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+    fclose(f);
+  }
+  std::string crlf_content;
+  for (char c : content) {
+    if (c == '\n') crlf_content += '\r';
+    crlf_content += c;
+  }
+  const std::string crlf_path = TempPath("windows.plt");
+  {
+    FILE* f = fopen(crlf_path.c_str(), "w");
+    fwrite(crlf_content.data(), 1, crlf_content.size(), f);
+    fclose(f);
+  }
+  const Trajectory lf = ReadPlt(lf_path).value();
+  StatusOr<Trajectory> crlf = ReadPlt(crlf_path);
+  ASSERT_TRUE(crlf.ok()) << crlf.status();
+  ASSERT_EQ(lf.size(), crlf.value().size());
+  for (Index i = 0; i < lf.size(); ++i) {
+    EXPECT_EQ(lf[i].lat(), crlf.value()[i].lat());
+    EXPECT_EQ(lf.timestamp(i), crlf.value().timestamp(i));
+  }
+  std::remove(lf_path.c_str());
+  std::remove(crlf_path.c_str());
+}
+
+TEST(IoTest, ParseCsvPointRowClassifiesLines) {
+  double lat = 0.0;
+  double lon = 0.0;
+  double ts = 0.0;
+  bool has_ts = false;
+  EXPECT_EQ(CsvRow::kBlank, ParseCsvPointRow("", &lat, &lon, &ts, &has_ts));
+  EXPECT_EQ(CsvRow::kBlank, ParseCsvPointRow("\r", &lat, &lon, &ts, &has_ts));
+  EXPECT_EQ(CsvRow::kBlank,
+            ParseCsvPointRow("   ", &lat, &lon, &ts, &has_ts));
+  EXPECT_EQ(CsvRow::kMalformed,
+            ParseCsvPointRow("lat,lon", &lat, &lon, &ts, &has_ts));
+  EXPECT_EQ(CsvRow::kMalformedTimestamp,
+            ParseCsvPointRow("1.5,2.5,zebra", &lat, &lon, &ts, &has_ts));
+  EXPECT_EQ(CsvRow::kPoint,
+            ParseCsvPointRow("1.5, 2.5\r", &lat, &lon, &ts, &has_ts));
+  EXPECT_EQ(1.5, lat);
+  EXPECT_EQ(2.5, lon);
+  EXPECT_FALSE(has_ts);
+  EXPECT_EQ(CsvRow::kPoint,
+            ParseCsvPointRow("1.5,2.5,99.25\r", &lat, &lon, &ts, &has_ts));
+  ASSERT_TRUE(has_ts);
+  EXPECT_EQ(99.25, ts);
+}
+
 TEST(IoTest, ReadMissingFileIsIoError) {
   StatusOr<Trajectory> r = ReadCsv("/nonexistent/definitely/missing.csv");
   EXPECT_FALSE(r.ok());

@@ -1,0 +1,233 @@
+// Locale-robustness regression tests: the I/O stack (CSV/GeoJSON/PLT
+// writers and readers, the JSON writer, flag parsing) must behave
+// identically under a comma-decimal global locale — historically,
+// snprintf("%f") serialized "39,9" and strtod("39.9") stopped at the
+// decimal point, silently corrupting coordinates on any host application
+// that calls setlocale().
+//
+// The tests activate de_DE.UTF-8 (or another comma-decimal locale). When
+// none is installed they *generate* one with localedef into a temp
+// directory and point LOCPATH at it, so the round-trip genuinely runs
+// under a decimal comma on minimal containers and CI runners alike; they
+// skip only when even that fails. This file is its own test binary so the
+// global locale never leaks into other suites.
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+
+#include "data/io.h"
+#include "gtest/gtest.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/numeric.h"
+
+namespace frechet_motif {
+namespace {
+
+/// Activates a comma-decimal locale for the lifetime of the object,
+/// generating one with localedef when none is installed. ok() is false
+/// when no comma-decimal locale could be activated.
+class CommaLocale {
+ public:
+  CommaLocale() {
+    previous_ = std::setlocale(LC_ALL, nullptr);
+    static const char* kCandidates[] = {"de_DE.UTF-8", "de_DE.utf8",
+                                        "fr_FR.UTF-8", "da_DK.UTF-8"};
+    for (const char* name : kCandidates) {
+      if (Activate(name)) return;
+    }
+    // Not installed: compile de_DE.UTF-8 from the glibc locale sources
+    // into a temp dir and point LOCPATH at it.
+    const std::string dir = ::testing::TempDir() + "fmotif_locales";
+    ::mkdir(dir.c_str(), 0755);
+    const std::string command =
+        "localedef -i de_DE -f UTF-8 '" + dir + "/de_DE.UTF-8' >/dev/null 2>&1";
+    if (std::system(command.c_str()) != -1) {
+      ::setenv("LOCPATH", dir.c_str(), 1);
+      set_locpath_ = true;
+      if (Activate("de_DE.UTF-8")) return;
+    }
+  }
+
+  ~CommaLocale() {
+    std::setlocale(LC_ALL, previous_.c_str());
+    if (set_locpath_) ::unsetenv("LOCPATH");
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  bool Activate(const char* name) {
+    if (std::setlocale(LC_ALL, name) == nullptr) return false;
+    // Prove the decimal comma is live — otherwise the tests would pass
+    // vacuously.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f", 1.5);
+    ok_ = std::string(buf) == "1,5";
+    if (!ok_) std::setlocale(LC_ALL, previous_.c_str());
+    return ok_;
+  }
+
+  std::string previous_;
+  bool ok_ = false;
+  bool set_locpath_ = false;
+};
+
+#define REQUIRE_COMMA_LOCALE(guard)                                     \
+  if (!(guard).ok()) {                                                  \
+    GTEST_SKIP() << "no comma-decimal locale available (setlocale and " \
+                    "localedef both failed)";                           \
+  }
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Trajectory MakeFractionalTrajectory() {
+  std::vector<Point> points = {LatLon(39.98765432, 116.30455678),
+                               LatLon(39.98770001, 116.30460002),
+                               LatLon(39.98774570, 116.30464541)};
+  std::vector<double> times = {1234567890.125, 1234567895.5, 1234567900.875};
+  return Trajectory(std::move(points), std::move(times));
+}
+
+TEST(LocaleRoundTrip, CsvBytesAndValuesAreLocaleInvariant) {
+  const Trajectory t = MakeFractionalTrajectory();
+  const std::string comma_path = ::testing::TempDir() + "locale_comma.csv";
+  const std::string c_path = ::testing::TempDir() + "locale_c.csv";
+
+  {
+    CommaLocale guard;
+    REQUIRE_COMMA_LOCALE(guard);
+    ASSERT_TRUE(WriteCsv(t, comma_path).ok());
+    // Reading back under the comma locale must also work.
+    StatusOr<Trajectory> back = ReadCsv(comma_path);
+    ASSERT_TRUE(back.ok()) << back.status();
+    ASSERT_EQ(t.size(), back.value().size());
+    for (Index i = 0; i < t.size(); ++i) {
+      EXPECT_DOUBLE_EQ(t[i].lat(), back.value()[i].lat());
+      EXPECT_DOUBLE_EQ(t[i].lon(), back.value()[i].lon());
+      EXPECT_DOUBLE_EQ(t.timestamp(i), back.value().timestamp(i));
+    }
+  }
+  ASSERT_TRUE(WriteCsv(t, c_path).ok());  // C locale restored here
+  EXPECT_EQ(ReadFileBytes(c_path), ReadFileBytes(comma_path))
+      << "CSV bytes drifted under the comma locale";
+  EXPECT_NE(std::string::npos, ReadFileBytes(c_path).find("39.98765432"));
+}
+
+TEST(LocaleRoundTrip, GeoJsonBytesAndValuesAreLocaleInvariant) {
+  const Trajectory t = MakeFractionalTrajectory();
+  const std::string comma_path =
+      ::testing::TempDir() + "locale_comma.geojson";
+  const std::string c_path = ::testing::TempDir() + "locale_c.geojson";
+
+  {
+    CommaLocale guard;
+    REQUIRE_COMMA_LOCALE(guard);
+    ASSERT_TRUE(WriteGeoJson(t, comma_path).ok());
+    StatusOr<Trajectory> back = ReadGeoJson(comma_path);
+    ASSERT_TRUE(back.ok()) << back.status();
+    ASSERT_EQ(t.size(), back.value().size());
+    for (Index i = 0; i < t.size(); ++i) {
+      EXPECT_DOUBLE_EQ(t[i].lat(), back.value()[i].lat());
+      EXPECT_DOUBLE_EQ(t[i].lon(), back.value()[i].lon());
+      EXPECT_DOUBLE_EQ(t.timestamp(i), back.value().timestamp(i));
+    }
+  }
+  ASSERT_TRUE(WriteGeoJson(t, c_path).ok());
+  EXPECT_EQ(ReadFileBytes(c_path), ReadFileBytes(comma_path));
+}
+
+TEST(LocaleRoundTrip, PltBytesAreLocaleInvariant) {
+  const Trajectory t = MakeFractionalTrajectory();
+  const std::string comma_path = ::testing::TempDir() + "locale_comma.plt";
+  const std::string c_path = ::testing::TempDir() + "locale_c.plt";
+  {
+    CommaLocale guard;
+    REQUIRE_COMMA_LOCALE(guard);
+    ASSERT_TRUE(WritePlt(t, comma_path).ok());
+    StatusOr<Trajectory> back = ReadPlt(comma_path);
+    ASSERT_TRUE(back.ok()) << back.status();
+    ASSERT_EQ(t.size(), back.value().size());
+  }
+  ASSERT_TRUE(WritePlt(t, c_path).ok());
+  EXPECT_EQ(ReadFileBytes(c_path), ReadFileBytes(comma_path));
+}
+
+TEST(LocaleRoundTrip, JsonWriterEmitsDotDecimalsUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("shortest");
+  w.Double(12.5);
+  w.Key("fixed");
+  w.Double(1234567890.125, 3);
+  w.Key("tiny");
+  w.Double(1.25e-7);
+  w.EndObject();
+  EXPECT_NE(std::string::npos, w.str().find("12.5"));
+  EXPECT_NE(std::string::npos, w.str().find("1234567890.125"));
+  EXPECT_NE(std::string::npos, w.str().find("1.25e-07"));
+  // The element separators are legitimate commas; decimal commas inside
+  // the numbers are not.
+  EXPECT_EQ(std::string::npos, w.str().find("12,5"))
+      << "JSON grew a decimal comma: " << w.str();
+  EXPECT_EQ(std::string::npos, w.str().find("890,125"));
+}
+
+TEST(LocaleRoundTrip, ParsersAcceptDotDecimalsUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+
+  double lat = 0.0;
+  double lon = 0.0;
+  double ts = 0.0;
+  bool has_ts = false;
+  ASSERT_EQ(CsvRow::kPoint, ParseCsvPointRow("39.98765432,116.30455678,7.5",
+                                             &lat, &lon, &ts, &has_ts));
+  EXPECT_DOUBLE_EQ(39.98765432, lat);
+  EXPECT_DOUBLE_EQ(116.30455678, lon);
+  ASSERT_TRUE(has_ts);
+  EXPECT_DOUBLE_EQ(7.5, ts);
+
+  double v = 0.0;
+  EXPECT_TRUE(ParseDoubleC("2.5", &v));
+  EXPECT_DOUBLE_EQ(2.5, v);
+  EXPECT_TRUE(ParseDoubleC("+1.25e2", &v));
+  EXPECT_DOUBLE_EQ(125.0, v);
+  EXPECT_FALSE(ParseDoubleC("2,5", &v)) << "decimal comma must not parse";
+  EXPECT_FALSE(ParseDoubleC("2.5x", &v));
+  EXPECT_FALSE(ParseDoubleC("", &v));
+  EXPECT_FALSE(ParseDoubleC("+", &v));
+  EXPECT_FALSE(ParseDoubleC("+-3", &v)) << "double sign must not parse";
+  // Out-of-range magnitudes saturate like strtod — and do so under the
+  // comma locale too.
+  EXPECT_TRUE(ParseDoubleC("1.5e999", &v));
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_GT(v, 0.0);
+  EXPECT_TRUE(ParseDoubleC("-1.5e999", &v));
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_LT(v, 0.0);
+  EXPECT_TRUE(ParseDoubleC("2.5e-999", &v));
+  EXPECT_GE(v, 0.0);
+  EXPECT_LT(v, 1e-300);
+
+  const char* argv[] = {"prog", "--eps=2.5"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_DOUBLE_EQ(2.5, flags.GetDouble("eps", 0.0));
+}
+
+}  // namespace
+}  // namespace frechet_motif

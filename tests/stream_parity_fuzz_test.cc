@@ -1,0 +1,185 @@
+// Randomized streaming <-> batch parity: random window/slide/ξ schedules
+// over generated trajectories, replayed through a serial monitor and a
+// threads=4 monitor in lockstep. Every emitted update must be
+// bit-identical — candidate and distance — to a from-scratch FindMotif
+// (the relaxed bounding search) on the identical window, and the two
+// monitors must agree with each other on every slide.
+
+#include <optional>
+#include <vector>
+
+#include "data/datasets.h"
+#include "geo/metric.h"
+#include "gtest/gtest.h"
+#include "motif/motif.h"
+#include "similarity/frechet.h"
+#include "stream/streaming_motif_monitor.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+namespace {
+
+struct FuzzConfig {
+  Index window = 0;
+  Index slide = 0;
+  Index xi = 0;
+  Index points = 0;
+  bool haversine = false;
+  std::uint64_t data_seed = 0;
+};
+
+FuzzConfig DrawConfig(Rng* rng, std::uint64_t data_seed) {
+  FuzzConfig config;
+  config.xi = static_cast<Index>(rng->NextInt(6, 24));
+  // W must admit a valid single-trajectory candidate: W >= 2ξ + 4.
+  config.window = static_cast<Index>(
+      rng->NextInt(2 * config.xi + 4, 2 * config.xi + 80));
+  config.slide = static_cast<Index>(rng->NextInt(1, config.window));
+  config.points =
+      config.window + static_cast<Index>(rng->NextInt(50, 260));
+  config.haversine = rng->NextInt(0, 1) == 0;
+  config.data_seed = data_seed;
+  return config;
+}
+
+Trajectory MakeData(const FuzzConfig& config) {
+  if (config.haversine) {
+    DatasetOptions options;
+    options.length = config.points;
+    options.seed = config.data_seed;
+    return MakeDataset(DatasetKind::kGeoLifeLike, options).value();
+  }
+  return testing_util::MakePlanarWalk(config.points, config.data_seed);
+}
+
+TEST(StreamParityFuzz, RandomSchedulesMatchBatchSerialAndThreaded) {
+  Rng rng(20260730);
+  for (int round = 0; round < 6; ++round) {
+    const FuzzConfig config = DrawConfig(&rng, 1000 + round);
+    SCOPED_TRACE(::testing::Message()
+                 << "round " << round << ": W=" << config.window
+                 << " slide=" << config.slide << " xi=" << config.xi
+                 << " n=" << config.points
+                 << (config.haversine ? " haversine" : " euclidean"));
+    const Trajectory t = MakeData(config);
+    const HaversineMetric haversine;
+    const EuclideanMetric euclidean;
+    const GroundMetric& metric =
+        config.haversine ? static_cast<const GroundMetric&>(haversine)
+                         : static_cast<const GroundMetric&>(euclidean);
+
+    StreamOptions serial_options;
+    serial_options.window_length = config.window;
+    serial_options.slide_step = config.slide;
+    serial_options.min_length_xi = config.xi;
+    serial_options.threads = 1;
+    StreamOptions threaded_options = serial_options;
+    threaded_options.threads = 4;
+
+    auto serial = StreamingMotifMonitor::Create(serial_options, metric);
+    auto threaded = StreamingMotifMonitor::Create(threaded_options, metric);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(threaded.ok()) << threaded.status();
+
+    int slides = 0;
+    for (Index k = 0; k < t.size(); ++k) {
+      auto su = serial.value().Push(t[k]);
+      auto tu = threaded.value().Push(t[k]);
+      ASSERT_TRUE(su.ok()) << su.status();
+      ASSERT_TRUE(tu.ok()) << tu.status();
+      ASSERT_EQ(su.value().has_value(), tu.value().has_value());
+      if (!su.value().has_value()) continue;
+      ++slides;
+
+      // Serial and threads=4 agree bit for bit, including seeding and
+      // the carried flag.
+      EXPECT_EQ(su.value()->motif.best, tu.value()->motif.best);
+      EXPECT_EQ(su.value()->motif.distance, tu.value()->motif.distance);
+      EXPECT_EQ(su.value()->seeded, tu.value()->seeded);
+      EXPECT_EQ(su.value()->carried, tu.value()->carried);
+
+      // Both agree with the from-scratch baseline on the same window:
+      // the distance unconditionally; the pair whenever the slide found
+      // a fresh optimum (a carried slide may report a different
+      // achiever of the same distance on tie-heavy data, so there it is
+      // held to the exactness oracle instead).
+      const Trajectory window = serial.value().WindowTrajectory();
+      auto scratch =
+          FindMotif(window, metric, serial_options.BaselineOptions());
+      ASSERT_TRUE(scratch.ok()) << scratch.status();
+      EXPECT_EQ(scratch.value().found, su.value()->motif.found);
+      EXPECT_EQ(scratch.value().distance, su.value()->motif.distance);
+      if (!su.value()->carried) {
+        EXPECT_EQ(scratch.value().best, su.value()->motif.best);
+      } else {
+        const DistanceMatrix dg =
+            DistanceMatrix::Build(window, metric).value();
+        const Candidate& c = su.value()->motif.best;
+        auto exact = DiscreteFrechetOnRange(dg, c.i, c.ie, c.j, c.je);
+        ASSERT_TRUE(exact.ok()) << exact.status();
+        EXPECT_EQ(su.value()->motif.distance, exact.value());
+      }
+    }
+    EXPECT_GT(slides, 0);
+  }
+}
+
+TEST(StreamParityFuzz, RandomCrossInterleavings) {
+  Rng rng(424242);
+  for (int round = 0; round < 3; ++round) {
+    const Index xi = static_cast<Index>(rng.NextInt(6, 16));
+    StreamOptions options;
+    options.min_length_xi = xi;
+    options.window_length = static_cast<Index>(rng.NextInt(xi + 8, 70));
+    options.slide_step =
+        static_cast<Index>(rng.NextInt(1, options.window_length));
+    options.threads = round == 2 ? 4 : 1;
+    SCOPED_TRACE(::testing::Message()
+                 << "round " << round << ": W=" << options.window_length
+                 << " slide=" << options.slide_step << " xi=" << xi);
+
+    DatasetOptions data;
+    data.length = 260;
+    data.seed = 5000 + round;
+    const Trajectory a =
+        MakeDataset(DatasetKind::kGeoLifeLike, data).value();
+    data.seed = 6000 + round;
+    const Trajectory b = MakeDataset(DatasetKind::kTruckLike, data).value();
+    const HaversineMetric metric;
+
+    auto monitor = StreamingMotifMonitor::CreateCross(options, metric);
+    ASSERT_TRUE(monitor.ok()) << monitor.status();
+    Index ka = 0;
+    Index kb = 0;
+    int slides = 0;
+    while (ka < a.size() || kb < b.size()) {
+      const bool push_first =
+          kb >= b.size() || (ka < a.size() && rng.NextInt(0, 1) == 0);
+      auto push = push_first ? monitor.value().Push(a[ka++])
+                             : monitor.value().PushSecond(b[kb++]);
+      ASSERT_TRUE(push.ok()) << push.status();
+      if (!push.value().has_value()) continue;
+      ++slides;
+      const Trajectory wa = monitor.value().WindowTrajectory();
+      const Trajectory wb = monitor.value().SecondWindowTrajectory();
+      auto scratch = FindMotif(wa, wb, metric, options.BaselineOptions());
+      ASSERT_TRUE(scratch.ok()) << scratch.status();
+      EXPECT_EQ(scratch.value().distance, push.value()->motif.distance);
+      if (!push.value()->carried) {
+        EXPECT_EQ(scratch.value().best, push.value()->motif.best);
+      } else {
+        const DistanceMatrix dg =
+            DistanceMatrix::Build(wa, wb, metric).value();
+        const Candidate& c = push.value()->motif.best;
+        auto exact = DiscreteFrechetOnRange(dg, c.i, c.ie, c.j, c.je);
+        ASSERT_TRUE(exact.ok()) << exact.status();
+        EXPECT_EQ(push.value()->motif.distance, exact.value());
+      }
+    }
+    EXPECT_GT(slides, 0);
+  }
+}
+
+}  // namespace
+}  // namespace frechet_motif

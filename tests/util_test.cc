@@ -294,5 +294,32 @@ TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
   EXPECT_EQ(w.str(), "\"a\\\"b\"");
 }
 
+TEST(JsonWriterTest, EscapesDelAndEveryC0Control) {
+  // DEL is a control character even though RFC 8259 tolerates it raw;
+  // log pipelines do not.
+  EXPECT_EQ(JsonEscape(std::string(1, '\x7f')), "\\u007f");
+  EXPECT_EQ(JsonEscape("a\x7f"
+                       "b"),
+            "a\\u007fb");
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = JsonEscape(std::string(1, static_cast<char>(c)));
+    EXPECT_EQ('\\', escaped[0]) << "control 0x" << std::hex << c;
+  }
+}
+
+TEST(JsonWriterTest, PassesUtf8BytesThroughUnchanged) {
+  // Well-formed UTF-8 survives byte for byte...
+  const std::string utf8 = "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97";
+  EXPECT_EQ(utf8, JsonEscape(utf8));
+  // ...and so do invalid sequences (a lone continuation byte, a
+  // truncated lead byte): the writer's contract is byte transparency
+  // above 0x7f, never silent repair. The output is exactly as (in)valid
+  // UTF-8 as the input was.
+  const std::string lone_continuation("k\x80v", 3);
+  EXPECT_EQ(lone_continuation, JsonEscape(lone_continuation));
+  const std::string truncated_lead("x\xe2", 2);
+  EXPECT_EQ(truncated_lead, JsonEscape(truncated_lead));
+}
+
 }  // namespace
 }  // namespace frechet_motif
