@@ -32,7 +32,10 @@
 ///    top-k;
 ///  * `<frechet_motif/stream.h>` — incremental sliding-window motif
 ///    maintenance over live point streams;
-///  * `<frechet_motif/join.h>` — DFD similarity join;
+///  * `<frechet_motif/fleet.h>` — N streams behind one arrival loop,
+///    scheduler and incremental ε-join (MotifFleetEngine);
+///  * `<frechet_motif/join.h>` — DFD similarity join, batch and
+///    incremental;
 ///  * `<frechet_motif/cluster.h>` — subtrajectory clustering;
 ///  * `<frechet_motif/symbolic.h>` — the symbolic baseline of Figure 4;
 ///  * `<frechet_motif/datasets.h>` — reproducible synthetic datasets.
@@ -43,6 +46,7 @@
 
 #include "frechet_motif/cluster.h"
 #include "frechet_motif/datasets.h"
+#include "frechet_motif/fleet.h"
 #include "frechet_motif/join.h"
 #include "frechet_motif/motif.h"
 #include "frechet_motif/options.h"

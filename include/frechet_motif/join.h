@@ -15,7 +15,15 @@
 /// join --eps` flag); `JoinOptions::threads` parallelizes candidate
 /// verification deterministically. `JoinStats` counts how each pruning
 /// stage resolved the candidate pairs.
+///
+/// For mutating collections (sliding windows), `IncrementalDfdJoin`
+/// maintains the match set across snapshot updates with a mutable grid
+/// index and a verdict cache, emitting per-update deltas (pairs
+/// entering/leaving ε) whose accumulation equals a from-scratch join —
+/// the engine behind the fleet's `join_delta` reports
+/// (`<frechet_motif/fleet.h>`).
 
+#include "join/incremental_join.h"
 #include "join/similarity_join.h"
 
 #endif  // FRECHET_MOTIF_PUBLIC_JOIN_H_

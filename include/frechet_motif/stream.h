@@ -25,18 +25,18 @@
 /// }
 /// ```
 ///
-/// Every per-slide answer reports exactly the window's optimal motif
-/// distance — bit-identical to a from-scratch `FindMotif` on the
+/// Every per-slide answer — candidate *and* distance, exact ties
+/// included — is bit-identical to a from-scratch `FindMotif` on the
 /// identical window configured with `StreamOptions::BaselineOptions()`;
-/// streaming trades no exactness for its incrementality. The reported
-/// *pair* is also bit-identical whenever the optimum is uniquely
-/// attained; when several pairs tie at exactly the optimal distance, a
-/// carried slide keeps the previous pair (shifted) while a from-scratch
-/// run re-breaks the tie from its own enumeration — the one divergence
-/// possible, spelled out in the StreamingMotifMonitor contract. The
-/// `fmotif stream` subcommand exposes the same engine on the command
-/// line.
+/// streaming trades no exactness for its incrementality. (Equal-distance
+/// candidates resolve everywhere to the canonical lexicographic
+/// (i, j, ie, je) minimum — see `CandidateOrderedBefore` — which is what
+/// makes the parity exact even on adversarial tied data.) The `fmotif
+/// stream` subcommand exposes the same engine on the command line; for
+/// many streams behind one arrival loop, see `<frechet_motif/fleet.h>`.
 
+#include "stream/ingest_frontend.h"
 #include "stream/streaming_motif_monitor.h"
+#include "stream/window_state.h"
 
 #endif  // FRECHET_MOTIF_PUBLIC_STREAM_H_

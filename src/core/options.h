@@ -60,6 +60,19 @@ struct Candidate {
   }
 };
 
+/// The canonical candidate order used to break exact distance ties:
+/// lexicographic on (i, j, ie, je) — subset start pair first, matching the
+/// (lb, i, j) order of the search queue, then endpoints. Every search path
+/// (serial, threaded, streaming-carried, from-scratch) resolves equal-DFD
+/// candidates to the minimum under this order, which is what makes their
+/// answers bit-identical even on adversarial tied data.
+inline bool CandidateOrderedBefore(const Candidate& a, const Candidate& b) {
+  if (a.i != b.i) return a.i < b.i;
+  if (a.j != b.j) return a.j < b.j;
+  if (a.ie != b.ie) return a.ie < b.ie;
+  return a.je < b.je;
+}
+
 std::ostream& operator<<(std::ostream& os, const Candidate& c);
 
 /// True iff `c` satisfies the validity constraints for the given options and

@@ -32,25 +32,96 @@ std::int32_t GridIndex::CellOf(double v) const {
   return static_cast<std::int32_t>(std::floor(v / cell_size_));
 }
 
-StatusOr<GridIndex> GridIndex::Build(const std::vector<BoundingBox>& boxes,
-                                     double cell_size) {
+GridIndex::CellRange GridIndex::RangeOf(const BoundingBox& box) const {
+  return CellRange{CellOf(box.min_x), CellOf(box.max_x), CellOf(box.min_y),
+                   CellOf(box.max_y)};
+}
+
+void GridIndex::AddToCell(std::int32_t cx, std::int32_t cy, std::size_t id) {
+  cells_[CellKey(cx, cy)].push_back(id);
+}
+
+void GridIndex::DropFromCell(std::int32_t cx, std::int32_t cy,
+                             std::size_t id) {
+  const auto it = cells_.find(CellKey(cx, cy));
+  if (it == cells_.end()) return;
+  std::vector<std::size_t>& ids = it->second;
+  const auto at = std::find(ids.begin(), ids.end(), id);
+  if (at != ids.end()) ids.erase(at);
+  if (ids.empty()) cells_.erase(it);
+}
+
+StatusOr<GridIndex> GridIndex::CreateEmpty(double cell_size) {
   if (!(cell_size > 0.0)) {
     return Status::InvalidArgument("grid cell size must be positive");
   }
   GridIndex index;
   index.cell_size_ = cell_size;
-  index.boxes_ = boxes;
+  return index;
+}
+
+StatusOr<GridIndex> GridIndex::Build(const std::vector<BoundingBox>& boxes,
+                                     double cell_size) {
+  StatusOr<GridIndex> index = CreateEmpty(cell_size);
+  if (!index.ok()) return index;
   for (std::size_t id = 0; id < boxes.size(); ++id) {
-    const BoundingBox& b = boxes[id];
-    for (std::int32_t cx = index.CellOf(b.min_x);
-         cx <= index.CellOf(b.max_x); ++cx) {
-      for (std::int32_t cy = index.CellOf(b.min_y);
-           cy <= index.CellOf(b.max_y); ++cy) {
-        index.cells_[CellKey(cx, cy)].push_back(id);
-      }
-    }
+    FM_RETURN_IF_ERROR(index.value().Insert(id, boxes[id]));
   }
   return index;
+}
+
+Status GridIndex::Insert(std::size_t id, const BoundingBox& box) {
+  if (boxes_.count(id) != 0) {
+    return Status::InvalidArgument("grid id already present; use Update");
+  }
+  const CellRange range = RangeOf(box);
+  for (std::int32_t cx = range.x0; cx <= range.x1; ++cx) {
+    for (std::int32_t cy = range.y0; cy <= range.y1; ++cy) {
+      AddToCell(cx, cy, id);
+    }
+  }
+  boxes_.emplace(id, box);
+  return Status::Ok();
+}
+
+Status GridIndex::Update(std::size_t id, const BoundingBox& box) {
+  const auto it = boxes_.find(id);
+  if (it == boxes_.end()) {
+    return Status::NotFound("grid id not present; use Insert");
+  }
+  const CellRange old_range = RangeOf(it->second);
+  const CellRange new_range = RangeOf(box);
+  // Touch only the symmetric difference of the two cell ranges: the cells
+  // the sliding box leaves and the cells it enters. A small drift (the
+  // common per-slide case) touches O(perimeter) cells; an unchanged range
+  // touches none.
+  for (std::int32_t cx = old_range.x0; cx <= old_range.x1; ++cx) {
+    for (std::int32_t cy = old_range.y0; cy <= old_range.y1; ++cy) {
+      if (!new_range.Contains(cx, cy)) DropFromCell(cx, cy, id);
+    }
+  }
+  for (std::int32_t cx = new_range.x0; cx <= new_range.x1; ++cx) {
+    for (std::int32_t cy = new_range.y0; cy <= new_range.y1; ++cy) {
+      if (!old_range.Contains(cx, cy)) AddToCell(cx, cy, id);
+    }
+  }
+  it->second = box;
+  return Status::Ok();
+}
+
+Status GridIndex::Remove(std::size_t id) {
+  const auto it = boxes_.find(id);
+  if (it == boxes_.end()) {
+    return Status::NotFound("grid id not present");
+  }
+  const CellRange range = RangeOf(it->second);
+  for (std::int32_t cx = range.x0; cx <= range.x1; ++cx) {
+    for (std::int32_t cy = range.y0; cy <= range.y1; ++cy) {
+      DropFromCell(cx, cy, id);
+    }
+  }
+  boxes_.erase(it);
+  return Status::Ok();
 }
 
 std::vector<std::size_t> GridIndex::Candidates(

@@ -37,16 +37,45 @@ struct BoundingBox {
 /// box reports the ids of all boxes whose cells it touches (a superset of
 /// the true intersections — callers re-check, so the index only ever
 /// *adds* candidates, never loses one).
+///
+/// The index is mutable: sliding-window consumers (the fleet's
+/// incremental ε-join) call `Update(id, box)` as a window's extent
+/// drifts, which inserts/evicts the id only in the grid cells entering or
+/// leaving the box's cell range — O(changed cells), not O(covered cells)
+/// — so maintaining the index across a slide costs proportional to how
+/// far the box actually moved. `Build` remains the batch constructor.
 class GridIndex {
  public:
-  /// Builds an index over `boxes` with the given cell size (coordinate
-  /// units, > 0). Returns InvalidArgument for a non-positive cell size.
+  /// An empty index with the default cell size of 1 coordinate unit —
+  /// valid but rarely what you want; prefer CreateEmpty/Build, which size
+  /// the cells to the workload.
+  GridIndex() = default;
+
+  /// An empty, mutable index with the given cell size (coordinate units,
+  /// > 0). Returns InvalidArgument for a non-positive cell size.
+  static StatusOr<GridIndex> CreateEmpty(double cell_size);
+
+  /// Builds an index over `boxes` with the given cell size: equivalent to
+  /// CreateEmpty + Insert(0..n-1).
   static StatusOr<GridIndex> Build(const std::vector<BoundingBox>& boxes,
                                    double cell_size);
 
-  /// Ids (positions in the build vector) of all indexed boxes that might
-  /// intersect `query`; sorted, duplicate-free. Exact superset guarantee:
-  /// contains every id whose box intersects `query`.
+  /// Registers `box` under `id` in every cell it overlaps. Ids are
+  /// caller-chosen (need not be dense); inserting a present id is an
+  /// error — use Update.
+  Status Insert(std::size_t id, const BoundingBox& box);
+
+  /// Replaces `id`'s box, touching only the cells entering or leaving its
+  /// cell range. Returns NotFound for an unknown id.
+  Status Update(std::size_t id, const BoundingBox& box);
+
+  /// Evicts `id` from every cell it occupies. Returns NotFound for an
+  /// unknown id.
+  Status Remove(std::size_t id);
+
+  /// Ids of all indexed boxes that might intersect `query`; sorted,
+  /// duplicate-free. Exact superset guarantee: contains every id whose
+  /// box intersects `query`.
   std::vector<std::size_t> Candidates(const BoundingBox& query) const;
 
   /// Number of indexed boxes.
@@ -55,19 +84,37 @@ class GridIndex {
   /// Number of non-empty grid cells (diagnostics).
   std::size_t cell_count() const { return cells_.size(); }
 
- private:
-  GridIndex() = default;
+  double cell_size() const { return cell_size_; }
 
-  /// Packs a 2D cell coordinate into one key.
+ private:
+  /// Packs a 2D cell coordinate into one key: cx in the high 32 bits, cy
+  /// in the low. The shift happens on the unsigned widening — shifting a
+  /// negative signed value is undefined behavior (UBSan flags it for the
+  /// negative cells of west/south coordinates).
   static std::int64_t CellKey(std::int32_t cx, std::int32_t cy) {
-    return (static_cast<std::int64_t>(cx) << 32) ^
-           static_cast<std::uint32_t>(cy);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+        static_cast<std::uint32_t>(cy);
+    return static_cast<std::int64_t>(key);
   }
 
   std::int32_t CellOf(double v) const;
 
+  /// Inclusive cell-coordinate range a box covers.
+  struct CellRange {
+    std::int32_t x0, x1, y0, y1;
+    bool Contains(std::int32_t cx, std::int32_t cy) const {
+      return cx >= x0 && cx <= x1 && cy >= y0 && cy <= y1;
+    }
+  };
+  CellRange RangeOf(const BoundingBox& box) const;
+
+  void AddToCell(std::int32_t cx, std::int32_t cy, std::size_t id);
+  void DropFromCell(std::int32_t cx, std::int32_t cy, std::size_t id);
+
   double cell_size_ = 1.0;
-  std::vector<BoundingBox> boxes_;
+  /// id -> box for present ids (sparse ids supported).
+  std::unordered_map<std::size_t, BoundingBox> boxes_;
   std::unordered_map<std::int64_t, std::vector<std::size_t>> cells_;
 };
 

@@ -1,0 +1,184 @@
+#include "join/incremental_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace frechet_motif {
+
+namespace {
+
+JoinPair MakePair(std::size_t a, std::size_t b) {
+  return a < b ? JoinPair{a, b} : JoinPair{b, a};
+}
+
+bool PairLess(const JoinPair& a, const JoinPair& b) {
+  if (a.li != b.li) return a.li < b.li;
+  return a.ri < b.ri;
+}
+
+}  // namespace
+
+IncrementalDfdJoin::IncrementalDfdJoin(const JoinOptions& options,
+                                       const GroundMetric& metric)
+    : options_(options), metric_(&metric) {}
+
+StatusOr<IncrementalDfdJoin> IncrementalDfdJoin::Create(
+    const JoinOptions& options, const GroundMetric& metric) {
+  if (options.threshold < 0.0) {
+    return Status::InvalidArgument("join threshold must be non-negative");
+  }
+  return IncrementalDfdJoin(options, metric);
+}
+
+Status IncrementalDfdJoin::Update(std::size_t id, Trajectory trajectory) {
+  if (trajectory.empty()) {
+    return Status::InvalidArgument(
+        "incremental join members must be non-empty trajectories");
+  }
+  const BoundingBox box = BoundingBox::Of(trajectory);
+
+  const double abs_lat =
+      std::max(std::abs(box.min_x), std::abs(box.max_x));
+  if (!grid_ready_) {
+    abs_lat_max_ = abs_lat;
+    margin_ = JoinCoordinateMargin(*metric_, options_.threshold, abs_lat_max_);
+    // Cell size is a performance knob frozen at first contact with the
+    // data; the margin itself stays current (below), which is what
+    // soundness depends on.
+    StatusOr<GridIndex> grid =
+        GridIndex::CreateEmpty(std::max(margin_, 1e-9) * 2.0);
+    if (!grid.ok()) return grid.status();
+    grid_ = std::move(grid).value();
+    grid_ready_ = true;
+  } else if (abs_lat > abs_lat_max_) {
+    abs_lat_max_ = abs_lat;
+    margin_ =
+        std::max(margin_, JoinCoordinateMargin(*metric_, options_.threshold,
+                                               abs_lat_max_));
+  }
+
+  const auto it = members_.find(id);
+  if (it == members_.end()) {
+    FM_RETURN_IF_ERROR(grid_.Insert(id, box));
+    members_.emplace(id, Member{std::move(trajectory), box});
+  } else {
+    FM_RETURN_IF_ERROR(grid_.Update(id, box));
+    it->second = Member{std::move(trajectory), box};
+  }
+  dirty_.insert(id);
+  return Status::Ok();
+}
+
+Status IncrementalDfdJoin::Remove(std::size_t id) {
+  const auto it = members_.find(id);
+  if (it == members_.end()) {
+    return Status::NotFound("incremental join member not present");
+  }
+  FM_RETURN_IF_ERROR(grid_.Remove(id));
+  members_.erase(it);
+  dirty_.erase(id);
+  const auto adj = matches_.find(id);
+  if (adj != matches_.end()) {
+    for (const std::size_t partner : adj->second) {
+      pending_left_.push_back(MakePair(id, partner));
+      matches_[partner].erase(id);
+      if (matches_[partner].empty()) matches_.erase(partner);
+      --matched_count_;
+    }
+    matches_.erase(id);
+  }
+  return Status::Ok();
+}
+
+StatusOr<JoinDelta> IncrementalDfdJoin::Tick() {
+  JoinDelta delta;
+  delta.left = std::move(pending_left_);
+  pending_left_.clear();
+  ++stats_.ticks;
+
+  const std::int64_t matched_before = matched_count_;
+  std::int64_t touched_matched = 0;
+
+  std::set<std::pair<std::size_t, std::size_t>> processed;
+  for (const std::size_t id : dirty_) {
+    const auto member = members_.find(id);
+    if (member == members_.end()) continue;  // removed after dirtying
+
+    const std::vector<std::size_t> candidates =
+        grid_.Candidates(member->second.box.Expanded(margin_));
+    for (const std::size_t partner : candidates) {
+      if (partner == id) continue;
+      const JoinPair pair = MakePair(id, partner);
+      if (!processed.emplace(pair.li, pair.ri).second) continue;
+      const Member& other = members_.at(partner);
+      ++stats_.pairs_reverified;
+      ++stats_.cascade.pairs_total;
+      const bool now = ResolveJoinCandidate(
+          member->second.trajectory, member->second.box, other.trajectory,
+          other.box, *metric_, options_, &stats_.cascade, &scratch_);
+      const auto adj = matches_.find(id);
+      const bool was =
+          adj != matches_.end() && adj->second.count(partner) != 0;
+      if (was) ++touched_matched;
+      if (now && !was) {
+        delta.entered.push_back(pair);
+        matches_[id].insert(partner);
+        matches_[partner].insert(id);
+        ++matched_count_;
+      } else if (!now && was) {
+        delta.left.push_back(pair);
+        matches_[id].erase(partner);
+        if (matches_[id].empty()) matches_.erase(id);
+        matches_[partner].erase(id);
+        if (matches_[partner].empty()) matches_.erase(partner);
+        --matched_count_;
+      }
+    }
+
+    // Previously matching partners no longer in the grid neighborhood:
+    // outside the expanded query box every point pair exceeds the
+    // coordinate margin, so DFD > ε — evict without a cascade run.
+    const auto adj = matches_.find(id);
+    if (adj != matches_.end()) {
+      const std::vector<std::size_t> partners(adj->second.begin(),
+                                              adj->second.end());
+      for (const std::size_t partner : partners) {
+        const JoinPair pair = MakePair(id, partner);
+        if (!processed.emplace(pair.li, pair.ri).second) continue;
+        ++touched_matched;
+        ++stats_.evicted_by_grid;
+        delta.left.push_back(pair);
+        matches_[id].erase(partner);
+        matches_[partner].erase(id);
+        if (matches_[partner].empty()) matches_.erase(partner);
+        --matched_count_;
+      }
+      if (matches_.count(id) != 0 && matches_[id].empty()) {
+        matches_.erase(id);
+      }
+    }
+  }
+  dirty_.clear();
+
+  stats_.verdicts_carried += matched_before - touched_matched;
+  stats_.entered_total += static_cast<std::int64_t>(delta.entered.size());
+  stats_.left_total += static_cast<std::int64_t>(delta.left.size());
+
+  std::sort(delta.entered.begin(), delta.entered.end(), PairLess);
+  std::sort(delta.left.begin(), delta.left.end(), PairLess);
+  return delta;
+}
+
+std::vector<JoinPair> IncrementalDfdJoin::CurrentMatches() const {
+  std::vector<JoinPair> out;
+  for (const auto& [id, partners] : matches_) {
+    for (const std::size_t partner : partners) {
+      if (id < partner) out.push_back(JoinPair{id, partner});
+    }
+  }
+  std::sort(out.begin(), out.end(), PairLess);
+  return out;
+}
+
+}  // namespace frechet_motif

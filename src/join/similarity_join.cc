@@ -73,33 +73,18 @@ double SampledHausdorffLb(const Trajectory& a, const Trajectory& b,
   return worst;
 }
 
-/// Conservative conversion of the metric threshold into coordinate units
-/// for box expansion: any two points within `theta` of each other differ
-/// by at most this much per coordinate. Euclidean: theta itself.
-/// Haversine: theta over the per-degree meter length, with the longitude
-/// axis corrected by the worst (largest-|lat|) meridian convergence.
-double CoordinateMargin(const GroundMetric& metric, double theta,
-                        const std::vector<BoundingBox>& a,
-                        const std::vector<BoundingBox>& b) {
-  if (dynamic_cast<const EuclideanMetric*>(&metric) != nullptr) return theta;
-  if (dynamic_cast<const HaversineMetric*>(&metric) != nullptr) {
-    double abs_lat_max = 0.0;
-    for (const auto* boxes : {&a, &b}) {
-      for (const BoundingBox& box : *boxes) {
-        abs_lat_max = std::max(
-            {abs_lat_max, std::abs(box.min_x), std::abs(box.max_x)});
-      }
+/// The largest |latitude| any box in either collection reaches, for the
+/// margin's meridian-convergence correction.
+double AbsLatMaxOf(const std::vector<BoundingBox>& a,
+                   const std::vector<BoundingBox>& b) {
+  double abs_lat_max = 0.0;
+  for (const auto* boxes : {&a, &b}) {
+    for (const BoundingBox& box : *boxes) {
+      abs_lat_max =
+          std::max({abs_lat_max, std::abs(box.min_x), std::abs(box.max_x)});
     }
-    const double meters_per_degree = 111132.0;  // conservative minimum
-    const double lat_margin = theta / meters_per_degree;
-    const double cos_lat =
-        std::max(0.01, std::cos(DegToRad(std::min(abs_lat_max + 1.0, 89.0))));
-    const double lon_margin = theta / (meters_per_degree * cos_lat);
-    return std::max(lat_margin, lon_margin);
   }
-  // Unknown metric: no sound conversion — effectively disable filtering by
-  // using an enormous margin.
-  return 1e12;
+  return abs_lat_max;
 }
 
 Status ValidateInputs(const std::vector<Trajectory>& left,
@@ -125,11 +110,32 @@ Status ValidateInputs(const std::vector<Trajectory>& left,
   return Status::Ok();
 }
 
+}  // namespace
+
+double JoinCoordinateMargin(const GroundMetric& metric, double threshold,
+                            double abs_lat_max) {
+  if (dynamic_cast<const EuclideanMetric*>(&metric) != nullptr) {
+    return threshold;
+  }
+  if (dynamic_cast<const HaversineMetric*>(&metric) != nullptr) {
+    const double meters_per_degree = 111132.0;  // conservative minimum
+    const double lat_margin = threshold / meters_per_degree;
+    const double cos_lat =
+        std::max(0.01, std::cos(DegToRad(std::min(abs_lat_max + 1.0, 89.0))));
+    const double lon_margin = threshold / (meters_per_degree * cos_lat);
+    return std::max(lat_margin, lon_margin);
+  }
+  // Unknown metric: no sound conversion — effectively disable filtering by
+  // using an enormous margin.
+  return 1e12;
+}
+
 /// Resolves one pair through the cascade. Returns true iff it matches.
-bool ResolvePair(const Trajectory& a, const BoundingBox& box_a,
-                 const Trajectory& b, const BoundingBox& box_b,
-                 const GroundMetric& metric, const JoinOptions& options,
-                 JoinStats* stats, FrechetScratch* scratch) {
+bool ResolveJoinCandidate(const Trajectory& a, const BoundingBox& box_a,
+                          const Trajectory& b, const BoundingBox& box_b,
+                          const GroundMetric& metric,
+                          const JoinOptions& options, JoinStats* stats,
+                          FrechetScratch* scratch) {
   const double theta = options.threshold;
   if (options.use_pruning) {
     if (BboxGap(box_a, box_b, metric) > theta) {
@@ -156,6 +162,8 @@ bool ResolvePair(const Trajectory& a, const BoundingBox& box_a,
   if (matched && stats != nullptr) ++stats->matched;
   return matched;
 }
+
+namespace {
 
 void MergeJoinStats(const JoinStats& from, JoinStats* into) {
   into->pairs_total += from.pairs_total;
@@ -194,7 +202,7 @@ std::vector<JoinPair> ResolveCandidates(const CandidateEnumerator& enumerate,
     FrechetScratch scratch;
     enumerate([&](const JoinPair& c) {
       if (stats != nullptr) ++stats->pairs_total;
-      if (ResolvePair(left[c.li], left_boxes[c.li], right[c.ri],
+      if (ResolveJoinCandidate(left[c.li], left_boxes[c.li], right[c.ri],
                       right_boxes[c.ri], metric, options, stats, &scratch)) {
         matches.push_back(c);
       }
@@ -217,7 +225,7 @@ std::vector<JoinPair> ResolveCandidates(const CandidateEnumerator& enumerate,
         JoinStats* local = stats != nullptr ? &lane_stats[lane] : nullptr;
         for (std::int64_t k = lo; k < hi; ++k) {
           const JoinPair& c = candidates[static_cast<std::size_t>(k)];
-          if (ResolvePair(left[c.li], left_boxes[c.li], right[c.ri],
+          if (ResolveJoinCandidate(left[c.li], left_boxes[c.li], right[c.ri],
                           right_boxes[c.ri], metric, options, local,
                           &scratch)) {
             lane_matches[lane].push_back(c);
@@ -267,7 +275,8 @@ StatusOr<std::vector<JoinPair>> DfdSimilarityJoin(
   // enumerated candidates.
   if (options.use_grid_index) {
     const double margin =
-        CoordinateMargin(metric, options.threshold, left_boxes, right_boxes);
+        JoinCoordinateMargin(metric, options.threshold,
+                             AbsLatMaxOf(left_boxes, right_boxes));
     const StatusOr<GridIndex> index =
         GridIndex::Build(right_boxes, std::max(margin, 1e-9) * 2.0);
     if (!index.ok()) return index.status();
@@ -308,7 +317,7 @@ StatusOr<std::vector<JoinPair>> DfdSelfJoin(
 
   if (options.use_grid_index) {
     const double margin =
-        CoordinateMargin(metric, options.threshold, boxes, boxes);
+        JoinCoordinateMargin(metric, options.threshold, AbsLatMaxOf(boxes, boxes));
     const StatusOr<GridIndex> index =
         GridIndex::Build(boxes, std::max(margin, 1e-9) * 2.0);
     if (!index.ok()) return index.status();

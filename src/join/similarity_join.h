@@ -12,6 +12,8 @@
 
 #include "core/trajectory.h"
 #include "geo/metric.h"
+#include "join/grid_index.h"
+#include "similarity/frechet.h"
 #include "util/status.h"
 
 namespace frechet_motif {
@@ -99,6 +101,31 @@ StatusOr<std::vector<JoinPair>> DfdSimilarityJoin(
 StatusOr<std::vector<JoinPair>> DfdSelfJoin(
     const std::vector<Trajectory>& trajectories, const GroundMetric& metric,
     const JoinOptions& options, JoinStats* stats = nullptr);
+
+/// Resolves one candidate pair through the join's pruning cascade
+/// (bounding-box gap, endpoint bound, sampled Hausdorff bound, then the
+/// exact early-abandoning decision kernel). Returns true iff
+/// DFD(a, b) <= options.threshold. This is the single-pair verdict the
+/// batch joins apply per candidate, exposed so incremental consumers
+/// (IncrementalDfdJoin) produce verdicts bit-identical to a from-scratch
+/// join. `stats` may be null; `scratch` (optional) makes the call
+/// allocation-free.
+bool ResolveJoinCandidate(const Trajectory& a, const BoundingBox& box_a,
+                          const Trajectory& b, const BoundingBox& box_b,
+                          const GroundMetric& metric,
+                          const JoinOptions& options, JoinStats* stats,
+                          FrechetScratch* scratch);
+
+/// Conservative conversion of the metric threshold θ into coordinate
+/// units, for grid cell sizing and query-box expansion: any two points
+/// within θ of each other differ by at most this much per coordinate.
+/// Euclidean: θ itself. Haversine: θ over the per-degree meter length,
+/// with the longitude axis corrected for the worst meridian convergence
+/// at `abs_lat_max` degrees (pass the largest |latitude| the data can
+/// reach; the margin grows with it, so over-estimating is always safe).
+/// Unknown metrics get an effectively unbounded margin (no filtering).
+double JoinCoordinateMargin(const GroundMetric& metric, double threshold,
+                            double abs_lat_max);
 
 }  // namespace frechet_motif
 

@@ -274,11 +274,13 @@ void RunSubsetQueueParallel(const DistanceProvider& dist,
                      &scratch[lane]);
     });
 
-    // Deterministic merge in queue order: strict-< comparisons reproduce
-    // the serial first-wins tie-breaking.
+    // Deterministic merge in queue order. Record resolves equal-distance
+    // candidates to the canonical (i, j, ie, je) minimum, so the merged
+    // best is the same candidate the serial loop records no matter how
+    // the batch partitioned the evaluations.
     for (std::size_t b = 0; b < batch.size(); ++b) {
       SearchState& ls = lane_state[b];
-      if (ls.best_distance < state->best_distance) {
+      if (ls.found) {
         state->Record(ls.best, ls.best_distance);
       }
       if (ls.threshold < state->threshold) state->threshold = ls.threshold;

@@ -23,15 +23,26 @@ namespace frechet_motif {
 /// *strictly* greater than `threshold`; because the true motif's bounds
 /// never exceed its own DFD <= threshold, the optimum always survives and
 /// is eventually evaluated and recorded in `best`/`best_distance`.
+///
+/// Tie stability: every pruning rule in the library is strict (`lb >
+/// threshold`, end-cross freeze, endpoint caps), so *every* candidate
+/// achieving the optimal distance is evaluated by every algorithm, and
+/// Record resolves equal-distance candidates to the minimum under
+/// `CandidateOrderedBefore`. The reported pair is therefore a function of
+/// the input alone — independent of evaluation order, thread count,
+/// algorithm choice, and (for the streaming engine) of whether a slide
+/// carried its previous optimum or re-derived it.
 struct SearchState {
   double threshold = std::numeric_limits<double>::infinity();
   Candidate best;
   double best_distance = std::numeric_limits<double>::infinity();
   bool found = false;
 
-  /// Records an evaluated candidate with exact DFD `d`.
+  /// Records an evaluated candidate with exact DFD `d`. Equal-distance
+  /// candidates resolve to the lexicographically smallest (i, j, ie, je).
   void Record(const Candidate& c, double d) {
-    if (d < best_distance) {
+    if (d < best_distance ||
+        (found && d == best_distance && CandidateOrderedBefore(c, best))) {
       best_distance = d;
       best = c;
       found = true;

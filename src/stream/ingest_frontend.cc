@@ -1,0 +1,73 @@
+#include "stream/ingest_frontend.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace frechet_motif {
+
+Status IngestFrontend::Offer(const Point& p, const double* timestamp,
+                             const Sink& sink) {
+  // The whole point of the frontend is timestamp ordering; NaN breaks the
+  // buffer's strict weak ordering (UB in the multimap) and a NaN/inf
+  // watermark silently disables late-drop, so non-finite stamps are
+  // rejected at the door.
+  if (timestamp != nullptr && !std::isfinite(*timestamp)) {
+    return Status::InvalidArgument(
+        "stream timestamps must be finite (got NaN or infinity)");
+  }
+  if (capacity_ <= 0 || timestamp == nullptr) {
+    if (!buffer_.empty()) {
+      return Status::InvalidArgument(
+          "cannot mix bare arrivals with a non-empty reorder buffer");
+    }
+    if (timestamp != nullptr) {
+      if (released_any_ && *timestamp < watermark_) {
+        ++stats_.late_dropped;
+        return Status::Ok();
+      }
+      watermark_ = *timestamp;
+      released_any_ = true;
+    }
+    ++stats_.released;
+    return sink(p, timestamp);
+  }
+
+  if (released_any_ && *timestamp < watermark_) {
+    // Below the watermark: even a full drain of the buffer could not
+    // place this point in order.
+    ++stats_.late_dropped;
+    return Status::Ok();
+  }
+  if (!buffer_.empty() && *timestamp < buffer_.rbegin()->first) {
+    ++stats_.reordered;
+  }
+  buffer_.emplace(*timestamp, p);
+  while (static_cast<Index>(buffer_.size()) > capacity_) {
+    const auto head = buffer_.begin();
+    const double ts = head->first;
+    const Point point = head->second;
+    buffer_.erase(head);
+    watermark_ = ts;
+    released_any_ = true;
+    ++stats_.released;
+    FM_RETURN_IF_ERROR(sink(point, &ts));
+  }
+  return Status::Ok();
+}
+
+Status IngestFrontend::Flush(const Sink& sink) {
+  while (!buffer_.empty()) {
+    const auto head = buffer_.begin();
+    const double ts = head->first;
+    const Point point = head->second;
+    buffer_.erase(head);
+    watermark_ = ts;
+    released_any_ = true;
+    ++stats_.released;
+    FM_RETURN_IF_ERROR(sink(point, &ts));
+  }
+  return Status::Ok();
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,191 @@
+#include "stream/motif_fleet_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace frechet_motif {
+
+MotifFleetEngine::MotifFleetEngine(const FleetOptions& options,
+                                   const GroundMetric& metric)
+    : options_(options), metric_(&metric) {}
+
+StatusOr<MotifFleetEngine> MotifFleetEngine::Create(
+    const FleetOptions& options, const GroundMetric& metric) {
+  // Validate the shared per-stream configuration once, with a throwaway
+  // WindowState — AddStream reuses the same path.
+  FM_RETURN_IF_ERROR(
+      WindowState::Create(options.stream, metric, /*cross=*/false).status());
+  if (options.reorder_capacity < 0) {
+    return Status::InvalidArgument(
+        "FleetOptions::reorder_capacity must be >= 0");
+  }
+  if (options.max_searches_per_drain < 0) {
+    return Status::InvalidArgument(
+        "FleetOptions::max_searches_per_drain must be >= 0");
+  }
+  MotifFleetEngine engine(options, metric);
+  if (options.join_epsilon >= 0.0) {
+    StatusOr<IncrementalDfdJoin> join =
+        IncrementalDfdJoin::Create(options.JoinConfig(), metric);
+    if (!join.ok()) return join.status();
+    engine.join_.emplace(std::move(join).value());
+  }
+  return engine;
+}
+
+StatusOr<std::size_t> MotifFleetEngine::AddStream() {
+  StatusOr<WindowState> state =
+      WindowState::Create(options_.stream, *metric_, /*cross=*/false);
+  if (!state.ok()) return state.status();
+  windows_.push_back(std::move(state).value());
+  frontends_.emplace_back(options_.reorder_capacity);
+  const std::size_t id = scheduler_.Register();
+  return id;
+}
+
+Status MotifFleetEngine::CheckStream(std::size_t stream) const {
+  if (stream >= windows_.size()) {
+    return Status::InvalidArgument("unknown fleet stream id " +
+                                   std::to_string(stream));
+  }
+  return Status::Ok();
+}
+
+Status MotifFleetEngine::Deliver(std::size_t stream, const Point& p,
+                                 const double* timestamp,
+                                 FleetReport* report) {
+  // Parity guard (unbudgeted mode only): a due window must be searched
+  // before it slides any further, so its search sees exactly the window
+  // an independent monitor's would have.
+  if (options_.max_searches_per_drain == 0 && scheduler_.IsDue(stream)) {
+    FM_RETURN_IF_ERROR(RunOne(stream, report));
+  }
+  FM_RETURN_IF_ERROR(windows_[stream].Append(0, p, timestamp));
+  scheduler_.NoteAppend(stream);
+  if (windows_[stream].SearchDue()) scheduler_.MarkDue(stream);
+  return Status::Ok();
+}
+
+Status MotifFleetEngine::RunOne(std::size_t stream, FleetReport* report) {
+  const int threads = ResolveThreadCount(options_.stream.threads);
+  if (threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  WindowState& window = windows_[stream];
+  // A deferred search covers every slide that accumulated while it
+  // waited; count the merged ones.
+  if (window.searched_once()) {
+    const Index pending =
+        window.appended_since_search() / options_.stream.slide_step;
+    if (pending > 1) coalesced_slides_ += pending - 1;
+  }
+  StatusOr<StreamUpdate> update =
+      window.RunSearch(threads > 1 ? pool_.get() : nullptr);
+  if (!update.ok()) return update.status();
+  scheduler_.NoteSearched(stream);
+  if (join_.has_value()) {
+    FM_RETURN_IF_ERROR(join_->Update(stream, window.WindowTrajectory()));
+  }
+  report->updates.push_back(
+      FleetStreamUpdate{stream, std::move(update).value()});
+  return Status::Ok();
+}
+
+Status MotifFleetEngine::DrainInternal(FleetReport* report) {
+  if (scheduler_.due_count() > 0) {
+    const std::vector<std::size_t> order = scheduler_.DrainOrder();
+    const std::size_t budget =
+        options_.max_searches_per_drain > 0
+            ? std::min<std::size_t>(
+                  order.size(),
+                  static_cast<std::size_t>(options_.max_searches_per_drain))
+            : order.size();
+    for (std::size_t k = 0; k < budget; ++k) {
+      FM_RETURN_IF_ERROR(RunOne(order[k], report));
+    }
+  }
+  // One join tick per call: every searched stream — parity-guard
+  // searches included — refreshed its snapshot, so the delta covers the
+  // whole report.
+  if (join_.has_value() && !report->updates.empty()) {
+    StatusOr<JoinDelta> delta = join_->Tick();
+    if (!delta.ok()) return delta.status();
+    report->join_delta = std::move(delta).value();
+  }
+  return Status::Ok();
+}
+
+StatusOr<FleetReport> MotifFleetEngine::Ingest(
+    const std::vector<FleetArrival>& batch) {
+  FleetReport report;
+  // One sink for the whole batch (a std::function per point would heap-
+  // allocate on the hot arrival loop); the captured stream id is advanced
+  // per arrival.
+  std::size_t stream = 0;
+  const IngestFrontend::Sink sink = [&](const Point& p,
+                                        const double* ts) -> Status {
+    return Deliver(stream, p, ts, &report);
+  };
+  for (const FleetArrival& arrival : batch) {
+    FM_RETURN_IF_ERROR(CheckStream(arrival.stream));
+    stream = arrival.stream;
+    FM_RETURN_IF_ERROR(frontends_[stream].Offer(
+        arrival.point, arrival.has_timestamp ? &arrival.timestamp : nullptr,
+        sink));
+  }
+  FM_RETURN_IF_ERROR(DrainInternal(&report));
+  return report;
+}
+
+StatusOr<FleetReport> MotifFleetEngine::Push(std::size_t stream,
+                                             const Point& p) {
+  return Ingest({FleetArrival{stream, p, false, 0.0}});
+}
+
+StatusOr<FleetReport> MotifFleetEngine::Push(std::size_t stream,
+                                             const Point& p,
+                                             double timestamp) {
+  return Ingest({FleetArrival{stream, p, true, timestamp}});
+}
+
+StatusOr<FleetReport> MotifFleetEngine::Drain() {
+  FleetReport report;
+  FM_RETURN_IF_ERROR(DrainInternal(&report));
+  return report;
+}
+
+StatusOr<FleetReport> MotifFleetEngine::Flush() {
+  FleetReport report;
+  std::size_t stream = 0;
+  const IngestFrontend::Sink sink = [&](const Point& p,
+                                        const double* ts) -> Status {
+    return Deliver(stream, p, ts, &report);
+  };
+  for (stream = 0; stream < frontends_.size(); ++stream) {
+    FM_RETURN_IF_ERROR(frontends_[stream].Flush(sink));
+  }
+  FM_RETURN_IF_ERROR(DrainInternal(&report));
+  return report;
+}
+
+FleetStats MotifFleetEngine::stats() const {
+  FleetStats stats;
+  stats.streams = static_cast<std::int64_t>(windows_.size());
+  for (const WindowState& window : windows_) {
+    const StreamEngineStats& e = window.engine_stats();
+    stats.points_ingested += e.points_ingested;
+    stats.searches += e.searches;
+    stats.seeded_searches += e.seeded_searches;
+    stats.ground_distances_computed += e.ground_distances_computed;
+    stats.dfd_cells_computed += e.dfd_cells_computed;
+  }
+  for (const IngestFrontend& frontend : frontends_) {
+    stats.reordered += frontend.stats().reordered;
+    stats.late_dropped += frontend.stats().late_dropped;
+  }
+  stats.coalesced_slides = coalesced_slides_;
+  return stats;
+}
+
+}  // namespace frechet_motif

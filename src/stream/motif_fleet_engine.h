@@ -1,0 +1,245 @@
+#ifndef FRECHET_MOTIF_STREAM_MOTIF_FLEET_ENGINE_H_
+#define FRECHET_MOTIF_STREAM_MOTIF_FLEET_ENGINE_H_
+
+/// Fleet-scale streaming: N sliding-window motif monitors' worth of
+/// state behind **one** arrival loop, one scheduler, one worker pool —
+/// with an incrementally maintained DFD ε-join across the fleet's
+/// windows.
+///
+/// One `StreamingMotifMonitor` per stream does not scale to a fleet:
+/// every monitor re-searches on its own fixed cadence the moment it
+/// becomes due, owns its own thread pool, and knows nothing about the
+/// other streams. `MotifFleetEngine` instead composes the reusable
+/// streaming components:
+///
+///  * a `WindowState` per stream (ring matrix + incremental bounds +
+///    carried threshold — stream/window_state.h);
+///  * an `IngestFrontend` per stream (timestamps, and the watermark
+///    reorder buffer for out-of-order feeds — stream/ingest_frontend.h);
+///  * one `SearchScheduler` ordering due re-searches by dirty-cell count
+///    and staleness (stream/search_scheduler.h);
+///  * one lazily created `ThreadPool` shared by every search;
+///  * optionally one `IncrementalDfdJoin` (join/incremental_join.h)
+///    maintaining which window pairs are within ε, emitting per-slide
+///    join deltas.
+///
+/// ## Scheduling modes
+///
+/// With `max_searches_per_drain == 0` (default) the engine is
+/// **parity-exact**: every due search runs within the `Ingest` call that
+/// made it due (and before any further append to that stream), so each
+/// stream's report sequence is bit-identical — candidate, distance,
+/// seeded/carried flags, DP-cell counters — to an independent
+/// `StreamingMotifMonitor` fed the same points. The scheduler still
+/// orders the batch-end drain (dirtiest window first), which is where a
+/// multi-stream batch amortizes: one tight append loop, then one
+/// prioritized search pass sharing a single pool.
+///
+/// With `max_searches_per_drain == k > 0` the engine trades per-slide
+/// latency for throughput: at most k searches run per Ingest/Drain call,
+/// dirtiest-first, and a window left waiting simply **coalesces** its
+/// pending slides — the eventual search covers a larger shift in one
+/// pass (the carried threshold checks eviction itself, so it stays
+/// sound). Every individual answer is still bit-identical to a
+/// from-scratch `FindMotif` on the window at search time; the fleet just
+/// answers for fewer intermediate windows. `bench_fleet_throughput`
+/// measures the resulting DP-cells-per-slide ratio against N independent
+/// monitors.
+///
+/// ## Join deltas
+///
+/// With `join_epsilon >= 0`, every search refreshes that stream's window
+/// snapshot in the incremental join, and the report carries the delta —
+/// stream pairs entering/leaving ε — whose accumulation is provably
+/// identical to a from-scratch `DfdSelfJoin` over the current snapshots
+/// (see join/incremental_join.h for the argument).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/metric.h"
+#include "join/incremental_join.h"
+#include "stream/ingest_frontend.h"
+#include "stream/search_scheduler.h"
+#include "stream/window_state.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace frechet_motif {
+
+/// Configuration of a MotifFleetEngine.
+struct FleetOptions {
+  /// Per-stream window configuration, shared by every stream (window
+  /// length W, slide step, ξ, search threads).
+  StreamOptions stream;
+
+  /// ε (meters) for the cross-fleet window join; negative disables it.
+  double join_epsilon = -1.0;
+
+  /// Watermark reorder-buffer capacity per stream (see IngestFrontend);
+  /// 0 expects in-order feeds.
+  Index reorder_capacity = 0;
+
+  /// Search admission per Ingest/Drain call: 0 = run every due search
+  /// (parity-exact with independent monitors); k > 0 = at most k,
+  /// dirtiest-first, deferring (and coalescing) the rest.
+  int max_searches_per_drain = 0;
+
+  /// The join configuration derived from `join_epsilon` (cascade knobs at
+  /// their defaults).
+  JoinOptions JoinConfig() const {
+    JoinOptions join;
+    join.threshold = join_epsilon;
+    return join;
+  }
+};
+
+/// One arrival routed to one stream of the fleet.
+struct FleetArrival {
+  std::size_t stream = 0;
+  Point point;
+  bool has_timestamp = false;
+  double timestamp = 0.0;
+};
+
+/// One per-slide report of one stream.
+struct FleetStreamUpdate {
+  std::size_t stream = 0;
+  StreamUpdate update;
+};
+
+/// Everything one Ingest/Drain call produced: slide reports in execution
+/// order (mid-batch parity searches first, then the scheduler's drain
+/// order) and the join delta across all of them.
+struct FleetReport {
+  std::vector<FleetStreamUpdate> updates;
+  JoinDelta join_delta;
+
+  bool empty() const { return updates.empty() && join_delta.empty(); }
+};
+
+/// Fleet-wide counter snapshot (aggregated over streams, frontends and
+/// the engine's own scheduling).
+struct FleetStats {
+  std::int64_t streams = 0;
+  std::int64_t points_ingested = 0;
+  std::int64_t searches = 0;
+  std::int64_t seeded_searches = 0;
+  std::int64_t ground_distances_computed = 0;
+  std::int64_t dfd_cells_computed = 0;
+  /// Slides merged into deferred searches under a search budget (a
+  /// search covering 3 slide-steps' worth of appends counts 2).
+  std::int64_t coalesced_slides = 0;
+  /// Out-of-order arrivals fixed by the reorder buffers / dropped below
+  /// the watermark.
+  std::int64_t reordered = 0;
+  std::int64_t late_dropped = 0;
+};
+
+class MotifFleetEngine {
+ public:
+  /// Validates the options; streams are added afterwards. The metric
+  /// must outlive the engine.
+  static StatusOr<MotifFleetEngine> Create(const FleetOptions& options,
+                                           const GroundMetric& metric);
+
+  MotifFleetEngine(MotifFleetEngine&&) = default;
+  MotifFleetEngine& operator=(MotifFleetEngine&&) = default;
+
+  /// Adds one (single-trajectory) stream; ids are dense, starting at 0.
+  StatusOr<std::size_t> AddStream();
+
+  std::size_t stream_count() const { return windows_.size(); }
+
+  /// Ingests a batch through one arrival loop: appends every point (via
+  /// its stream's frontend), then drains due searches per the scheduling
+  /// mode and ticks the join. See the file comment for the two modes'
+  /// guarantees.
+  StatusOr<FleetReport> Ingest(const std::vector<FleetArrival>& batch);
+
+  /// Single-arrival conveniences (one-element Ingest).
+  StatusOr<FleetReport> Push(std::size_t stream, const Point& p);
+  StatusOr<FleetReport> Push(std::size_t stream, const Point& p,
+                             double timestamp);
+
+  /// Runs pending due searches (budget applies) without ingesting, and
+  /// ticks the join. Under a budget, call repeatedly to work off a
+  /// backlog.
+  StatusOr<FleetReport> Drain();
+
+  /// Flushes every reorder buffer (end of feed) and drains whatever that
+  /// released. A no-op when nothing is buffered.
+  StatusOr<FleetReport> Flush();
+
+  /// True when `stream` has a search due but not yet run (only possible
+  /// between calls under a search budget).
+  bool SearchPending(std::size_t stream) const {
+    return scheduler_.IsDue(stream);
+  }
+
+  Trajectory WindowTrajectory(std::size_t stream) const {
+    return windows_[stream].WindowTrajectory();
+  }
+  Index window_size(std::size_t stream) const {
+    return windows_[stream].window_size();
+  }
+  const StreamEngineStats& stream_stats(std::size_t stream) const {
+    return windows_[stream].engine_stats();
+  }
+  const IngestStats& ingest_stats(std::size_t stream) const {
+    return frontends_[stream].stats();
+  }
+
+  /// Aggregated counters (computed on demand).
+  FleetStats stats() const;
+
+  /// The incremental join's counters; null when the join is disabled.
+  const IncrementalJoinStats* join_stats() const {
+    return join_.has_value() ? &join_->stats() : nullptr;
+  }
+
+  /// The join's accumulated match set (empty when disabled) — for parity
+  /// checks against a from-scratch DfdSelfJoin.
+  std::vector<JoinPair> CurrentJoinMatches() const {
+    return join_.has_value() ? join_->CurrentMatches() : std::vector<JoinPair>();
+  }
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  MotifFleetEngine(const FleetOptions& options, const GroundMetric& metric);
+
+  Status CheckStream(std::size_t stream) const;
+
+  /// Appends one released (post-frontend) point, bookkeeping the
+  /// scheduler; runs the parity-guard search first when required.
+  Status Deliver(std::size_t stream, const Point& p, const double* timestamp,
+                 FleetReport* report);
+
+  /// Runs `stream`'s search now and appends its report.
+  Status RunOne(std::size_t stream, FleetReport* report);
+
+  /// Drains due searches per the scheduling mode, then ticks the join if
+  /// anything changed.
+  Status DrainInternal(FleetReport* report);
+
+  FleetOptions options_;
+  const GroundMetric* metric_;
+
+  std::vector<WindowState> windows_;
+  std::vector<IngestFrontend> frontends_;
+  SearchScheduler scheduler_;
+  std::optional<IncrementalDfdJoin> join_;
+
+  /// Shared worker pool, created on first threaded search and reused
+  /// (workers park between searches).
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::int64_t coalesced_slides_ = 0;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_STREAM_MOTIF_FLEET_ENGINE_H_

@@ -1,0 +1,53 @@
+#include "stream/search_scheduler.h"
+
+#include <algorithm>
+
+namespace frechet_motif {
+
+std::size_t SearchScheduler::Register() {
+  entries_.push_back(Entry{});
+  return entries_.size() - 1;
+}
+
+void SearchScheduler::NoteAppend(std::size_t stream) {
+  ++entries_[stream].dirty_appends;
+}
+
+void SearchScheduler::MarkDue(std::size_t stream) {
+  if (!entries_[stream].due) {
+    entries_[stream].due = true;
+    ++due_count_;
+  }
+}
+
+std::vector<std::size_t> SearchScheduler::DrainOrder() const {
+  std::vector<std::size_t> due;
+  due.reserve(due_count_);
+  for (std::size_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].due) due.push_back(id);
+  }
+  std::sort(due.begin(), due.end(), [&](std::size_t a, std::size_t b) {
+    const Entry& ea = entries_[a];
+    const Entry& eb = entries_[b];
+    if (ea.dirty_appends != eb.dirty_appends) {
+      return ea.dirty_appends > eb.dirty_appends;
+    }
+    if (ea.last_searched != eb.last_searched) {
+      return ea.last_searched < eb.last_searched;
+    }
+    return a < b;
+  });
+  return due;
+}
+
+void SearchScheduler::NoteSearched(std::size_t stream) {
+  Entry& entry = entries_[stream];
+  if (entry.due) {
+    entry.due = false;
+    --due_count_;
+  }
+  entry.dirty_appends = 0;
+  entry.last_searched = tick_++;
+}
+
+}  // namespace frechet_motif

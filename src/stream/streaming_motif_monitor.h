@@ -14,15 +14,18 @@
 /// bounding-based subset search per slide with the previous window's
 /// motif distance carried forward as the pruning threshold.
 ///
+/// The monitor is a thin policy shell: all per-window state and the
+/// search itself live in `WindowState` (stream/window_state.h), which
+/// `MotifFleetEngine` reuses to maintain N windows over one arrival
+/// loop. The monitor's policy is the simplest one — run the search the
+/// moment `WindowState::SearchDue()` turns true.
+///
 /// ## Exactness
 ///
 /// After every slide the reported motif is **bit-identical** — candidate
-/// and distance — to a from-scratch `FindMotif` over the same window with
-/// `StreamOptions::BaselineOptions()` (the relaxed BTM configuration),
-/// whenever the window's optimum is uniquely attained; on exact
-/// distance ties between distinct pairs only the reported *pair* may
-/// differ from the from-scratch tie-break, never the distance. The
-/// argument, in brief:
+/// and distance, ties included — to a from-scratch `FindMotif` over the
+/// same window with `StreamOptions::BaselineOptions()` (the relaxed BTM
+/// configuration). The argument, in brief:
 ///
 ///  * Ring-matrix cells are the same doubles a fresh
 ///    DistanceMatrix::Build computes, and the maintained bound arrays
@@ -39,15 +42,20 @@
 ///    its start to the dirty frontier, so subsets whose frontier
 ///    crossing bound (a suffix-max of Rmin) exceeds T are dropped before
 ///    any DP work.
-///  * Every remaining pruning rule (queue skip, endpoint caps, end-cross
-///    freeze) discards only candidates strictly worse than the running
-///    threshold >= d*. When some dirty candidate beats T, both searches
-///    therefore evaluate every d*-achiever, in the same order, and
-///    record the same first one — ties included. When nothing beats T,
-///    the slide reports the previous pair shifted into the new window
-///    (the stable choice; a from-scratch run re-breaks the tie among
-///    equal-distance pairs from its own enumeration, which is the only
-///    divergence possible).
+///  * Every pruning rule anywhere in the search (queue skip, dirty-
+///    frontier drop, endpoint caps, end-cross freeze) discards only
+///    candidates *strictly* worse than the running threshold >= d*, so
+///    both searches evaluate every d*-achiever that is dirty, and
+///    `SearchState::Record` resolves achievers to the canonical
+///    (i, j, ie, je) minimum regardless of evaluation order.
+///  * Ties across the clean/dirty split resolve by comparing the
+///    search's best against the previous optimum shifted into the new
+///    window: candidate order is shift-invariant, so the shifted
+///    previous pair — the canonical minimum of the *whole* previous
+///    window, by induction — is the canonical minimum among clean
+///    achievers, and the smaller of the two under (distance, candidate)
+///    order is exactly the from-scratch answer. When the previous pair
+///    wins, the slide reports it as `carried` without re-deriving it.
 ///
 /// When the previous best pair was evicted (or on the first full
 /// window), the slide falls back to an unseeded, unrestricted search —
@@ -68,106 +76,18 @@
 /// rest from the first evaluation on.
 
 #include <cstdint>
-#include <deque>
-#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "core/distance_matrix.h"
-#include "core/options.h"
 #include "core/trajectory.h"
-#include "geo/great_circle.h"
 #include "geo/metric.h"
-#include "motif/motif.h"
 #include "motif/relaxed_bounds.h"
-#include "motif/stats.h"
-#include "stream/incremental_bounds.h"
+#include "stream/window_state.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace frechet_motif {
-
-/// Configuration of a StreamingMotifMonitor. Deliberately
-/// FindMotifOptions-compatible: BaselineOptions() returns the exact
-/// from-scratch configuration the streaming answers are bit-identical to.
-struct StreamOptions {
-  /// Window length W: the motif is maintained over the last W points.
-  /// Must admit a valid candidate (W >= 2ξ + 4 for the single-trajectory
-  /// problem).
-  Index window_length = 512;
-
-  /// Re-search cadence: a search runs once the window is full and then
-  /// after every `slide_step` further appended points (the window having
-  /// slid by that amount). Must be >= 1.
-  Index slide_step = 32;
-
-  /// Minimum motif length ξ (paper default 100).
-  Index min_length_xi = 100;
-
-  /// Worker threads for the per-slide search, as FindMotifOptions::threads
-  /// (1 = serial, 0 = all hardware threads; results are bit-identical for
-  /// every setting).
-  int threads = 1;
-
-  /// The from-scratch FindMotif configuration every streaming answer is
-  /// bit-identical to: the relaxed bounding search (MotifAlgorithm::kBtm)
-  /// with this ξ and thread count.
-  FindMotifOptions BaselineOptions() const {
-    FindMotifOptions o;
-    o.algorithm = MotifAlgorithm::kBtm;
-    o.min_length_xi = min_length_xi;
-    o.threads = threads;
-    return o;
-  }
-};
-
-/// One per-slide report emitted by the monitor.
-struct StreamUpdate {
-  /// Global stream index of window point 0 (and, in cross mode, of the
-  /// second window's point 0): window-relative index k corresponds to
-  /// stream point window_start + k.
-  std::int64_t window_start = 0;
-  std::int64_t window_start_second = 0;
-
-  /// Points in the window(s) at search time (== StreamOptions::window_length).
-  Index window_points = 0;
-
-  /// Whether the search was seeded with the previous window's distance
-  /// (false on the first search and when the previous best was evicted).
-  bool seeded = false;
-
-  /// The seed threshold (+infinity when unseeded).
-  double seed_threshold = std::numeric_limits<double>::infinity();
-
-  /// True when no dirty candidate beat the carried threshold, so the
-  /// motif is the previous window's pair shifted into the new
-  /// coordinates. On carried slides the distance still equals the
-  /// from-scratch answer exactly; only the tie-break among equal-distance
-  /// pairs can differ (see the exactness contract above).
-  bool carried = false;
-
-  /// The window's motif, in window-relative indices.
-  MotifResult motif;
-
-  /// Search counters for this slide alone. `dfd_cells_computed` is the
-  /// number the acceptance comparison against a from-scratch search uses.
-  MotifStats stats;
-};
-
-/// Cumulative engine counters across the monitor's lifetime.
-struct StreamEngineStats {
-  std::int64_t points_ingested = 0;
-  std::int64_t searches = 0;
-  std::int64_t seeded_searches = 0;
-  /// Fresh ground-metric evaluations paid for matrix maintenance — the
-  /// streaming replacement for Build's O(W²) per query.
-  std::int64_t ground_distances_computed = 0;
-  /// Total DP cells across all searches.
-  std::int64_t dfd_cells_computed = 0;
-  /// Bound-maintenance rescans caused by evicted minimizers.
-  std::int64_t bound_rescans = 0;
-};
 
 /// See the file comment. Create() builds a single-trajectory monitor,
 /// CreateCross() a two-trajectory one (points pushed per side via
@@ -203,75 +123,38 @@ class StreamingMotifMonitor {
   /// The current window contents (with timestamps when pushed), in
   /// window-relative order — exactly the trajectory a from-scratch
   /// FindMotif parity check should run on.
-  Trajectory WindowTrajectory() const;
-  Trajectory SecondWindowTrajectory() const;
-
-  Index window_size() const { return static_cast<Index>(window_.size()); }
-  Index second_window_size() const {
-    return static_cast<Index>(second_window_.size());
+  Trajectory WindowTrajectory() const { return state_.WindowTrajectory(); }
+  Trajectory SecondWindowTrajectory() const {
+    return state_.SecondWindowTrajectory();
   }
-  std::int64_t points_seen() const { return pushed_first_; }
 
-  bool cross_mode() const { return cross_; }
-  const StreamOptions& options() const { return options_; }
-  const StreamEngineStats& engine_stats() const { return engine_stats_; }
+  Index window_size() const { return state_.window_size(); }
+  Index second_window_size() const { return state_.second_window_size(); }
+  std::int64_t points_seen() const { return state_.points_seen(); }
+
+  bool cross_mode() const { return state_.cross(); }
+  const StreamOptions& options() const { return state_.options(); }
+  const StreamEngineStats& engine_stats() const {
+    return state_.engine_stats();
+  }
 
   /// Test hook (single-trajectory mode): the relaxed-bound arrays the
   /// next search would use, for equality checks against a fresh
   /// RelaxedBounds::Build over the window. Only meaningful after at
   /// least one search.
-  RelaxedBounds CurrentBounds() const;
+  RelaxedBounds CurrentBounds() const { return state_.CurrentBounds(); }
 
  private:
-  StreamingMotifMonitor(const StreamOptions& options,
-                        const GroundMetric& metric, bool cross);
+  explicit StreamingMotifMonitor(WindowState state);
 
-  /// Appends to one side's window/ring/caches.
-  Status Append(int side, const Point& p, const double* timestamp);
+  /// Runs a search if one is due, wrapping the report in an optional.
+  StatusOr<std::optional<StreamUpdate>> MaybeSearch();
 
-  /// True when the cadence (and, in cross mode, both windows being full)
-  /// says a search should run now.
-  bool SearchDue() const;
-
-  /// The seeded (or cold) relaxed subset search over the current window.
-  StatusOr<StreamUpdate> RunSearch();
-
-  MotifOptions SearchMotifOptions() const;
-
-  StreamOptions options_;
-  const GroundMetric* metric_;
-  bool cross_ = false;
-  bool haversine_ = false;
-
-  RingDistanceMatrix ring_;
-  IncrementalRelaxedBounds bounds_;
-
-  std::deque<Point> window_;
-  std::deque<Point> second_window_;
-  std::deque<SphereVec> vecs_;
-  std::deque<SphereVec> second_vecs_;
-  std::deque<double> times_;
-  std::deque<double> second_times_;
-  bool timestamped_ = false;
-  bool second_timestamped_ = false;
-
-  std::int64_t pushed_first_ = 0;
-  std::int64_t pushed_second_ = 0;
-  /// Appends (per side) since the last search, for slide accounting.
-  Index appended_since_search_first_ = 0;
-  Index appended_since_search_second_ = 0;
-  bool searched_once_ = false;
+  WindowState state_;
 
   /// Worker pool for threaded searches, created on first use and reused
   /// across slides (workers park between searches).
   std::unique_ptr<ThreadPool> pool_;
-
-  /// Previous search's answer, window-relative at that time.
-  bool have_previous_ = false;
-  Candidate previous_best_;
-  double previous_distance_ = std::numeric_limits<double>::infinity();
-
-  StreamEngineStats engine_stats_;
 };
 
 }  // namespace frechet_motif

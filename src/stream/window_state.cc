@@ -1,0 +1,364 @@
+#include "stream/window_state.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "motif/bounds.h"
+#include "motif/subset_search.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+
+WindowState::WindowState(const StreamOptions& options,
+                         const GroundMetric& metric, bool cross)
+    : options_(options),
+      metric_(&metric),
+      cross_(cross),
+      haversine_(dynamic_cast<const HaversineMetric*>(&metric) != nullptr),
+      ring_(options.window_length, options.window_length) {}
+
+StatusOr<WindowState> WindowState::Create(const StreamOptions& options,
+                                          const GroundMetric& metric,
+                                          bool cross) {
+  if (options.slide_step < 1) {
+    return Status::InvalidArgument("StreamOptions::slide_step must be >= 1");
+  }
+  MotifOptions motif;
+  motif.min_length_xi = options.min_length_xi;
+  motif.variant = cross ? MotifVariant::kCrossTrajectory
+                        : MotifVariant::kSingleTrajectory;
+  FM_RETURN_IF_ERROR(
+      ValidateMotifInput(motif, options.window_length, options.window_length));
+  return WindowState(options, metric, cross);
+}
+
+MotifOptions WindowState::SearchMotifOptions() const {
+  MotifOptions motif;
+  motif.min_length_xi = options_.min_length_xi;
+  motif.variant = cross_ ? MotifVariant::kCrossTrajectory
+                         : MotifVariant::kSingleTrajectory;
+  motif.threads = options_.threads;
+  return motif;
+}
+
+Status WindowState::Append(int side, const Point& p, const double* timestamp) {
+  std::deque<Point>& window = side == 0 ? window_ : second_window_;
+  std::deque<SphereVec>& vecs = side == 0 ? vecs_ : second_vecs_;
+  std::deque<double>& times = side == 0 ? times_ : second_times_;
+  bool& timestamped = side == 0 ? timestamped_ : second_timestamped_;
+
+  if (window.empty()) {
+    timestamped = timestamp != nullptr;
+  } else if (timestamped != (timestamp != nullptr)) {
+    return Status::InvalidArgument(
+        "cannot mix timestamped and bare pushes on one stream");
+  }
+
+  const bool full =
+      static_cast<Index>(window.size()) == options_.window_length;
+  // The ring evicts the matching row/column itself inside
+  // AppendRow/AppendCol/AppendPoint; only the point-side caches are
+  // advanced here.
+  if (full) {
+    window.pop_front();
+    if (haversine_) vecs.pop_front();
+    if (timestamped) times.pop_front();
+  }
+
+  SphereVec pv;
+  if (haversine_) pv = ToSphereVec(p);
+
+  // Fresh ground distances, computed exactly as DistanceMatrix::Build
+  // computes them (cached sphere vectors for haversine, metric calls
+  // otherwise) so ring cells are bit-identical to a fresh matrix.
+  if (!cross_) {
+    const auto new_to_k = [&](Index k) {
+      return haversine_ ? SphereVecDistanceMeters(pv, vecs_[k])
+                        : metric_->Distance(p, window_[k]);
+    };
+    const auto k_to_new = [&](Index k) {
+      return haversine_ ? SphereVecDistanceMeters(vecs_[k], pv)
+                        : metric_->Distance(window_[k], p);
+    };
+    const double self =
+        haversine_ ? SphereVecDistanceMeters(pv, pv) : metric_->Distance(p, p);
+    ring_.AppendPoint(new_to_k, k_to_new, self);
+    engine_stats_.ground_distances_computed +=
+        2 * static_cast<std::int64_t>(window_.size()) + 1;
+  } else if (side == 0) {
+    const auto row_cell = [&](Index j) {
+      return haversine_ ? SphereVecDistanceMeters(pv, second_vecs_[j])
+                        : metric_->Distance(p, second_window_[j]);
+    };
+    ring_.AppendRow(row_cell);
+    engine_stats_.ground_distances_computed +=
+        static_cast<std::int64_t>(second_window_.size());
+  } else {
+    const auto col_cell = [&](Index i) {
+      return haversine_ ? SphereVecDistanceMeters(vecs_[i], pv)
+                        : metric_->Distance(window_[i], p);
+    };
+    ring_.AppendCol(col_cell);
+    engine_stats_.ground_distances_computed +=
+        static_cast<std::int64_t>(window_.size());
+  }
+
+  window.push_back(p);
+  if (haversine_) vecs.push_back(pv);
+  if (timestamped) times.push_back(*timestamp);
+
+  if (side == 0) {
+    ++pushed_first_;
+    ++appended_since_search_first_;
+  } else {
+    ++pushed_second_;
+    ++appended_since_search_second_;
+  }
+  ++engine_stats_.points_ingested;
+  return Status::Ok();
+}
+
+bool WindowState::SearchDue() const {
+  const bool first_full =
+      static_cast<Index>(window_.size()) == options_.window_length;
+  if (!cross_) {
+    if (!first_full) return false;
+    return !searched_once_ ||
+           appended_since_search_first_ >= options_.slide_step;
+  }
+  const bool second_full =
+      static_cast<Index>(second_window_.size()) == options_.window_length;
+  if (!first_full || !second_full) return false;
+  return !searched_once_ ||
+         appended_since_search_first_ + appended_since_search_second_ >=
+             options_.slide_step;
+}
+
+StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
+  const Index n = static_cast<Index>(window_.size());
+  const Index m = cross_ ? static_cast<Index>(second_window_.size()) : n;
+  const MotifOptions motif = SearchMotifOptions();
+  const Index xi = motif.min_length_xi;
+
+  StreamUpdate update;
+  update.window_start = pushed_first_ - n;
+  update.window_start_second = cross_ ? pushed_second_ - m : 0;
+  update.window_points = n;
+
+  Timer timer;
+
+  // Bounds: maintained incrementally for the single-trajectory window;
+  // rebuilt from the (incrementally maintained) ring for cross windows —
+  // either way no ground distance is recomputed.
+  RelaxedBounds rb;
+  if (!cross_) {
+    if (!searched_once_) {
+      bounds_.Reset(ring_, xi);
+    } else {
+      bounds_.Slide(ring_, xi, appended_since_search_first_);
+    }
+    rb = bounds_.Snapshot(xi);
+    engine_stats_.bound_rescans = bounds_.rescans();
+  } else {
+    rb = RelaxedBounds::Build(ring_, motif, pool);
+  }
+
+  // Threshold carry: sound iff the previous best pair is still inside the
+  // window after the slide (its distance is then achievable, so pruning
+  // against it can never discard the optimum — see the proof in
+  // streaming_motif_monitor.h).
+  const Index shift_row = appended_since_search_first_;
+  const Index shift_col = cross_ ? appended_since_search_second_ : shift_row;
+  if (searched_once_ && have_previous_ && previous_best_.i >= shift_row &&
+      (cross_ ? previous_best_.j >= shift_col : true)) {
+    update.seeded = true;
+    update.seed_threshold = previous_distance_;
+  }
+
+  // The relaxed bounding search of BtmMotif (Algorithm 2 with the
+  // Section 4.3 bounds), mirrored verbatim so the result is bit-identical
+  // to the from-scratch baseline — the only difference is the seeded
+  // initial threshold.
+  std::vector<SubsetEntry> entries;
+  entries.reserve(static_cast<std::size_t>(CountValidSubsets(motif, n, m)));
+  ForEachValidSubset(motif, n, m, [&](Index i, Index j) {
+    entries.push_back(SubsetEntry{0.0, i, j});
+  });
+  FillSubsetBounds(&entries, pool, [&](Index i, Index j) {
+    const double cell = LbCell(ring_, i, j);
+    const double cross_lb = rb.StartCross(i, j);
+    const double band = std::max(rb.BandRow(j), rb.BandCol(i));
+    return std::max({cell, cross_lb, band});
+  });
+  update.stats.total_subsets = static_cast<std::int64_t>(entries.size());
+
+  // Dirty-region restriction (seeded slides only). Clean candidates —
+  // those whose points all survive from the previous window — were valid
+  // candidates there, so their DFD is >= the previous optimum and they
+  // cannot beat the carried threshold. Only *dirty* candidates can, and a
+  // dirty candidate must extend to the dirty frontier: in the single-
+  // trajectory problem its second subtrajectory ends at je >= D (the
+  // first freshly appended index), so its coupling path crosses every
+  // column y in [j+1, D] and its DFD is >= max of Rmin over [j, D-1]
+  // (Lemma 2 per crossed column). That bound grows with the subset's
+  // distance from the frontier, which is what makes per-slide work scale
+  // with the dirty region instead of the window: subsets far from the
+  // new points are dropped from the queue before any DP work. In cross
+  // mode a dirty candidate reaches either frontier, so the two one-sided
+  // bounds combine by min. Dropping a subset here never loses a strict
+  // improvement (clean >= threshold by the argument above, dirty >
+  // threshold by the bound) nor a tie that would win the canonical
+  // order (the bound prunes only strictly-above-threshold subsets, so
+  // every threshold-achiever survives into the queue); when nothing
+  // precedes the previous pair, the slide falls back to it, shifted.
+  if (update.seeded) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double threshold = update.seed_threshold;
+    const std::size_t before = entries.size();
+    if (!cross_) {
+      // Single-trajectory frontier bound, per second-start j:
+      //   G[j] = max over y in [j+1, D] of  min over c in [0, j-1] dG(c, y)
+      // (D = first dirty column). Valid because a dirty candidate's
+      // path crosses every column y in [j+1, D] on some row c <= j-1
+      // (rows never exceed ie < j). The j-restricted prefix minimum is
+      // what gives the bound teeth: the unrestricted column minimum is
+      // dominated by tiny near-diagonal self-distances. O(W²) matrix
+      // reads per seeded slide — cheap next to the DP cells it removes.
+      const Index d_col = m - shift_col;
+      std::vector<double> g(m, -kInf);
+      std::vector<double> prefix(m, kInf);  // min over rows [0, j-1]
+      for (Index y = 0; y < m; ++y) prefix[y] = ring_.Distance(0, y);
+      // j >= d_col has an empty frontier range (g stays -inf), so the
+      // scan — and the prefix maintenance feeding it — stops there.
+      for (Index j = 1; j < d_col; ++j) {
+        double running = -kInf;
+        for (Index y = d_col; y > j; --y) {
+          if (prefix[y] > running) running = prefix[y];
+        }
+        g[j] = running;
+        for (Index y = 0; y <= d_col; ++y) {
+          const double d = ring_.Distance(j, y);
+          if (d < prefix[y]) prefix[y] = d;
+        }
+      }
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [&](const SubsetEntry& e) {
+                                     return g[e.j] > threshold;
+                                   }),
+                    entries.end());
+    } else {
+      // Cross-trajectory: a dirty candidate reaches either frontier, so
+      // the one-sided crossing bounds (suffix-max of the full-range
+      // Rmin/Cmin, which have no diagonal weakness here) combine by min.
+      const Index d_col = m - shift_col;
+      const Index d_row = n - shift_row;
+      std::vector<double> dirty_row(m, kInf);
+      if (shift_col > 0) {
+        double running = -kInf;
+        for (Index y = d_col - 1; y >= 0; --y) {
+          running = std::max(running, rb.Rmin(y));
+          dirty_row[y] = running;
+        }
+        for (Index y = d_col; y < m; ++y) dirty_row[y] = -kInf;
+      }
+      std::vector<double> dirty_col(n, kInf);
+      if (shift_row > 0) {
+        double running = -kInf;
+        for (Index x = d_row - 1; x >= 0; --x) {
+          running = std::max(running, rb.Cmin(x));
+          dirty_col[x] = running;
+        }
+        for (Index x = d_row; x < n; ++x) dirty_col[x] = -kInf;
+      }
+      entries.erase(
+          std::remove_if(entries.begin(), entries.end(),
+                         [&](const SubsetEntry& e) {
+                           return std::min(dirty_col[e.i], dirty_row[e.j]) >
+                                  threshold;
+                         }),
+          entries.end());
+    }
+    update.stats.pruned_by_band +=
+        static_cast<std::int64_t>(before - entries.size());
+  }
+
+  update.stats.memory.Add(ring_.MemoryBytes());
+  update.stats.memory.Add(rb.MemoryBytes());
+  update.stats.memory.Add(entries.capacity() * sizeof(SubsetEntry));
+  update.stats.memory.Add(2 * static_cast<std::size_t>(m) * sizeof(double));
+  update.stats.precompute_seconds += timer.ElapsedSeconds();
+
+  timer.Restart();
+  SearchState state;
+  state.threshold = update.seed_threshold;
+  RunSubsetQueue(ring_, motif, &entries, &rb, /*use_end_cross=*/true,
+                 /*sort_entries=*/true, &state, &update.stats,
+                 /*caps=*/nullptr, /*lb_scale=*/1.0, pool);
+  update.stats.search_seconds += timer.ElapsedSeconds();
+
+  // Resolve the seeded search against the previous optimum under the
+  // canonical (distance, candidate) order. The previous pair — shifted
+  // into the new coordinates — is the order-minimum among *clean*
+  // achievers (it was the whole previous window's minimum and candidate
+  // order is shift-invariant); the search saw every dirty achiever. The
+  // smaller of the two is therefore exactly what a from-scratch run
+  // reports, ties included.
+  Candidate shifted = previous_best_;
+  shifted.i -= shift_row;
+  shifted.ie -= shift_row;
+  shifted.j -= cross_ ? shift_col : shift_row;
+  shifted.je -= cross_ ? shift_col : shift_row;
+  const bool improved =
+      state.found &&
+      (state.best_distance < previous_distance_ ||
+       (state.best_distance == previous_distance_ &&
+        CandidateOrderedBefore(state.best, shifted)));
+  if (update.seeded && !improved) {
+    update.carried = true;
+    update.motif.best = shifted;
+    update.motif.distance = previous_distance_;
+    update.motif.found = true;
+  } else {
+    update.motif.best = state.best;
+    update.motif.distance = state.best_distance;
+    update.motif.found = state.found;
+  }
+
+  previous_best_ = update.motif.best;
+  previous_distance_ = update.motif.distance;
+  have_previous_ = update.motif.found;
+  searched_once_ = true;
+  appended_since_search_first_ = 0;
+  appended_since_search_second_ = 0;
+
+  ++engine_stats_.searches;
+  if (update.seeded) ++engine_stats_.seeded_searches;
+  engine_stats_.dfd_cells_computed += update.stats.dfd_cells_computed;
+  return update;
+}
+
+namespace {
+
+Trajectory AssembleWindow(const std::deque<Point>& window,
+                          const std::deque<double>& times, bool timestamped) {
+  std::vector<Point> points(window.begin(), window.end());
+  if (!timestamped) return Trajectory(std::move(points));
+  return Trajectory(std::move(points),
+                    std::vector<double>(times.begin(), times.end()));
+}
+
+}  // namespace
+
+Trajectory WindowState::WindowTrajectory() const {
+  return AssembleWindow(window_, times_, timestamped_);
+}
+
+Trajectory WindowState::SecondWindowTrajectory() const {
+  return AssembleWindow(second_window_, second_times_, second_timestamped_);
+}
+
+RelaxedBounds WindowState::CurrentBounds() const {
+  return bounds_.Snapshot(options_.min_length_xi);
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,226 @@
+#ifndef FRECHET_MOTIF_STREAM_WINDOW_STATE_H_
+#define FRECHET_MOTIF_STREAM_WINDOW_STATE_H_
+
+/// Per-stream sliding-window state: the reusable core of the streaming
+/// engines.
+///
+/// A WindowState owns everything one bounded window needs to answer
+/// motif queries incrementally — the ring ground-distance matrix (one
+/// fresh row/column per append, O(1) eviction), the incrementally
+/// maintained RelaxedBounds minima, the window point/timestamp caches,
+/// and the previous optimum carried as the next search's pruning
+/// threshold. It deliberately contains **no scheduling policy**: when to
+/// run a search is the caller's decision (`StreamingMotifMonitor` runs
+/// one the moment `SearchDue()` turns true; `MotifFleetEngine` batches
+/// due windows through a `SearchScheduler`). Because a search's answer
+/// depends only on the window contents at search time, any caller that
+/// runs the search before the next append to this window reproduces the
+/// single-monitor behavior bit for bit.
+///
+/// The exactness contract of `RunSearch()` — bit-identical candidate and
+/// distance to a from-scratch `FindMotif` with
+/// `StreamOptions::BaselineOptions()` on the identical window — is
+/// stated and proved in streaming_motif_monitor.h.
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/options.h"
+#include "core/trajectory.h"
+#include "geo/great_circle.h"
+#include "geo/metric.h"
+#include "motif/motif.h"
+#include "motif/relaxed_bounds.h"
+#include "motif/stats.h"
+#include "stream/incremental_bounds.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace frechet_motif {
+
+/// Configuration of one streaming window. Deliberately
+/// FindMotifOptions-compatible: BaselineOptions() returns the exact
+/// from-scratch configuration the streaming answers are bit-identical to.
+struct StreamOptions {
+  /// Window length W: the motif is maintained over the last W points.
+  /// Must admit a valid candidate (W >= 2ξ + 4 for the single-trajectory
+  /// problem).
+  Index window_length = 512;
+
+  /// Re-search cadence: a search becomes due once the window is full and
+  /// then after every `slide_step` further appended points (the window
+  /// having slid by that amount). Must be >= 1.
+  Index slide_step = 32;
+
+  /// Minimum motif length ξ (paper default 100).
+  Index min_length_xi = 100;
+
+  /// Worker threads for the per-slide search, as FindMotifOptions::threads
+  /// (1 = serial, 0 = all hardware threads; results are bit-identical for
+  /// every setting).
+  int threads = 1;
+
+  /// The from-scratch FindMotif configuration every streaming answer is
+  /// bit-identical to: the relaxed bounding search (MotifAlgorithm::kBtm)
+  /// with this ξ and thread count.
+  FindMotifOptions BaselineOptions() const {
+    FindMotifOptions o;
+    o.algorithm = MotifAlgorithm::kBtm;
+    o.min_length_xi = min_length_xi;
+    o.threads = threads;
+    return o;
+  }
+};
+
+/// One per-slide report emitted by a streaming search.
+struct StreamUpdate {
+  /// Global stream index of window point 0 (and, in cross mode, of the
+  /// second window's point 0): window-relative index k corresponds to
+  /// stream point window_start + k.
+  std::int64_t window_start = 0;
+  std::int64_t window_start_second = 0;
+
+  /// Points in the window(s) at search time (== StreamOptions::window_length).
+  Index window_points = 0;
+
+  /// Whether the search was seeded with the previous window's distance
+  /// (false on the first search and when the previous best was evicted).
+  bool seeded = false;
+
+  /// The seed threshold (+infinity when unseeded).
+  double seed_threshold = std::numeric_limits<double>::infinity();
+
+  /// True when no dirty candidate preceded the previous optimum (shifted
+  /// into the new window) under the canonical (distance, candidate)
+  /// order, so the motif is that shifted previous pair. Carried or not,
+  /// the reported candidate and distance are bit-identical to the
+  /// from-scratch answer (ties included — see the tie-stability contract
+  /// in streaming_motif_monitor.h).
+  bool carried = false;
+
+  /// The window's motif, in window-relative indices.
+  MotifResult motif;
+
+  /// Search counters for this slide alone. `dfd_cells_computed` is the
+  /// number the acceptance comparison against a from-scratch search uses.
+  MotifStats stats;
+};
+
+/// Cumulative engine counters across one window's lifetime.
+struct StreamEngineStats {
+  std::int64_t points_ingested = 0;
+  std::int64_t searches = 0;
+  std::int64_t seeded_searches = 0;
+  /// Fresh ground-metric evaluations paid for matrix maintenance — the
+  /// streaming replacement for Build's O(W²) per query.
+  std::int64_t ground_distances_computed = 0;
+  /// Total DP cells across all searches.
+  std::int64_t dfd_cells_computed = 0;
+  /// Bound-maintenance rescans caused by evicted minimizers.
+  std::int64_t bound_rescans = 0;
+};
+
+/// See the file comment. Create() validates the options exactly as the
+/// from-scratch search would; the metric must outlive the state.
+class WindowState {
+ public:
+  /// `cross` selects the two-trajectory window pair (points appended per
+  /// side, searches meaningful once both windows are full).
+  static StatusOr<WindowState> Create(const StreamOptions& options,
+                                      const GroundMetric& metric, bool cross);
+
+  WindowState(WindowState&&) = default;
+  WindowState& operator=(WindowState&&) = default;
+
+  /// Appends one point to side 0 (first trajectory) or 1 (second, cross
+  /// mode only): evicts when full, extends the ring matrix with the fresh
+  /// ground distances, and advances the slide accounting. `timestamp` may
+  /// be null; mixing timestamped and bare appends on one side is an error.
+  Status Append(int side, const Point& p, const double* timestamp);
+
+  /// True when the cadence (window full; `slide_step` appends since the
+  /// last search — or no search yet) says a search should run now.
+  bool SearchDue() const;
+
+  /// The seeded (or cold) relaxed subset search over the current window.
+  /// `pool` (optional) parallelizes it; results are bit-identical either
+  /// way. Callers normally gate on SearchDue(), but any moment with a
+  /// full window is valid — a deferred search simply covers a larger
+  /// slide (the threshold carry checks eviction itself).
+  StatusOr<StreamUpdate> RunSearch(ThreadPool* pool);
+
+  /// The current window contents (with timestamps when pushed), in
+  /// window-relative order — exactly the trajectory a from-scratch
+  /// FindMotif parity check should run on.
+  Trajectory WindowTrajectory() const;
+  Trajectory SecondWindowTrajectory() const;
+
+  Index window_size() const { return static_cast<Index>(window_.size()); }
+  Index second_window_size() const {
+    return static_cast<Index>(second_window_.size());
+  }
+  std::int64_t points_seen() const { return pushed_first_; }
+
+  /// Appends (across both sides) since the last search — the scheduler's
+  /// dirty measure: each append dirties one ring row+column, i.e. O(W)
+  /// matrix cells.
+  Index appended_since_search() const {
+    return appended_since_search_first_ + appended_since_search_second_;
+  }
+  bool searched_once() const { return searched_once_; }
+
+  bool cross() const { return cross_; }
+  const StreamOptions& options() const { return options_; }
+  const StreamEngineStats& engine_stats() const { return engine_stats_; }
+
+  /// Test hook (single-trajectory mode): the relaxed-bound arrays the
+  /// next search would use, for equality checks against a fresh
+  /// RelaxedBounds::Build over the window. Only meaningful after at
+  /// least one search.
+  RelaxedBounds CurrentBounds() const;
+
+ private:
+  WindowState(const StreamOptions& options, const GroundMetric& metric,
+              bool cross);
+
+  MotifOptions SearchMotifOptions() const;
+
+  StreamOptions options_;
+  const GroundMetric* metric_;
+  bool cross_ = false;
+  bool haversine_ = false;
+
+  RingDistanceMatrix ring_;
+  IncrementalRelaxedBounds bounds_;
+
+  std::deque<Point> window_;
+  std::deque<Point> second_window_;
+  std::deque<SphereVec> vecs_;
+  std::deque<SphereVec> second_vecs_;
+  std::deque<double> times_;
+  std::deque<double> second_times_;
+  bool timestamped_ = false;
+  bool second_timestamped_ = false;
+
+  std::int64_t pushed_first_ = 0;
+  std::int64_t pushed_second_ = 0;
+  /// Appends (per side) since the last search, for slide accounting.
+  Index appended_since_search_first_ = 0;
+  Index appended_since_search_second_ = 0;
+  bool searched_once_ = false;
+
+  /// Previous search's answer, window-relative at that time.
+  bool have_previous_ = false;
+  Candidate previous_best_;
+  double previous_distance_ = std::numeric_limits<double>::infinity();
+
+  StreamEngineStats engine_stats_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_STREAM_WINDOW_STATE_H_

@@ -136,8 +136,8 @@ TEST(CliUsage, RootHelpExitsZero) {
 
 TEST(CliUsage, PerCommandHelpExitsZero) {
   for (const char* command :
-       {"motif", "stream", "topk", "cross", "join", "cluster", "stats",
-        "simplify", "gen"}) {
+       {"motif", "stream", "fleet", "topk", "cross", "join", "cluster",
+        "stats", "simplify", "gen"}) {
     const CommandResult r = RunFmotif(std::string(command) + " --help");
     EXPECT_EQ(0, r.exit_code) << command;
     EXPECT_NE(std::string::npos, r.output.find("usage: fmotif")) << command;
@@ -159,6 +159,7 @@ TEST(CliUsage, UnknownCommandIsUsageError) {
 TEST(CliUsage, MissingPositionalIsUsageError) {
   EXPECT_EQ(2, RunFmotif("motif").exit_code);
   EXPECT_EQ(2, RunFmotif("stream").exit_code);
+  EXPECT_EQ(2, RunFmotif("fleet").exit_code);
   EXPECT_EQ(2, RunFmotif("cross one.csv").exit_code);
   EXPECT_EQ(2, RunFmotif("join only_one.csv").exit_code);
   EXPECT_EQ(2, RunFmotif("simplify in.csv").exit_code);  // --out required
@@ -282,6 +283,113 @@ TEST(CliStream, InvalidWindowIsRuntimeError) {
   // xi=100 needs a window of at least 204 points.
   const CommandResult r = RunFmotif("stream " + path + " --window=50");
   EXPECT_EQ(1, r.exit_code);
+}
+
+TEST(CliFleet, JsonReportsSlidesJoinDeltasAndSummaryGolden) {
+  const std::string a = WriteTrace("fa.csv", "--kind=geolife --n=160 --seed=7");
+  const std::string b = WriteTrace("fb.csv", "--kind=geolife --n=160 --seed=7");
+  const std::string c = WriteTrace("fc.csv", "--kind=truck --n=160 --seed=9");
+  const CommandResult r = RunFmotif("fleet " + a + " " + b + " " + c +
+                                    " --window=60 --slide=20 --xi=8 "
+                                    "--eps=200 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output)) << r.output;
+  for (const char* key :
+       {"\"stream\"", "\"window_start\"", "\"seeded\"", "\"carried\"",
+        "\"distance_m\"", "\"join_delta\"", "\"entered\"",
+        "\"coalesced_slides\"", "\"late_dropped\"", "\"reordered\"",
+        "\"verdicts_carried\"", "\"current_matches\"",
+        "\"command\": \"fleet\""}) {
+    EXPECT_NE(std::string::npos, r.output.find(key)) << key;
+  }
+  // 3 streams x ((160 - 60) / 20 + 1) slides, one report each.
+  std::size_t reports = 0;
+  for (std::size_t at = 0;
+       (at = r.output.find("\"window_start\"", at)) != std::string::npos;
+       ++at) {
+    ++reports;
+  }
+  EXPECT_EQ(18u, reports);
+  ExpectMatchesGolden(Normalize(r.output), "fleet_json.golden");
+}
+
+TEST(CliFleet, PerStreamOutputMatchesIndependentStreamRuns) {
+  // Each stream's slide lines in the fleet output must be exactly the
+  // lines `fmotif stream` prints for that file alone (prefixed s<k>).
+  const std::string a = WriteTrace("fp.csv", "--kind=geolife --n=150 --seed=3");
+  const std::string args = " --window=60 --slide=15 --xi=8";
+  const CommandResult alone = RunFmotif("stream " + a + args);
+  const CommandResult fleet = RunFmotif("fleet " + a + args);
+  ASSERT_EQ(0, alone.exit_code) << alone.output;
+  ASSERT_EQ(0, fleet.exit_code) << fleet.output;
+  std::istringstream alone_lines(alone.output);
+  std::istringstream fleet_lines(fleet.output);
+  std::string expected;
+  std::string actual;
+  int compared = 0;
+  while (std::getline(alone_lines, expected) &&
+         std::getline(fleet_lines, actual) && !expected.empty() &&
+         expected[0] == '@') {
+    EXPECT_EQ("s0 " + expected, actual);
+    ++compared;
+  }
+  EXPECT_GT(compared, 3);
+}
+
+TEST(CliFleet, StdinMultiplexRegistersStreamsOnTheFly) {
+  const std::string a = WriteTrace("fm.csv", "--kind=geolife --n=120 --seed=5");
+  // Build a multiplexed feed: every row of the trace goes to streams 0
+  // and 1 alternately... simpler: same row to both streams via awk.
+  const std::string command =
+      "awk -F, 'NR>1 { print \"0,\" $0; print \"1,\" $0 }' " + a + " | " +
+      std::string(FMOTIF_BINARY) + " fleet - --window=50 --slide=10 --xi=6" +
+      " 2>&1";
+  CommandResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(nullptr, pipe);
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  result.exit_code = WEXITSTATUS(pclose(pipe));
+  EXPECT_EQ(0, result.exit_code) << result.output;
+  EXPECT_NE(std::string::npos, result.output.find("2 streams"));
+  EXPECT_NE(std::string::npos, result.output.find("s0 @"));
+  EXPECT_NE(std::string::npos, result.output.find("s1 @"));
+}
+
+TEST(CliFleet, NonNumericOrHugeStreamIdIsRejectedNotCast) {
+  // Stream ids are validated before the double -> size_t cast (the cast
+  // alone would be undefined behavior for nan/inf/out-of-range).
+  for (const char* bad : {"nan", "inf", "1e300", "-1", "1.5"}) {
+    const std::string command =
+        std::string("printf '0,45.0,7.0\\n") + bad + ",45.0,7.0\\n' | " +
+        std::string(FMOTIF_BINARY) + " fleet - --window=50 --xi=6 2>&1";
+    std::FILE* pipe = popen(command.c_str(), "r");
+    ASSERT_NE(nullptr, pipe) << bad;
+    std::string output;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      output.append(buffer, n);
+    }
+    const int exit_code = WEXITSTATUS(pclose(pipe));
+    EXPECT_EQ(1, exit_code) << bad << ": " << output;
+    EXPECT_NE(std::string::npos, output.find("malformed fleet row 2")) << bad;
+  }
+}
+
+TEST(CliFleet, BudgetCapsSearchesAndCountsCoalescedSlides) {
+  const std::string a = WriteTrace("fb1.csv", "--kind=geolife --n=200 --seed=2");
+  const std::string b = WriteTrace("fb2.csv", "--kind=truck --n=200 --seed=4");
+  const CommandResult r = RunFmotif(
+      "fleet " + a + " " + b +
+      " --window=60 --slide=10 --xi=8 --budget=1 --json");
+  ASSERT_EQ(0, r.exit_code) << r.output;
+  EXPECT_TRUE(LooksLikeValidJson(r.output));
+  // With budget 1 and two always-due streams, slides coalesce.
+  EXPECT_EQ(std::string::npos, r.output.find("\"coalesced_slides\": 0,"));
 }
 
 TEST(CliJson, TopKReturnsAscendingDistances) {

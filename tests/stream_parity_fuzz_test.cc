@@ -99,27 +99,17 @@ TEST(StreamParityFuzz, RandomSchedulesMatchBatchSerialAndThreaded) {
       EXPECT_EQ(su.value()->seeded, tu.value()->seeded);
       EXPECT_EQ(su.value()->carried, tu.value()->carried);
 
-      // Both agree with the from-scratch baseline on the same window:
-      // the distance unconditionally; the pair whenever the slide found
-      // a fresh optimum (a carried slide may report a different
-      // achiever of the same distance on tie-heavy data, so there it is
-      // held to the exactness oracle instead).
+      // Both agree with the from-scratch baseline on the same window —
+      // candidate and distance unconditionally, carried slides and exact
+      // ties included (the canonical tie-break is shared by both paths).
       const Trajectory window = serial.value().WindowTrajectory();
       auto scratch =
           FindMotif(window, metric, serial_options.BaselineOptions());
       ASSERT_TRUE(scratch.ok()) << scratch.status();
       EXPECT_EQ(scratch.value().found, su.value()->motif.found);
       EXPECT_EQ(scratch.value().distance, su.value()->motif.distance);
-      if (!su.value()->carried) {
-        EXPECT_EQ(scratch.value().best, su.value()->motif.best);
-      } else {
-        const DistanceMatrix dg =
-            DistanceMatrix::Build(window, metric).value();
-        const Candidate& c = su.value()->motif.best;
-        auto exact = DiscreteFrechetOnRange(dg, c.i, c.ie, c.j, c.je);
-        ASSERT_TRUE(exact.ok()) << exact.status();
-        EXPECT_EQ(su.value()->motif.distance, exact.value());
-      }
+      EXPECT_EQ(scratch.value().best, su.value()->motif.best)
+          << (su.value()->carried ? "carried slide" : "fresh slide");
     }
     EXPECT_GT(slides, 0);
   }
@@ -166,16 +156,8 @@ TEST(StreamParityFuzz, RandomCrossInterleavings) {
       auto scratch = FindMotif(wa, wb, metric, options.BaselineOptions());
       ASSERT_TRUE(scratch.ok()) << scratch.status();
       EXPECT_EQ(scratch.value().distance, push.value()->motif.distance);
-      if (!push.value()->carried) {
-        EXPECT_EQ(scratch.value().best, push.value()->motif.best);
-      } else {
-        const DistanceMatrix dg =
-            DistanceMatrix::Build(wa, wb, metric).value();
-        const Candidate& c = push.value()->motif.best;
-        auto exact = DiscreteFrechetOnRange(dg, c.i, c.ie, c.j, c.je);
-        ASSERT_TRUE(exact.ok()) << exact.status();
-        EXPECT_EQ(push.value()->motif.distance, exact.value());
-      }
+      EXPECT_EQ(scratch.value().best, push.value()->motif.best)
+          << (push.value()->carried ? "carried slide" : "fresh slide");
     }
     EXPECT_GT(slides, 0);
   }

@@ -150,8 +150,7 @@ struct ParityOutcome {
 
 ParityOutcome ReplayAndCheckParity(const Trajectory& t,
                                    const StreamOptions& options,
-                                   const GroundMetric& metric,
-                                   bool require_candidate_parity = true) {
+                                   const GroundMetric& metric) {
   ParityOutcome outcome;
   auto monitor = StreamingMotifMonitor::Create(options, metric);
   EXPECT_TRUE(monitor.ok()) << monitor.status();
@@ -170,25 +169,14 @@ ParityOutcome ReplayAndCheckParity(const Trajectory& t,
     if (!scratch.ok()) return outcome;
 
     EXPECT_EQ(scratch.value().found, update.motif.found);
-    // The distance is unconditionally bit-identical to from-scratch.
+    // Candidate and distance are unconditionally bit-identical to
+    // from-scratch — carried slides and exact ties included (both paths
+    // resolve equal distances to the canonical candidate order).
     EXPECT_EQ(scratch.value().distance, update.motif.distance)
         << "slide at window_start=" << update.window_start;
-    if (require_candidate_parity || !update.carried) {
-      EXPECT_EQ(scratch.value().best, update.motif.best)
-          << "slide at window_start=" << update.window_start
-          << (update.carried ? " (carried)" : "");
-    } else {
-      // Carried slide on tie-prone data: the pair may be a different
-      // achiever of the same optimum — prove it really achieves it.
-      const DistanceMatrix dg = DistanceMatrix::Build(window, metric).value();
-      const Candidate& c = update.motif.best;
-      auto exact = DiscreteFrechetOnRange(dg, c.i, c.ie, c.j, c.je);
-      EXPECT_TRUE(exact.ok()) << exact.status();
-      if (exact.ok()) {
-        EXPECT_EQ(update.motif.distance, exact.value())
-            << "carried pair does not achieve the reported distance";
-      }
-    }
+    EXPECT_EQ(scratch.value().best, update.motif.best)
+        << "slide at window_start=" << update.window_start
+        << (update.carried ? " (carried)" : "");
 
     ++outcome.searches;
     outcome.stream_cells += update.stats.dfd_cells_computed;
@@ -237,10 +225,10 @@ TEST(StreamingParity, EuclideanMetricReplay) {
   const EuclideanMetric metric;
   const Trajectory t = testing_util::MakePlanarWalk(600, 13);
   // Planar-walk data produces genuine exact-distance ties (overlapping
-  // pairs sharing one bottleneck cell), so carried slides are held to
-  // distance parity + achiever verification rather than pair identity.
-  const ParityOutcome outcome = ReplayAndCheckParity(
-      t, options, metric, /*require_candidate_parity=*/false);
+  // pairs sharing one bottleneck cell) — exactly the case the canonical
+  // tie-break exists for: carried slides must now match from-scratch
+  // pair-for-pair, not just distance-for-distance.
+  const ParityOutcome outcome = ReplayAndCheckParity(t, options, metric);
   EXPECT_EQ((600 - 120) / 24 + 1, outcome.searches);
   EXPECT_LT(outcome.stream_cells, outcome.scratch_cells);
 }

@@ -140,6 +140,78 @@ TEST(SearchStateTest, RecordUpdatesBestAndThreshold) {
   EXPECT_EQ(s.best.i, 2);
 }
 
+TEST(SearchStateTest, EqualDistancesResolveToCanonicalCandidateOrder) {
+  // On an exact tie, Record keeps the lexicographically smaller
+  // (i, j, ie, je) — regardless of arrival order.
+  SearchState first_small;
+  first_small.Record(Candidate{1, 6, 8, 13}, 10.0);
+  first_small.Record(Candidate{2, 7, 9, 14}, 10.0);  // lex larger: ignored
+  EXPECT_EQ(first_small.best.i, 1);
+
+  SearchState first_large;
+  first_large.Record(Candidate{2, 7, 9, 14}, 10.0);
+  first_large.Record(Candidate{1, 6, 8, 13}, 10.0);  // lex smaller: wins
+  EXPECT_EQ(first_large.best.i, 1);
+  EXPECT_DOUBLE_EQ(first_large.best_distance, 10.0);
+
+  // The order is (i, j, ie, je) — start pair before endpoints.
+  SearchState same_start;
+  same_start.Record(Candidate{1, 9, 8, 13}, 10.0);
+  same_start.Record(Candidate{1, 6, 8, 14}, 10.0);  // smaller ie wins
+  EXPECT_EQ(same_start.best.ie, 6);
+  same_start.Record(Candidate{1, 5, 7, 14}, 10.0);  // smaller j beats ie
+  EXPECT_EQ(same_start.best.j, 7);
+}
+
+TEST(SearchStateTest, CandidateOrderIsShiftInvariant) {
+  // The carried path of the streaming engine compares a shifted previous
+  // candidate against fresh ones; shifting both sides by the same delta
+  // must never change the order.
+  const Candidate a{3, 9, 12, 20};
+  const Candidate b{3, 9, 13, 19};
+  ASSERT_TRUE(CandidateOrderedBefore(a, b));
+  Candidate a_shift = a;
+  Candidate b_shift = b;
+  for (Candidate* c : {&a_shift, &b_shift}) {
+    c->i -= 2;
+    c->ie -= 2;
+    c->j -= 2;
+    c->je -= 2;
+  }
+  EXPECT_TRUE(CandidateOrderedBefore(a_shift, b_shift));
+  EXPECT_FALSE(CandidateOrderedBefore(b_shift, a_shift));
+}
+
+TEST(ExactTies, AllPathsReportTheCanonicalAchiever) {
+  // A constructed matrix with two exactly tied optimal candidates in
+  // different subsets: constant distance c everywhere except two zero
+  // bottlenecks... simpler: a constant matrix ties *every* candidate at
+  // the same DFD, so every algorithm must report the very first subset's
+  // first candidate under the canonical order.
+  const Index n = 14;
+  const Index xi = 2;
+  std::vector<double> values(static_cast<std::size_t>(n) * n, 7.0);
+  for (Index i = 0; i < n; ++i) {
+    values[static_cast<std::size_t>(i) * n + i] = 0.0;
+  }
+  const DistanceMatrix dg =
+      DistanceMatrix::FromValues(n, n, std::move(values)).value();
+  const MotifOptions options = Single(xi);
+
+  const RelaxedBounds rb = RelaxedBounds::Build(dg, options);
+  std::vector<SubsetEntry> entries;
+  ForEachValidSubset(options, n, n, [&](Index i, Index j) {
+    entries.push_back(SubsetEntry{0.0, i, j});
+  });
+  SearchState state;
+  RunSubsetQueue(dg, options, &entries, &rb, /*use_end_cross=*/true,
+                 /*sort_entries=*/true, &state, nullptr);
+  ASSERT_TRUE(state.found);
+  EXPECT_DOUBLE_EQ(7.0, state.best_distance);
+  // The canonical minimum: the lex-smallest valid candidate overall.
+  EXPECT_EQ((Candidate{0, xi + 1, xi + 2, 2 * xi + 3}), state.best);
+}
+
 TEST(SearchStateTest, ExternalThresholdDoesNotBlockRecording) {
   SearchState s;
   s.threshold = 5.0;  // e.g. from a group upper bound

@@ -8,6 +8,8 @@
 //
 // Exit codes: 0 success, 1 runtime/data error, 2 usage error.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +27,7 @@
 #include "join/similarity_join.h"
 #include "motif/motif.h"
 #include "motif/top_k.h"
+#include "stream/motif_fleet_engine.h"
 #include "stream/streaming_motif_monitor.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
@@ -65,6 +68,9 @@ int Usage(std::FILE* stream) {
       "  motif    <file>            best motif pair within one trajectory\n"
       "  stream   <file|->          maintain the motif over a live sliding "
       "window\n"
+      "  fleet    <file>...|-       N sliding windows over one arrival "
+      "loop,\n"
+      "                             with optional ε-join deltas\n"
       "  topk     <file>            the k best motifs, diversity-separated\n"
       "  cross    <fileA> <fileB>   best motif pair across two "
       "trajectories\n"
@@ -127,6 +133,34 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "point by point. With --json, one JSON report per slide plus a "
         "final\n"
         "summary document go to stdout.\n");
+  } else if (command == "fleet") {
+    std::fprintf(
+        stream,
+        "usage: fmotif fleet <file>... | - [--window=512] [--slide=32] "
+        "[--xi=100]\n"
+        "       [--eps=M] [--reorder=K] [--budget=K] [--json] "
+        "[--threads=N]\n"
+        "\n"
+        "Maintains one sliding-window motif per input stream behind a "
+        "single\n"
+        "arrival loop, scheduler and worker pool (MotifFleetEngine). Each "
+        "file\n"
+        "is one stream, ingested round-robin; pass `-` to multiplex stdin\n"
+        "instead, one point per line as `stream,lat,lon[,timestamp]` "
+        "(stream\n"
+        "ids are dense integers from 0; new ids add streams on the fly).\n"
+        "\n"
+        "Every slide report is bit-identical to an independent `fmotif "
+        "stream`\n"
+        "on that stream. --eps additionally maintains the DFD ε-join "
+        "across\n"
+        "the fleet's windows and reports per-slide join deltas (stream "
+        "pairs\n"
+        "entering/leaving ε). --reorder=K buffers up to K timestamped "
+        "points\n"
+        "per stream to fix out-of-order feeds (late arrivals below the\n"
+        "watermark are dropped and counted). --budget=K caps searches per\n"
+        "drain — a backlogged window coalesces its pending slides.\n");
   } else if (command == "topk") {
     std::fprintf(
         stream,
@@ -552,6 +586,312 @@ int RunStream(const fm::Flags& flags) {
         static_cast<long long>(engine.seeded_searches),
         static_cast<long long>(engine.ground_distances_computed),
         static_cast<long long>(engine.dfd_cells_computed));
+  }
+  return kExitOk;
+}
+
+void PrintFleetUpdateJson(const fm::FleetStreamUpdate& fu) {
+  const fm::StreamUpdate& u = fu.update;
+  fm::JsonWriter w;
+  w.BeginObject();
+  w.Key("stream");
+  w.Int(static_cast<std::int64_t>(fu.stream));
+  w.Key("window_start");
+  w.Int(u.window_start);
+  w.Key("window_points");
+  w.Int(u.window_points);
+  w.Key("seeded");
+  w.Bool(u.seeded);
+  w.Key("carried");
+  w.Bool(u.carried);
+  w.Key("result");
+  w.BeginObject();
+  w.Key("found");
+  w.Bool(u.motif.found);
+  w.Key("distance_m");
+  w.Double(u.motif.distance);
+  w.Key("first");
+  JsonRange(&w, u.motif.first());
+  w.Key("second");
+  JsonRange(&w, u.motif.second());
+  w.EndObject();
+  w.Key("dfd_cells_computed");
+  w.Int(u.stats.dfd_cells_computed);
+  w.EndObject();
+  PrintJson(w);
+}
+
+void PrintJoinDeltaJson(const fm::JoinDelta& delta) {
+  fm::JsonWriter w;
+  w.BeginObject();
+  w.Key("join_delta");
+  w.BeginObject();
+  for (const auto* side : {&delta.entered, &delta.left}) {
+    w.Key(side == &delta.entered ? "entered" : "left");
+    w.BeginArray();
+    for (const fm::JoinPair& p : *side) {
+      w.BeginArray();
+      w.Int(static_cast<std::int64_t>(p.li));
+      w.Int(static_cast<std::int64_t>(p.ri));
+      w.EndArray();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+  PrintJson(w);
+}
+
+void PrintFleetReport(const fm::FleetReport& report, bool json,
+                      std::int64_t* slides) {
+  *slides += static_cast<std::int64_t>(report.updates.size());
+  for (const fm::FleetStreamUpdate& fu : report.updates) {
+    if (json) {
+      PrintFleetUpdateJson(fu);
+      continue;
+    }
+    const fm::StreamUpdate& u = fu.update;
+    std::printf(
+        "s%zu @%lld  S[%d..%d] ~ S[%d..%d]  DFD=%.2f m  %s%scells=%lld\n",
+        fu.stream, static_cast<long long>(u.window_start), u.motif.best.i,
+        u.motif.best.ie, u.motif.best.j, u.motif.best.je, u.motif.distance,
+        u.seeded ? "seeded " : "cold ", u.carried ? "carried " : "",
+        static_cast<long long>(u.stats.dfd_cells_computed));
+  }
+  if (!report.join_delta.empty()) {
+    if (json) {
+      PrintJoinDeltaJson(report.join_delta);
+    } else {
+      std::printf("join");
+      for (const fm::JoinPair& p : report.join_delta.entered) {
+        std::printf(" +s%zu~s%zu", p.li, p.ri);
+      }
+      for (const fm::JoinPair& p : report.join_delta.left) {
+        std::printf(" -s%zu~s%zu", p.li, p.ri);
+      }
+      std::printf("\n");
+    }
+  }
+  if (!json) std::fflush(stdout);
+}
+
+/// Parses a multiplexed stdin row `stream,lat,lon[,timestamp]`: splits the
+/// leading integer stream id, then delegates to ParseCsvPointRow.
+fm::CsvRow ParseFleetRow(const std::string& line, std::size_t* stream,
+                         double* lat, double* lon, double* ts, bool* has_ts) {
+  std::size_t at = 0;
+  while (at < line.size() &&
+         (line[at] == ' ' || line[at] == '\t' || line[at] == '\r')) {
+    ++at;
+  }
+  if (at == line.size()) return fm::CsvRow::kBlank;
+  const std::size_t comma = line.find(',', at);
+  if (comma == std::string::npos) return fm::CsvRow::kMalformed;
+  // Validate before the cast: converting a negative, non-integral,
+  // out-of-range or non-finite double to size_t is undefined behavior.
+  double id = 0.0;
+  if (!fm::ParseDoubleC(line.substr(at, comma - at), &id) ||
+      !(id >= 0.0 && id <= 1e9) || id != std::floor(id)) {
+    return fm::CsvRow::kMalformed;
+  }
+  *stream = static_cast<std::size_t>(id);
+  return fm::ParseCsvPointRow(line.substr(comma + 1), lat, lon, ts, has_ts);
+}
+
+int RunFleet(const fm::Flags& flags) {
+  if (flags.positional().size() < 2) return CommandUsage(stderr, "fleet");
+  const bool json = flags.GetBool("json", false);
+  const bool from_stdin =
+      flags.positional().size() == 2 && flags.positional()[1] == "-";
+
+  fm::FleetOptions options;
+  options.stream.window_length = static_cast<fm::Index>(
+      flags.GetInt("window", options.stream.window_length));
+  options.stream.slide_step =
+      static_cast<fm::Index>(flags.GetInt("slide", options.stream.slide_step));
+  options.stream.min_length_xi =
+      static_cast<fm::Index>(flags.GetInt("xi", 100));
+  options.stream.threads = Threads(flags);
+  if (flags.Has("eps")) options.join_epsilon = flags.GetDouble("eps", 250.0);
+  options.reorder_capacity =
+      static_cast<fm::Index>(flags.GetInt("reorder", 0));
+  options.max_searches_per_drain =
+      static_cast<int>(flags.GetInt("budget", 0));
+
+  fm::StatusOr<fm::MotifFleetEngine> engine =
+      fm::MotifFleetEngine::Create(options, Metric(flags));
+  if (!engine.ok()) return Fail(engine.status());
+
+  std::int64_t slides = 0;
+  if (from_stdin) {
+    // Multiplexed live tail: one `stream,lat,lon[,ts]` row per line, new
+    // stream ids registering streams on the fly.
+    constexpr std::size_t kMaxStreams = 4096;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(std::cin, line)) {
+      ++line_no;
+      std::size_t stream = 0;
+      double lat = 0.0;
+      double lon = 0.0;
+      double ts = 0.0;
+      bool has_ts = false;
+      switch (ParseFleetRow(line, &stream, &lat, &lon, &ts, &has_ts)) {
+        case fm::CsvRow::kBlank:
+          continue;
+        case fm::CsvRow::kMalformed:
+          if (line_no == 1) continue;  // header row
+          return Fail(fm::Status::InvalidArgument(
+              "malformed fleet row " + std::to_string(line_no) +
+              " (expected stream,lat,lon[,timestamp])"));
+        case fm::CsvRow::kMalformedTimestamp:
+          return Fail(fm::Status::InvalidArgument(
+              "malformed timestamp on row " + std::to_string(line_no)));
+        case fm::CsvRow::kPoint:
+          break;
+      }
+      if (stream >= kMaxStreams) {
+        return Fail(fm::Status::InvalidArgument(
+            "fleet stream id out of range on row " + std::to_string(line_no)));
+      }
+      while (stream >= engine.value().stream_count()) {
+        const fm::StatusOr<std::size_t> added = engine.value().AddStream();
+        if (!added.ok()) return Fail(added.status());
+      }
+      fm::StatusOr<fm::FleetReport> report =
+          has_ts ? engine.value().Push(stream, fm::LatLon(lat, lon), ts)
+                 : engine.value().Push(stream, fm::LatLon(lat, lon));
+      if (!report.ok()) return Fail(report.status());
+      PrintFleetReport(report.value(), json, &slides);
+    }
+  } else {
+    // One file per stream, replayed round-robin through one arrival loop.
+    std::vector<fm::Trajectory> streams;
+    for (std::size_t k = 1; k < flags.positional().size(); ++k) {
+      fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k], flags);
+      if (!t.ok()) return Fail(t.status());
+      const fm::StatusOr<std::size_t> added = engine.value().AddStream();
+      if (!added.ok()) return Fail(added.status());
+      streams.push_back(std::move(t).value());
+    }
+    fm::Index longest = 0;
+    for (const fm::Trajectory& t : streams) {
+      longest = std::max(longest, t.size());
+    }
+    // One Ingest per slide period (slide_step round-robin rounds): the
+    // engine appends the whole chunk in one tight loop and drains due
+    // searches once per chunk — which is what lets --budget coalesce
+    // backlogged windows instead of draining after every single point.
+    // Unbudgeted reports are identical either way (the parity guard
+    // runs due searches before a window slides further).
+    const fm::Index chunk = options.stream.slide_step;
+    for (fm::Index k0 = 0; k0 < longest; k0 += chunk) {
+      std::vector<fm::FleetArrival> batch;
+      for (fm::Index k = k0; k < std::min(longest, k0 + chunk); ++k) {
+        for (std::size_t s = 0; s < streams.size(); ++s) {
+          if (k >= streams[s].size()) continue;
+          fm::FleetArrival arrival;
+          arrival.stream = s;
+          arrival.point = streams[s][k];
+          if (streams[s].has_timestamps()) {
+            arrival.has_timestamp = true;
+            arrival.timestamp = streams[s].timestamp(k);
+          }
+          batch.push_back(arrival);
+        }
+      }
+      fm::StatusOr<fm::FleetReport> report = engine.value().Ingest(batch);
+      if (!report.ok()) return Fail(report.status());
+      PrintFleetReport(report.value(), json, &slides);
+    }
+  }
+  fm::StatusOr<fm::FleetReport> flushed = engine.value().Flush();
+  if (!flushed.ok()) return Fail(flushed.status());
+  PrintFleetReport(flushed.value(), json, &slides);
+
+  const fm::FleetStats stats = engine.value().stats();
+  const fm::IncrementalJoinStats* join = engine.value().join_stats();
+  if (json) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("fleet");
+    w.Key("options");
+    w.BeginObject();
+    w.Key("window");
+    w.Int(options.stream.window_length);
+    w.Key("slide");
+    w.Int(options.stream.slide_step);
+    w.Key("xi");
+    w.Int(options.stream.min_length_xi);
+    w.Key("eps_m");
+    w.Double(options.join_epsilon);
+    w.Key("reorder");
+    w.Int(options.reorder_capacity);
+    w.Key("budget");
+    w.Int(options.max_searches_per_drain);
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.Key("threads");
+    w.Int(options.stream.threads);
+    w.EndObject();
+    w.Key("streams");
+    w.Int(stats.streams);
+    w.Key("points_ingested");
+    w.Int(stats.points_ingested);
+    w.Key("slides");
+    w.Int(slides);
+    w.Key("seeded_searches");
+    w.Int(stats.seeded_searches);
+    w.Key("coalesced_slides");
+    w.Int(stats.coalesced_slides);
+    w.Key("reordered");
+    w.Int(stats.reordered);
+    w.Key("late_dropped");
+    w.Int(stats.late_dropped);
+    w.Key("ground_distances_computed");
+    w.Int(stats.ground_distances_computed);
+    w.Key("dfd_cells_computed");
+    w.Int(stats.dfd_cells_computed);
+    if (join != nullptr) {
+      w.Key("join");
+      w.BeginObject();
+      w.Key("pairs_reverified");
+      w.Int(join->pairs_reverified);
+      w.Key("verdicts_carried");
+      w.Int(join->verdicts_carried);
+      w.Key("entered_total");
+      w.Int(join->entered_total);
+      w.Key("left_total");
+      w.Int(join->left_total);
+      w.Key("current_matches");
+      w.Int(static_cast<std::int64_t>(
+          engine.value().CurrentJoinMatches().size()));
+      w.EndObject();
+    }
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    std::printf(
+        "%lld streams, %lld points, %lld slides (%lld seeded, %lld "
+        "coalesced), %lld reordered, %lld late-dropped, %lld DFD cells\n",
+        static_cast<long long>(stats.streams),
+        static_cast<long long>(stats.points_ingested),
+        static_cast<long long>(slides),
+        static_cast<long long>(stats.seeded_searches),
+        static_cast<long long>(stats.coalesced_slides),
+        static_cast<long long>(stats.reordered),
+        static_cast<long long>(stats.late_dropped),
+        static_cast<long long>(stats.dfd_cells_computed));
+    if (join != nullptr) {
+      std::printf(
+          "join: %lld reverified, %lld carried, +%lld -%lld, %zu current\n",
+          static_cast<long long>(join->pairs_reverified),
+          static_cast<long long>(join->verdicts_carried),
+          static_cast<long long>(join->entered_total),
+          static_cast<long long>(join->left_total),
+          engine.value().CurrentJoinMatches().size());
+    }
   }
   return kExitOk;
 }
@@ -1022,6 +1362,7 @@ int main(int argc, char** argv) {
     return RunMotif(flags);
   }
   if (command == "stream") return RunStream(flags);
+  if (command == "fleet") return RunFleet(flags);
   if (command == "topk") return RunTopK(flags);
   if (command == "cross") return RunCross(flags);
   if (command == "join") return RunJoin(flags);
