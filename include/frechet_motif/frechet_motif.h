@@ -34,6 +34,8 @@
 ///    maintenance over live point streams;
 ///  * `<frechet_motif/fleet.h>` — N streams behind one arrival loop,
 ///    scheduler and incremental ε-join (MotifFleetEngine);
+///  * `<frechet_motif/durable.h>` — crash-safe snapshot + journal
+///    persistence for the streaming engines (DurableFleet);
 ///  * `<frechet_motif/join.h>` — DFD similarity join, batch and
 ///    incremental;
 ///  * `<frechet_motif/cluster.h>` — subtrajectory clustering;
@@ -46,6 +48,7 @@
 
 #include "frechet_motif/cluster.h"
 #include "frechet_motif/datasets.h"
+#include "frechet_motif/durable.h"
 #include "frechet_motif/fleet.h"
 #include "frechet_motif/join.h"
 #include "frechet_motif/motif.h"

@@ -1,0 +1,159 @@
+#ifndef FRECHET_MOTIF_DURABLE_DURABLE_FLEET_H_
+#define FRECHET_MOTIF_DURABLE_DURABLE_FLEET_H_
+
+/// Crash-safe wrapper around `MotifFleetEngine`: snapshot + journal
+/// durability with bit-exact recovery.
+///
+/// ## How the journal stays deterministic
+///
+/// The engine's in-order core is perfectly replayable, but the reorder
+/// buffers in front of it are not: replaying *raw* arrivals through a
+/// frontend whose buffered contents were lost mid-crash would release a
+/// different in-order sequence. The journal therefore records arrivals
+/// **post-reorder** — exactly the released, in-order sequence the
+/// windows consumed — and recovery feeds it straight back through
+/// `MotifFleetEngine::ReplayReleased`.
+///
+/// DurableFleet owns the journal-side `IngestFrontend`s itself and
+/// drives the inner engine *only* via ReplayReleased, live and during
+/// recovery alike — one code path, so the recovery parity argument is
+/// structural: the engine sees the identical call sequence either way.
+/// One journal record holds one engine call's released batch (possibly
+/// empty, for budgeted `Drain`s that ran deferred searches), so replay
+/// reproduces call boundaries — and with them search coalescing and
+/// join-tick grouping — bit for bit.
+///
+/// ## Durability semantics
+///
+/// A point is durable once it has been *released* past the watermark
+/// and its record synced (`sync_each_record`, default on). Points still
+/// sitting in a reorder buffer are **not** durable — a crash loses
+/// them, exactly as a watermark-based pipeline loses in-flight
+/// unacknowledged data. After recovery the journal-side frontends are
+/// re-seeded with the engine's restored watermarks, so the late-drop
+/// boundary is unchanged.
+///
+/// `Open` recovers (newest valid snapshot + journal tail, see
+/// state_store.h), then immediately checkpoints, so new records never
+/// extend a journal whose tail was just found torn.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durable/durable_fs.h"
+#include "durable/state_store.h"
+#include "geo/metric.h"
+#include "stream/ingest_frontend.h"
+#include "stream/motif_fleet_engine.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Durability configuration, orthogonal to the engine's FleetOptions.
+struct DurableOptions {
+  /// State directory (created if missing) holding snapshots + journals.
+  std::string state_dir;
+
+  /// Auto-checkpoint after this many journal records (0 = only explicit
+  /// Checkpoint calls).
+  std::uint64_t checkpoint_interval_records = 1024;
+
+  /// fsync the journal after every committed record. Off trades the
+  /// last few records on crash for throughput (recovery still finds a
+  /// valid prefix — the frames are CRC'd).
+  bool sync_each_record = true;
+
+  /// Filesystem override for fault injection (tests/fault_fs.h); null
+  /// uses a process-owned PosixFs. Must outlive the fleet.
+  DurableFs* fs = nullptr;
+};
+
+/// What `DurableFleet::Open` did to get back to the pre-crash state.
+struct RecoveryInfo {
+  bool restored_snapshot = false;
+  std::uint64_t replayed_records = 0;
+  /// Reports the replayed records regenerated, in journal order — the
+  /// recovery fuzz harness checks them against the original run's.
+  std::vector<FleetReport> replay_reports;
+};
+
+class DurableFleet {
+ public:
+  /// Opens (recovering if state exists) a durable fleet. `metric` and
+  /// `durable.fs` (when set) must outlive the fleet. `options` must
+  /// match any recovered snapshot's configuration (threads excepted).
+  static StatusOr<DurableFleet> Open(const FleetOptions& options,
+                                     const GroundMetric& metric,
+                                     const DurableOptions& durable);
+
+  DurableFleet(DurableFleet&&) = default;
+  DurableFleet& operator=(DurableFleet&&) = default;
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  /// Adds a stream (journaled). Ids are dense, starting at 0.
+  StatusOr<std::size_t> AddStream();
+
+  /// Engine-call mirrors of MotifFleetEngine's ingest surface. Each
+  /// call that changes durable state commits one journal record.
+  StatusOr<FleetReport> Push(std::size_t stream, const Point& p);
+  StatusOr<FleetReport> Push(std::size_t stream, const Point& p,
+                             double timestamp);
+  StatusOr<FleetReport> Ingest(const std::vector<FleetArrival>& batch);
+  StatusOr<FleetReport> Drain();
+
+  /// Flushes the reorder buffers (end of feed) and commits the release.
+  StatusOr<FleetReport> Flush();
+
+  /// Rotates to a fresh snapshot generation now.
+  Status Checkpoint();
+
+  /// Forces any unsynced journal records to stable storage (a no-op
+  /// with `sync_each_record`).
+  Status Sync();
+
+  /// The wrapped engine, for queries and parity checks. All mutation
+  /// must go through the fleet — direct engine writes would bypass the
+  /// journal.
+  const MotifFleetEngine& engine() const { return engine_; }
+
+  std::size_t stream_count() const { return engine_.stream_count(); }
+
+  /// Engine counters with the reorder/late-drop counts taken from the
+  /// journal-side frontends (the engine's own frontends only ever see
+  /// released points).
+  FleetStats stats() const;
+
+  std::uint64_t generation() const { return store_.generation(); }
+
+ private:
+  DurableFleet(MotifFleetEngine engine, StateStore store,
+               std::unique_ptr<DurableFs> owned_fs,
+               const DurableOptions& durable);
+
+  /// Applies one engine call's released batch and journals it. Skips
+  /// the journal when the call neither delivered nor reported anything
+  /// (`force_commit` overrides, for calls whose *boundary* matters).
+  StatusOr<FleetReport> CommitBatch(const std::vector<FleetArrival>& released,
+                                    bool force_commit);
+
+  MotifFleetEngine engine_;
+  StateStore store_;
+  /// Set only when DurableOptions::fs was null.
+  std::unique_ptr<DurableFs> owned_fs_;
+
+  std::uint64_t checkpoint_interval_ = 1024;
+  bool sync_each_record_ = true;
+
+  /// Journal-side reorder frontends, one per stream. Their buffered
+  /// contents are deliberately volatile (see the file comment).
+  std::vector<IngestFrontend> frontends_;
+
+  RecoveryInfo recovery_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DURABLE_DURABLE_FLEET_H_

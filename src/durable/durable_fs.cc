@@ -1,0 +1,170 @@
+#include "durable/durable_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace frechet_motif {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PosixFs::~PosixFs() {
+  for (const auto& [path, fd] : append_fds_) ::close(fd);
+}
+
+void PosixFs::CloseCached(const std::string& path) {
+  const auto it = append_fds_.find(path);
+  if (it != append_fds_.end()) {
+    ::close(it->second);
+    append_fds_.erase(it);
+  }
+}
+
+StatusOr<std::string> PosixFs::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixFs::WriteFile(const std::string& path, std::string_view data) {
+  CloseCached(path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", path);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("write", path);
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) return Errno("close", path);
+  return Status::Ok();
+}
+
+Status PosixFs::Append(const std::string& path, std::string_view data) {
+  int fd = -1;
+  const auto it = append_fds_.find(path);
+  if (it != append_fds_.end()) {
+    fd = it->second;
+  } else {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Errno("open", path);
+    append_fds_.emplace(path, fd);
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status PosixFs::Sync(const std::string& path) {
+  const auto it = append_fds_.find(path);
+  if (it != append_fds_.end()) {
+    if (::fsync(it->second) != 0) return Errno("fsync", path);
+    return Status::Ok();
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  if (::fsync(fd) != 0) {
+    const Status status = Errno("fsync", path);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status PosixFs::Rename(const std::string& from, const std::string& to) {
+  CloseCached(from);
+  CloseCached(to);
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::Ok();
+}
+
+Status PosixFs::Remove(const std::string& path) {
+  CloseCached(path);
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<bool> PosixFs::Exists(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) return true;
+  if (errno == ENOENT) return false;
+  return Errno("stat", path);
+}
+
+StatusOr<std::vector<std::string>> PosixFs::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    const struct dirent* entry = ::readdir(d);
+    if (entry == nullptr) {
+      if (errno != 0) {
+        const Status status = Errno("readdir", dir);
+        ::closedir(d);
+        return status;
+      }
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+Status PosixFs::CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", dir);
+  }
+  return Status::Ok();
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,102 @@
+#ifndef FRECHET_MOTIF_DURABLE_DURABLE_FS_H_
+#define FRECHET_MOTIF_DURABLE_DURABLE_FS_H_
+
+/// Filesystem seam of the durability layer.
+///
+/// Everything the snapshot/journal machinery does to disk goes through
+/// this narrow, path-based interface, for two reasons:
+///
+///  * **Fault injection.** The crash-recovery guarantees of
+///    src/durable/ are only as good as the failure modes they are
+///    tested against. tests/fault_fs.h implements this interface as an
+///    in-memory filesystem that kills the process between any write,
+///    sync, and rename, loses unsynced bytes on "reboot", tears
+///    trailing writes, and flips bits — driving the recovery fuzz test
+///    through failure schedules a real disk produces rarely and
+///    unreproducibly.
+///  * **Explicit durability points.** The interface separates writing
+///    from syncing, so the store's commit protocol (append → sync →
+///    rename, see state_store.h) is spelled out in calls rather than
+///    implied by library defaults.
+///
+/// `PosixFs` is the real implementation. It keeps an open descriptor
+/// per appended-to file so a journal append is one write(2), not an
+/// open/write/close cycle.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace frechet_motif {
+
+class DurableFs {
+ public:
+  virtual ~DurableFs() = default;
+
+  /// Reads the whole file. NotFound when it does not exist.
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Creates/truncates `path` with `data`. No durability until Sync.
+  virtual Status WriteFile(const std::string& path,
+                           std::string_view data) = 0;
+
+  /// Appends `data` to `path`, creating it when missing. No durability
+  /// until Sync.
+  virtual Status Append(const std::string& path, std::string_view data) = 0;
+
+  /// Forces `path`'s written bytes to stable storage (fsync).
+  virtual Status Sync(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics: after a
+  /// crash the destination is either the old or the new file, never a
+  /// mix).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path`. NotFound when it does not exist.
+  virtual Status Remove(const std::string& path) = 0;
+
+  virtual StatusOr<bool> Exists(const std::string& path) = 0;
+
+  /// Entry names (not paths) in `dir`, unsorted; "." and ".." excluded.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Creates `dir` (single level); ok when it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+};
+
+/// The real filesystem. Append targets keep an open O_APPEND
+/// descriptor, released on Rename/Remove of the path and in the
+/// destructor; Sync fsyncs the cached descriptor when present.
+class PosixFs final : public DurableFs {
+ public:
+  PosixFs() = default;
+  ~PosixFs() override;
+
+  PosixFs(const PosixFs&) = delete;
+  PosixFs& operator=(const PosixFs&) = delete;
+
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Sync(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  StatusOr<bool> Exists(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+
+ private:
+  void CloseCached(const std::string& path);
+
+  /// Open O_APPEND descriptors, one per actively appended file.
+  std::map<std::string, int> append_fds_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DURABLE_DURABLE_FS_H_

@@ -1,0 +1,326 @@
+#include "durable/state_store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/binary_codec.h"
+
+namespace frechet_motif {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4E534D46u;  // "FMSN"
+constexpr std::uint32_t kJournalMagic = 0x4C574D46u;   // "FMWL"
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// magic + version + gen + start_seq + header crc.
+constexpr std::size_t kJournalHeaderSize = 4 + 4 + 8 + 8 + 4;
+/// payload length + frame crc + seq.
+constexpr std::size_t kRecordFrameSize = 4 + 4 + 8;
+
+std::string GenName(const char* prefix, std::uint64_t gen) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%06llu", prefix,
+                static_cast<unsigned long long>(gen));
+  return buf;
+}
+
+/// "<prefix><digits>" -> gen; false for anything else (tmp files etc.).
+bool ParseGenName(const std::string& name, const char* prefix,
+                  std::uint64_t* gen) {
+  const std::size_t plen = std::char_traits<char>::length(prefix);
+  if (name.size() <= plen || name.compare(0, plen, prefix) != 0) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = plen; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *gen = value;
+  return true;
+}
+
+bool HasTmpSuffix(const std::string& name) {
+  constexpr std::string_view kTmp = ".tmp";
+  return name.size() >= kTmp.size() &&
+         name.compare(name.size() - kTmp.size(), kTmp.size(), kTmp) == 0;
+}
+
+std::string EncodeSnapshotFile(std::uint64_t gen, std::uint64_t next_seq,
+                               std::string_view payload) {
+  BinaryWriter writer;
+  writer.PutU32(kSnapshotMagic);
+  writer.PutU32(kFormatVersion);
+  writer.PutU64(gen);
+  writer.PutU64(next_seq);
+  writer.PutU64(payload.size());
+  writer.PutU32(Crc32(payload));
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.Take();
+}
+
+Status DecodeSnapshotFile(std::string_view bytes, std::uint64_t expected_gen,
+                          std::uint64_t* next_seq, std::string* payload) {
+  BinaryReader reader(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t gen = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  FM_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::DataLoss("snapshot magic mismatch");
+  }
+  FM_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kFormatVersion) {
+    return Status::DataLoss("unsupported snapshot format version");
+  }
+  FM_RETURN_IF_ERROR(reader.GetU64(&gen));
+  if (gen != expected_gen) {
+    return Status::DataLoss("snapshot generation does not match its filename");
+  }
+  FM_RETURN_IF_ERROR(reader.GetU64(next_seq));
+  FM_RETURN_IF_ERROR(reader.GetU64(&size));
+  FM_RETURN_IF_ERROR(reader.GetU32(&crc));
+  if (size != reader.remaining()) {
+    return Status::DataLoss("snapshot payload length mismatch");
+  }
+  payload->resize(static_cast<std::size_t>(size));
+  FM_RETURN_IF_ERROR(reader.GetBytes(payload->data(), payload->size()));
+  if (Crc32(*payload) != crc) {
+    return Status::DataLoss("snapshot checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeJournalHeader(std::uint64_t gen, std::uint64_t start_seq) {
+  BinaryWriter body;
+  body.PutU32(kJournalMagic);
+  body.PutU32(kFormatVersion);
+  body.PutU64(gen);
+  body.PutU64(start_seq);
+  BinaryWriter writer;
+  writer.PutBytes(body.bytes().data(), body.bytes().size());
+  writer.PutU32(Crc32(body.bytes()));
+  return writer.Take();
+}
+
+std::string EncodeRecordFrame(std::uint64_t seq, std::string_view payload) {
+  BinaryWriter seq_bytes;
+  seq_bytes.PutU64(seq);
+  BinaryWriter writer;
+  writer.PutU32(static_cast<std::uint32_t>(payload.size()));
+  writer.PutU32(Crc32(payload, Crc32(seq_bytes.bytes())));
+  writer.PutU64(seq);
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.Take();
+}
+
+/// Replays one journal file. `seq` carries the expected next sequence
+/// number across files and is advanced past every accepted record.
+/// `tolerant` is the newest-wal mode: a torn, truncated, or corrupt
+/// suffix (header included) ends the durable history cleanly instead of
+/// failing — an *older* wal was fsynced before its successor snapshot
+/// could exist, so there any anomaly is unrecoverable corruption.
+Status ParseJournal(std::string_view bytes, std::uint64_t expected_gen,
+                    bool tolerant, std::uint64_t* seq,
+                    std::vector<std::string>* records) {
+  const Status corrupt_header =
+      Status::DataLoss("journal header failed validation");
+  if (bytes.size() < kJournalHeaderSize) {
+    return tolerant ? Status::Ok() : corrupt_header;
+  }
+  const std::uint32_t header_crc_want =
+      Crc32(bytes.substr(0, kJournalHeaderSize - 4));
+  BinaryReader reader(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t gen = 0;
+  std::uint64_t start_seq = 0;
+  std::uint32_t header_crc = 0;
+  FM_RETURN_IF_ERROR(reader.GetU32(&magic));
+  FM_RETURN_IF_ERROR(reader.GetU32(&version));
+  FM_RETURN_IF_ERROR(reader.GetU64(&gen));
+  FM_RETURN_IF_ERROR(reader.GetU64(&start_seq));
+  FM_RETURN_IF_ERROR(reader.GetU32(&header_crc));
+  if (magic != kJournalMagic || version != kFormatVersion ||
+      gen != expected_gen || header_crc != header_crc_want ||
+      start_seq != *seq) {
+    return tolerant ? Status::Ok() : corrupt_header;
+  }
+  while (!reader.AtEnd()) {
+    const Status corrupt_record =
+        Status::DataLoss("journal record failed validation");
+    if (reader.remaining() < kRecordFrameSize) {
+      return tolerant ? Status::Ok() : corrupt_record;
+    }
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t record_seq = 0;
+    FM_RETURN_IF_ERROR(reader.GetU32(&length));
+    FM_RETURN_IF_ERROR(reader.GetU32(&crc));
+    FM_RETURN_IF_ERROR(reader.GetU64(&record_seq));
+    if (length > reader.remaining()) {
+      return tolerant ? Status::Ok() : corrupt_record;
+    }
+    std::string payload(length, '\0');
+    FM_RETURN_IF_ERROR(reader.GetBytes(payload.data(), payload.size()));
+    BinaryWriter seq_bytes;
+    seq_bytes.PutU64(record_seq);
+    if (crc != Crc32(payload, Crc32(seq_bytes.bytes())) ||
+        record_seq != *seq) {
+      return tolerant ? Status::Ok() : corrupt_record;
+    }
+    ++*seq;
+    records->push_back(std::move(payload));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string StateStore::SnapshotPath(std::uint64_t gen) const {
+  return dir_ + "/" + GenName("snap-", gen);
+}
+
+std::string StateStore::JournalPath(std::uint64_t gen) const {
+  return dir_ + "/" + GenName("wal-", gen);
+}
+
+StatusOr<StateStore> StateStore::Open(DurableFs* fs, std::string dir) {
+  StateStore store(fs, std::move(dir));
+  FM_RETURN_IF_ERROR(store.Recover());
+  return store;
+}
+
+Status StateStore::Recover() {
+  FM_RETURN_IF_ERROR(fs_->CreateDir(dir_));
+  StatusOr<std::vector<std::string>> listing = fs_->ListDir(dir_);
+  if (!listing.ok()) return listing.status();
+
+  std::vector<std::uint64_t> snapshot_gens;
+  std::vector<std::uint64_t> journal_gens;
+  std::uint64_t max_gen_seen = 0;
+  for (const std::string& name : listing.value()) {
+    std::uint64_t gen = 0;
+    if (HasTmpSuffix(name)) {
+      // Leftover of a checkpoint that crashed before its rename; the
+      // rename is the commit point, so an orphaned tmp is dead weight.
+      (void)fs_->Remove(dir_ + "/" + name);
+    } else if (ParseGenName(name, "snap-", &gen)) {
+      snapshot_gens.push_back(gen);
+      max_gen_seen = std::max(max_gen_seen, gen);
+    } else if (ParseGenName(name, "wal-", &gen)) {
+      journal_gens.push_back(gen);
+      max_gen_seen = std::max(max_gen_seen, gen);
+    }
+  }
+
+  // Newest snapshot that validates wins; an invalid newer one (torn or
+  // bit-flipped) falls back to its predecessor, whose journal chain
+  // still reaches the present (see the file comment).
+  std::sort(snapshot_gens.rbegin(), snapshot_gens.rend());
+  std::uint64_t base_gen = 0;
+  for (const std::uint64_t gen : snapshot_gens) {
+    StatusOr<std::string> bytes = fs_->ReadFile(SnapshotPath(gen));
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kNotFound) continue;
+      return bytes.status();
+    }
+    std::uint64_t next_seq = 0;
+    std::string payload;
+    if (DecodeSnapshotFile(bytes.value(), gen, &next_seq, &payload).ok()) {
+      base_gen = gen;
+      next_seq_ = next_seq;
+      recovered_.has_snapshot = true;
+      recovered_.snapshot = std::move(payload);
+      break;
+    }
+  }
+  if (!recovered_.has_snapshot && !snapshot_gens.empty()) {
+    return Status::DataLoss("no snapshot in " + dir_ + " validates");
+  }
+
+  // Replay the journal chain from the chosen base. Only the newest wal
+  // may end mid-record; older ones must parse fully and chain by seq.
+  std::sort(journal_gens.begin(), journal_gens.end());
+  for (const std::uint64_t gen : journal_gens) {
+    if (recovered_.has_snapshot && gen < base_gen) continue;
+    StatusOr<std::string> bytes = fs_->ReadFile(JournalPath(gen));
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kNotFound) continue;
+      return bytes.status();
+    }
+    const bool tolerant = gen == journal_gens.back();
+    FM_RETURN_IF_ERROR(ParseJournal(bytes.value(), gen, tolerant, &next_seq_,
+                                    &recovered_.records));
+  }
+
+  generation_ = std::max(base_gen, max_gen_seen);
+  records_in_journal_ = recovered_.records.size();
+  return Status::Ok();
+}
+
+Status StateStore::Checkpoint(std::string_view snapshot) {
+  const std::uint64_t new_gen = generation_ + 1;
+  // Step 1: the outgoing wal's records must be durable before a newer
+  // snapshot exists — generation fallback depends on it being complete.
+  if (!journal_path_.empty()) {
+    FM_RETURN_IF_ERROR(fs_->Sync(journal_path_));
+    journal_dirty_ = false;
+  }
+  // Step 2: snapshot appears atomically via tmp + fsync + rename.
+  const std::string snap_path = SnapshotPath(new_gen);
+  const std::string tmp_path = snap_path + ".tmp";
+  FM_RETURN_IF_ERROR(
+      fs_->WriteFile(tmp_path, EncodeSnapshotFile(new_gen, next_seq_, snapshot)));
+  FM_RETURN_IF_ERROR(fs_->Sync(tmp_path));
+  FM_RETURN_IF_ERROR(fs_->Rename(tmp_path, snap_path));
+  // Step 3: fresh wal for the new generation.
+  const std::string wal_path = JournalPath(new_gen);
+  FM_RETURN_IF_ERROR(
+      fs_->WriteFile(wal_path, EncodeJournalHeader(new_gen, next_seq_)));
+  FM_RETURN_IF_ERROR(fs_->Sync(wal_path));
+  // Step 4: drop generations the fallback chain no longer needs (keep
+  // one full predecessor).
+  if (new_gen >= 2) {
+    StatusOr<std::vector<std::string>> listing = fs_->ListDir(dir_);
+    if (listing.ok()) {
+      for (const std::string& name : listing.value()) {
+        std::uint64_t gen = 0;
+        if ((ParseGenName(name, "snap-", &gen) ||
+             ParseGenName(name, "wal-", &gen)) &&
+            gen <= new_gen - 2) {
+          (void)fs_->Remove(dir_ + "/" + name);
+        }
+      }
+    }
+  }
+  generation_ = new_gen;
+  journal_path_ = wal_path;
+  records_in_journal_ = 0;
+  journal_dirty_ = false;
+  return Status::Ok();
+}
+
+Status StateStore::AppendRecord(std::string_view payload) {
+  if (journal_path_.empty()) {
+    return Status::FailedPrecondition(
+        "no open journal: Checkpoint must run before AppendRecord");
+  }
+  FM_RETURN_IF_ERROR(
+      fs_->Append(journal_path_, EncodeRecordFrame(next_seq_, payload)));
+  ++next_seq_;
+  ++records_in_journal_;
+  journal_dirty_ = true;
+  return Status::Ok();
+}
+
+Status StateStore::SyncJournal() {
+  if (journal_path_.empty() || !journal_dirty_) return Status::Ok();
+  FM_RETURN_IF_ERROR(fs_->Sync(journal_path_));
+  journal_dirty_ = false;
+  return Status::Ok();
+}
+
+}  // namespace frechet_motif

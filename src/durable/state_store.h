@@ -1,0 +1,127 @@
+#ifndef FRECHET_MOTIF_DURABLE_STATE_STORE_H_
+#define FRECHET_MOTIF_DURABLE_STATE_STORE_H_
+
+/// Generation-based snapshot + write-ahead-journal store.
+///
+/// A state directory holds at most two *generations* of durable state,
+/// each a pair of files:
+///
+///     snap-<gen>   one checksummed snapshot blob (the engine manifest)
+///     wal-<gen>    the append-only journal of records since that
+///                  snapshot (CRC-framed, globally sequence-numbered)
+///
+/// ## Commit protocol
+///
+/// `Checkpoint(blob)` rotates to generation g+1 in an order that keeps
+/// a valid recovery chain through any crash point:
+///
+///   1. fsync wal-g             -- its records are durable *before* any
+///                                 newer snapshot claims to cover them
+///   2. write snap-(g+1).tmp, fsync, rename to snap-(g+1)
+///                              -- the snapshot appears atomically
+///   3. create wal-(g+1) (header only), fsync
+///   4. delete generations <= g-1 (one full fallback generation stays)
+///
+/// `AppendRecord` frames a payload as [len | crc | seq | bytes] and
+/// appends it to the current wal; `SyncJournal` is the durability
+/// point (the caller decides the sync cadence).
+///
+/// ## Recovery
+///
+/// `Open` scans the directory, picks the *newest snapshot that
+/// validates* (magic, version, length, CRC), and replays the journal
+/// chain from there: every wal of an older generation must parse
+/// completely and chain gaplessly by sequence number (it was fsynced in
+/// step 1 before its successor snapshot could exist), while the newest
+/// wal is *tail-tolerant* — a torn, truncated, or bit-flipped trailing
+/// record marks the end of the durable history rather than an error.
+/// The recovered blob + record payloads are exposed via `recovered()`;
+/// interpreting them is the caller's business (durable_fleet.h).
+///
+/// A freshly opened store has no writable journal: the caller must
+/// `Checkpoint` once (durable_fleet.h does so right after recovery)
+/// before appending, so new records never land in a wal whose tail was
+/// just found corrupt.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durable/durable_fs.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// What `StateStore::Open` reconstructed from the directory.
+struct RecoveredState {
+  /// False on a fresh (or snapshot-less) directory; `snapshot` is then
+  /// empty and `records` holds any journal tail that still chained.
+  bool has_snapshot = false;
+  std::string snapshot;
+  /// Journal record payloads released after the snapshot, in append
+  /// order.
+  std::vector<std::string> records;
+};
+
+class StateStore {
+ public:
+  /// Opens (creating if needed) the state directory and runs recovery.
+  /// `fs` must outlive the store. Fails with DataLoss when snapshots
+  /// exist but none validates, or when an *older*-generation journal —
+  /// one the protocol had already made durable — fails to parse.
+  static StatusOr<StateStore> Open(DurableFs* fs, std::string dir);
+
+  StateStore(StateStore&&) = default;
+  StateStore& operator=(StateStore&&) = default;
+
+  const RecoveredState& recovered() const { return recovered_; }
+
+  /// Rotates to a new generation around `snapshot` (see the file
+  /// comment for the crash-ordering argument) and opens its journal
+  /// for appending.
+  Status Checkpoint(std::string_view snapshot);
+
+  /// Appends one CRC-framed, sequence-numbered record to the current
+  /// journal. Not durable until SyncJournal. FailedPrecondition before
+  /// the first Checkpoint.
+  Status AppendRecord(std::string_view payload);
+
+  /// Forces appended records to stable storage.
+  Status SyncJournal();
+
+  /// Current generation (0 before the first Checkpoint on a fresh
+  /// directory).
+  std::uint64_t generation() const { return generation_; }
+
+  /// Sequence number the next AppendRecord will stamp.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Records appended since the last Checkpoint (recovered journal
+  /// records count on a freshly opened store — the caller uses this to
+  /// decide when to rotate).
+  std::uint64_t records_in_journal() const { return records_in_journal_; }
+
+  std::string SnapshotPath(std::uint64_t gen) const;
+  std::string JournalPath(std::uint64_t gen) const;
+
+ private:
+  StateStore(DurableFs* fs, std::string dir) : fs_(fs), dir_(std::move(dir)) {}
+
+  Status Recover();
+
+  DurableFs* fs_;
+  std::string dir_;
+
+  RecoveredState recovered_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t records_in_journal_ = 0;
+  /// Empty until the first Checkpoint — no appends before rotation.
+  std::string journal_path_;
+  bool journal_dirty_ = false;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_DURABLE_STATE_STORE_H_

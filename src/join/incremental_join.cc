@@ -170,6 +170,185 @@ StatusOr<JoinDelta> IncrementalDfdJoin::Tick() {
   return delta;
 }
 
+namespace {
+
+void SaveTrajectory(BinaryWriter* writer, const Trajectory& t) {
+  writer->PutU64(static_cast<std::uint64_t>(t.size()));
+  for (Index i = 0; i < t.size(); ++i) {
+    writer->PutDouble(t[i].x);
+    writer->PutDouble(t[i].y);
+  }
+  writer->PutBool(t.has_timestamps());
+  if (t.has_timestamps()) {
+    for (Index i = 0; i < t.size(); ++i) writer->PutDouble(t.timestamp(i));
+  }
+}
+
+Status LoadTrajectory(BinaryReader* reader, Trajectory* t) {
+  std::uint64_t size = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&size));
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t i = 0; i < size; ++i) {
+    Point p;
+    FM_RETURN_IF_ERROR(reader->GetDouble(&p.x));
+    FM_RETURN_IF_ERROR(reader->GetDouble(&p.y));
+    points.push_back(p);
+  }
+  bool timestamped = false;
+  FM_RETURN_IF_ERROR(reader->GetBool(&timestamped));
+  std::vector<double> times;
+  if (timestamped) {
+    times.resize(static_cast<std::size_t>(size));
+    for (double& ts : times) FM_RETURN_IF_ERROR(reader->GetDouble(&ts));
+  }
+  *t = Trajectory(std::move(points), std::move(times));
+  return Status::Ok();
+}
+
+void SaveJoinPairs(BinaryWriter* writer, const std::vector<JoinPair>& pairs) {
+  writer->PutU64(pairs.size());
+  for (const JoinPair& pair : pairs) {
+    writer->PutU64(pair.li);
+    writer->PutU64(pair.ri);
+  }
+}
+
+Status LoadJoinPairs(BinaryReader* reader, std::vector<JoinPair>* pairs) {
+  std::uint64_t count = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&count));
+  pairs->clear();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    std::uint64_t li = 0;
+    std::uint64_t ri = 0;
+    FM_RETURN_IF_ERROR(reader->GetU64(&li));
+    FM_RETURN_IF_ERROR(reader->GetU64(&ri));
+    pairs->push_back(JoinPair{static_cast<std::size_t>(li),
+                              static_cast<std::size_t>(ri)});
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void IncrementalDfdJoin::SaveTo(BinaryWriter* writer) const {
+  writer->PutBool(grid_ready_);
+  writer->PutDouble(margin_);
+  writer->PutDouble(abs_lat_max_);
+  writer->PutDouble(grid_ready_ ? grid_.cell_size() : 0.0);
+
+  // Members in id order (members_ itself is unordered).
+  std::vector<std::size_t> ids;
+  ids.reserve(members_.size());
+  for (const auto& [id, member] : members_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  writer->PutU64(ids.size());
+  for (const std::size_t id : ids) {
+    writer->PutU64(id);
+    SaveTrajectory(writer, members_.at(id).trajectory);
+  }
+
+  // The verdict cache, as its canonical (li < ri, sorted) pair list.
+  SaveJoinPairs(writer, CurrentMatches());
+
+  writer->PutU64(dirty_.size());
+  for (const std::size_t id : dirty_) writer->PutU64(id);
+  SaveJoinPairs(writer, pending_left_);
+
+  writer->PutI64(stats_.ticks);
+  writer->PutI64(stats_.pairs_reverified);
+  writer->PutI64(stats_.verdicts_carried);
+  writer->PutI64(stats_.evicted_by_grid);
+  writer->PutI64(stats_.entered_total);
+  writer->PutI64(stats_.left_total);
+  writer->PutI64(stats_.cascade.pairs_total);
+  writer->PutI64(stats_.cascade.pruned_bbox);
+  writer->PutI64(stats_.cascade.pruned_endpoints);
+  writer->PutI64(stats_.cascade.pruned_hausdorff);
+  writer->PutI64(stats_.cascade.decided_exact);
+  writer->PutI64(stats_.cascade.matched);
+}
+
+Status IncrementalDfdJoin::LoadFrom(BinaryReader* reader) {
+  bool grid_ready = false;
+  double margin = 0.0;
+  double abs_lat_max = 0.0;
+  double cell_size = 0.0;
+  FM_RETURN_IF_ERROR(reader->GetBool(&grid_ready));
+  FM_RETURN_IF_ERROR(reader->GetDouble(&margin));
+  FM_RETURN_IF_ERROR(reader->GetDouble(&abs_lat_max));
+  FM_RETURN_IF_ERROR(reader->GetDouble(&cell_size));
+
+  members_.clear();
+  dirty_.clear();
+  pending_left_.clear();
+  matches_.clear();
+  matched_count_ = 0;
+  grid_ready_ = grid_ready;
+  margin_ = margin;
+  abs_lat_max_ = abs_lat_max;
+  if (grid_ready) {
+    StatusOr<GridIndex> grid = GridIndex::CreateEmpty(cell_size);
+    if (!grid.ok()) {
+      return Status::DataLoss("join snapshot holds an invalid cell size: " +
+                              grid.status().ToString());
+    }
+    grid_ = std::move(grid).value();
+  } else {
+    grid_ = GridIndex();
+  }
+
+  std::uint64_t member_count = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&member_count));
+  for (std::uint64_t k = 0; k < member_count; ++k) {
+    std::uint64_t id = 0;
+    FM_RETURN_IF_ERROR(reader->GetU64(&id));
+    Trajectory trajectory;
+    FM_RETURN_IF_ERROR(LoadTrajectory(reader, &trajectory));
+    if (trajectory.empty() || !grid_ready) {
+      return Status::DataLoss("join snapshot member set is inconsistent");
+    }
+    const BoundingBox box = BoundingBox::Of(trajectory);
+    FM_RETURN_IF_ERROR(grid_.Insert(static_cast<std::size_t>(id), box));
+    members_.emplace(static_cast<std::size_t>(id),
+                     Member{std::move(trajectory), box});
+  }
+
+  std::vector<JoinPair> match_pairs;
+  FM_RETURN_IF_ERROR(LoadJoinPairs(reader, &match_pairs));
+  for (const JoinPair& pair : match_pairs) {
+    if (members_.count(pair.li) == 0 || members_.count(pair.ri) == 0) {
+      return Status::DataLoss("join snapshot match references a non-member");
+    }
+    matches_[pair.li].insert(pair.ri);
+    matches_[pair.ri].insert(pair.li);
+    ++matched_count_;
+  }
+
+  std::uint64_t dirty_count = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&dirty_count));
+  for (std::uint64_t k = 0; k < dirty_count; ++k) {
+    std::uint64_t id = 0;
+    FM_RETURN_IF_ERROR(reader->GetU64(&id));
+    dirty_.insert(static_cast<std::size_t>(id));
+  }
+  FM_RETURN_IF_ERROR(LoadJoinPairs(reader, &pending_left_));
+
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.ticks));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.pairs_reverified));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.verdicts_carried));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.evicted_by_grid));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.entered_total));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.left_total));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.cascade.pairs_total));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.cascade.pruned_bbox));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.cascade.pruned_endpoints));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.cascade.pruned_hausdorff));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.cascade.decided_exact));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.cascade.matched));
+  return Status::Ok();
+}
+
 std::vector<JoinPair> IncrementalDfdJoin::CurrentMatches() const {
   std::vector<JoinPair> out;
   for (const auto& [id, partners] : matches_) {

@@ -50,6 +50,7 @@
 #include "join/grid_index.h"
 #include "join/similarity_join.h"
 #include "similarity/frechet.h"
+#include "util/binary_codec.h"
 #include "util/status.h"
 
 namespace frechet_motif {
@@ -112,6 +113,20 @@ class IncrementalDfdJoin {
   std::size_t member_count() const { return members_.size(); }
   const IncrementalJoinStats& stats() const { return stats_; }
   const JoinOptions& options() const { return options_; }
+
+  /// Serializes the verdict-cache epoch: member snapshots, the match
+  /// adjacency, dirty/pending sets, margins, the frozen grid cell size,
+  /// and the counters. A LoadFrom'd join produces bit-identical future
+  /// deltas: verdicts are pure functions of the (restored) snapshots,
+  /// and a restored match set means no pair spuriously re-enters.
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores SaveTo's encoding into this join, which must have been
+  /// freshly Create'd with the same options and metric. The grid is
+  /// rebuilt with the saved (frozen) cell size; members are re-inserted
+  /// in id order — candidate *sets* are what correctness and the
+  /// counters depend on, and those are order-independent.
+  Status LoadFrom(BinaryReader* reader);
 
  private:
   IncrementalDfdJoin(const JoinOptions& options, const GroundMetric& metric);

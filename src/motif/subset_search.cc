@@ -22,9 +22,14 @@ void EvaluateSubsetImpl(const DistFn& dist_at, Index n, Index m,
                         MotifStats* stats, FrechetScratch* scratch) {
   const Index xi = options.min_length_xi;
   const bool single = options.variant == MotifVariant::kSingleTrajectory;
-  const Index ie_max =
-      std::min(single ? j - 1 : n - 1, std::min(n - 1, caps.ie_cap));
-  const Index je_max = std::min(m - 1, caps.je_cap);
+  // An endpoint cap is a wall: row ie_cap+1 / column je_cap+1 is too
+  // expensive for any path to cross. It therefore binds only subsets
+  // starting at or left of the wall (i <= cap+1); a subset starting past
+  // it lies entirely on the far side and never crosses.
+  const Index ie_cap = i - 1 <= caps.ie_cap ? caps.ie_cap : n - 1;
+  const Index je_cap = j - 1 <= caps.je_cap ? caps.je_cap : m - 1;
+  const Index ie_max = std::min(single ? j - 1 : n - 1, std::min(n - 1, ie_cap));
+  const Index je_max = std::min(m - 1, je_cap);
   const Index width = je_max - j + 1;  // DP columns cover je in [j, je_max]
 
   if (ie_max <= i || width <= 0) return;
@@ -176,8 +181,10 @@ namespace {
 
 /// Shrinks the global endpoint caps after a best-so-far improvement
 /// (Algorithm 2 lines 12-13, both axes), justified by whole-row/column
-/// minima: candidates ending beyond the capped index cross a row or column
-/// whose best ground distance already exceeds the threshold.
+/// minima: a candidate that *crosses* the capped row/column pays at least
+/// its whole-line minimum, which already exceeds the threshold. The cap is
+/// a wall, not a blanket endpoint bound — subsets starting past it are
+/// exempt (see EndpointCaps), which keeps the search order-independent.
 void TightenCaps(const RelaxedBounds& relaxed, const SearchState& state,
                  EndpointCaps* caps) {
   if (relaxed.RminFull(state.best.je) > state.threshold) {
@@ -204,8 +211,11 @@ void RunSubsetQueueSerial(const DistanceProvider& dist,
       if (sort_entries) break;
       continue;
     }
-    // Global endpoint caps: skip subsets that cannot reach a valid endpoint.
-    if (entry.j > caps.je_cap - xi - 1 || entry.i > caps.ie_cap - xi - 1) {
+    // Global endpoint caps: skip subsets that start at or left of a wall
+    // but too close to reach a valid endpoint before it. Subsets starting
+    // past a wall (entry.j > cap+1) are on its far side and unaffected.
+    if ((entry.j - 1 <= caps.je_cap && entry.j > caps.je_cap - xi - 1) ||
+        (entry.i - 1 <= caps.ie_cap && entry.i > caps.ie_cap - xi - 1)) {
       continue;
     }
     const double threshold_before = state->threshold;
@@ -252,7 +262,8 @@ void RunSubsetQueueParallel(const DistanceProvider& dist,
         ++k;
         continue;
       }
-      if (entry.j > caps.je_cap - xi - 1 || entry.i > caps.ie_cap - xi - 1) {
+      if ((entry.j - 1 <= caps.je_cap && entry.j > caps.je_cap - xi - 1) ||
+          (entry.i - 1 <= caps.ie_cap && entry.i > caps.ie_cap - xi - 1)) {
         ++k;
         continue;
       }

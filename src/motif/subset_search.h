@@ -53,8 +53,12 @@ struct SearchState {
 
 /// Caps on candidate endpoints, justified by whole-row/column minima
 /// (RelaxedBounds::RminFull / CminFull): once min_c dG(c, y+1) exceeds the
-/// threshold, no candidate anywhere may end at jc > y. This generalizes the
-/// global `jend` shrink of Algorithm 2 lines 12-13 (and adds the symmetric
+/// threshold, column y+1 is a *wall* no surviving path may cross, so a
+/// candidate starting at j <= y+1 cannot end at jc > y. A candidate
+/// starting past the wall (j > y+1) lies entirely on its far side, never
+/// crosses it, and is NOT constrained — the evaluation applies each cap
+/// only to subsets at or left of the wall. This generalizes the global
+/// `jend` shrink of Algorithm 2 lines 12-13 (and adds the symmetric
 /// first-index cap).
 struct EndpointCaps {
   Index ie_cap = std::numeric_limits<Index>::max();

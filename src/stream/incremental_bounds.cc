@@ -181,4 +181,39 @@ RelaxedBounds IncrementalRelaxedBounds::Snapshot(Index min_length_xi) const {
                                        cmin_full_, min_length_xi);
 }
 
+void IncrementalRelaxedBounds::SaveTo(BinaryWriter* writer) const {
+  writer->PutI32(window_);
+  writer->PutI64(rescans_);
+  writer->PutDoubleVector(rmin_);
+  writer->PutDoubleVector(rmin_full_);
+  writer->PutDoubleVector(cmin_);
+  writer->PutDoubleVector(cmin_start_);
+  writer->PutDoubleVector(cmin_full_);
+  writer->PutI32Vector(rmin_arg_);
+  writer->PutI32Vector(rmin_full_arg_);
+  writer->PutI32Vector(cmin_full_arg_);
+}
+
+Status IncrementalRelaxedBounds::LoadFrom(BinaryReader* reader) {
+  FM_RETURN_IF_ERROR(reader->GetI32(&window_));
+  FM_RETURN_IF_ERROR(reader->GetI64(&rescans_));
+  FM_RETURN_IF_ERROR(reader->GetDoubleVector(&rmin_));
+  FM_RETURN_IF_ERROR(reader->GetDoubleVector(&rmin_full_));
+  FM_RETURN_IF_ERROR(reader->GetDoubleVector(&cmin_));
+  FM_RETURN_IF_ERROR(reader->GetDoubleVector(&cmin_start_));
+  FM_RETURN_IF_ERROR(reader->GetDoubleVector(&cmin_full_));
+  FM_RETURN_IF_ERROR(reader->GetI32Vector(&rmin_arg_));
+  FM_RETURN_IF_ERROR(reader->GetI32Vector(&rmin_full_arg_));
+  FM_RETURN_IF_ERROR(reader->GetI32Vector(&cmin_full_arg_));
+  const std::size_t w = static_cast<std::size_t>(window_);
+  if (window_ < 0 || rmin_.size() != w || rmin_full_.size() != w ||
+      cmin_.size() != w || cmin_start_.size() != w || cmin_full_.size() != w ||
+      rmin_arg_.size() != w || rmin_full_arg_.size() != w ||
+      cmin_full_arg_.size() != w) {
+    return Status::DataLoss(
+        "incremental-bounds snapshot has inconsistent array sizes");
+  }
+  return Status::Ok();
+}
+
 }  // namespace frechet_motif

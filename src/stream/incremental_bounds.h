@@ -7,6 +7,8 @@
 #include "core/distance_matrix.h"
 #include "core/trajectory.h"
 #include "motif/relaxed_bounds.h"
+#include "util/binary_codec.h"
+#include "util/status.h"
 
 namespace frechet_motif {
 
@@ -57,6 +59,17 @@ class IncrementalRelaxedBounds {
 
   /// Number of achiever-evicted rescans paid so far (engine statistics).
   std::int64_t rescans() const { return rescans_; }
+
+  /// Serializes the complete maintenance state — the five component
+  /// arrays, the achiever indices, and the rescan counter — so a
+  /// restored instance continues bit-identically: values carry over
+  /// verbatim, and future carry-vs-rescan decisions (which feed the
+  /// `bound_rescans` engine counter) depend on the achievers, which are
+  /// restored exactly rather than recomputed.
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores the state written by SaveTo, replacing this instance's.
+  Status LoadFrom(BinaryReader* reader);
 
  private:
   Index window_ = 0;

@@ -56,6 +56,45 @@ Status IngestFrontend::Offer(const Point& p, const double* timestamp,
   return Status::Ok();
 }
 
+void IngestFrontend::SaveTo(BinaryWriter* writer) const {
+  writer->PutDouble(watermark_);
+  writer->PutBool(released_any_);
+  writer->PutI64(stats_.released);
+  writer->PutI64(stats_.reordered);
+  writer->PutI64(stats_.late_dropped);
+  writer->PutU64(buffer_.size());
+  for (const auto& [ts, p] : buffer_) {
+    writer->PutDouble(ts);
+    writer->PutDouble(p.x);
+    writer->PutDouble(p.y);
+  }
+}
+
+Status IngestFrontend::LoadFrom(BinaryReader* reader) {
+  FM_RETURN_IF_ERROR(reader->GetDouble(&watermark_));
+  FM_RETURN_IF_ERROR(reader->GetBool(&released_any_));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.released));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.reordered));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.late_dropped));
+  std::uint64_t buffered = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&buffered));
+  buffer_.clear();
+  for (std::uint64_t k = 0; k < buffered; ++k) {
+    double ts = 0.0;
+    Point p;
+    FM_RETURN_IF_ERROR(reader->GetDouble(&ts));
+    FM_RETURN_IF_ERROR(reader->GetDouble(&p.x));
+    FM_RETURN_IF_ERROR(reader->GetDouble(&p.y));
+    if (!std::isfinite(ts)) {
+      return Status::DataLoss("frontend snapshot holds a non-finite stamp");
+    }
+    // emplace inserts at the upper bound of equal keys, so the saved
+    // order among duplicates — which was arrival order — is preserved.
+    buffer_.emplace(ts, p);
+  }
+  return Status::Ok();
+}
+
 Status IngestFrontend::Flush(const Sink& sink) {
   while (!buffer_.empty()) {
     const auto head = buffer_.begin();

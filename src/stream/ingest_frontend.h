@@ -20,6 +20,29 @@
 /// straight through. Points with equal timestamps release in arrival
 /// order, so an in-order feed always passes through unchanged — the
 /// frontend is invisible unless the feed actually reorders.
+///
+/// ## Tie semantics at the watermark
+///
+/// The boundary cases are deliberate and pinned by unit tests
+/// (tests/ingest_frontend_test.cc):
+///
+///  * **"Late" means strictly below the watermark.** An arrival stamped
+///    *exactly at* the watermark is accepted: releasing it immediately
+///    after the equal-stamped point already released preserves
+///    timestamp order, so dropping it would lose data for no ordering
+///    benefit. Only `timestamp < watermark` drops (late_dropped).
+///  * **Duplicate timestamps preserve arrival order**, both straight
+///    through the buffer (the multimap inserts equal keys after
+///    existing ones) and across the watermark (each equal-stamped
+///    arrival re-sets the watermark to the same value and is released
+///    after its predecessors). A run of equal stamps therefore comes
+///    out exactly as it went in.
+///  * **Duplicates are not "reordered"**: the `reordered` counter
+///    increments only for an arrival strictly below the largest
+///    buffered timestamp — an equal arrival keeps its place and needed
+///    no fixing.
+///  * The watermark only ever advances on *release*; buffering a point
+///    does not move it.
 
 #include <cstdint>
 #include <functional>
@@ -28,6 +51,7 @@
 
 #include "core/trajectory.h"
 #include "geo/point.h"
+#include "util/binary_codec.h"
 #include "util/status.h"
 
 namespace frechet_motif {
@@ -68,6 +92,42 @@ class IngestFrontend {
 
   Index buffered() const { return static_cast<Index>(buffer_.size()); }
   const IngestStats& stats() const { return stats_; }
+
+  /// The largest timestamp released downstream so far (-inf before the
+  /// first timestamped release).
+  double watermark() const { return watermark_; }
+
+  /// Journal-replay bookkeeping (src/durable/): records that a point
+  /// with this timestamp was released downstream *without* going
+  /// through Offer — recovery feeds journaled (already post-reorder)
+  /// points directly to the windows and keeps the frontend's watermark
+  /// and release accounting consistent via this hook, so later live
+  /// arrivals see exactly the late-drop behavior of the original run.
+  void NoteReplayedRelease(const double* timestamp) {
+    if (timestamp != nullptr) {
+      watermark_ = *timestamp;
+      released_any_ = true;
+    }
+    ++stats_.released;
+  }
+
+  /// Adopts an externally recovered watermark without counting a
+  /// release — the durable layer seeds its journal-side frontends with
+  /// the engine's restored watermark so post-recovery live arrivals see
+  /// exactly the original run's late-drop boundary.
+  void SeedWatermark(double watermark) {
+    watermark_ = watermark;
+    released_any_ = true;
+  }
+
+  /// Serializes watermark, flags, counters, and the buffered points
+  /// (in timestamp order, preserving arrival order among equal stamps).
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores SaveTo's encoding into this frontend, replacing its
+  /// state. The capacity is the constructor's business, not the
+  /// snapshot's: a restored frontend keeps its configured capacity.
+  Status LoadFrom(BinaryReader* reader);
 
  private:
   Index capacity_ = 0;

@@ -169,6 +169,126 @@ StatusOr<FleetReport> MotifFleetEngine::Flush() {
   return report;
 }
 
+StatusOr<FleetReport> MotifFleetEngine::ReplayReleased(
+    const std::vector<FleetArrival>& batch) {
+  FleetReport report;
+  for (const FleetArrival& arrival : batch) {
+    FM_RETURN_IF_ERROR(CheckStream(arrival.stream));
+    const double* ts = arrival.has_timestamp ? &arrival.timestamp : nullptr;
+    FM_RETURN_IF_ERROR(Deliver(arrival.stream, arrival.point, ts, &report));
+    frontends_[arrival.stream].NoteReplayedRelease(ts);
+  }
+  FM_RETURN_IF_ERROR(DrainInternal(&report));
+  return report;
+}
+
+namespace {
+
+/// Fleet-manifest version; bump on layout change. The durable layer
+/// wraps this blob in its own versioned, checksummed container — this
+/// inner tag is a cheap defense against a manifest reaching Restore
+/// through some other path.
+constexpr std::uint32_t kFleetManifestVersion = 1;
+
+}  // namespace
+
+Status MotifFleetEngine::Snapshot(std::string* out) const {
+  BinaryWriter writer;
+  writer.PutU32(kFleetManifestVersion);
+  // Options echo: everything that shapes state evolution. Thread count
+  // is excluded (bit-identical results either way); the search budget
+  // is included — it changes which searches defer, i.e. the state.
+  writer.PutI32(options_.stream.window_length);
+  writer.PutI32(options_.stream.slide_step);
+  writer.PutI32(options_.stream.min_length_xi);
+  writer.PutDouble(options_.join_epsilon);
+  writer.PutI32(options_.reorder_capacity);
+  writer.PutI32(options_.max_searches_per_drain);
+
+  writer.PutU64(windows_.size());
+  for (std::size_t id = 0; id < windows_.size(); ++id) {
+    windows_[id].SaveTo(&writer);
+    frontends_[id].SaveTo(&writer);
+  }
+  scheduler_.SaveTo(&writer);
+  writer.PutI64(coalesced_slides_);
+  writer.PutBool(join_.has_value());
+  if (join_.has_value()) join_->SaveTo(&writer);
+  *out = writer.Take();
+  return Status::Ok();
+}
+
+StatusOr<MotifFleetEngine> MotifFleetEngine::Restore(
+    const FleetOptions& options, const GroundMetric& metric,
+    std::string_view snapshot) {
+  BinaryReader reader(snapshot);
+  std::uint32_t version = 0;
+  FM_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kFleetManifestVersion) {
+    return Status::DataLoss("unsupported fleet manifest version " +
+                            std::to_string(version));
+  }
+  Index window_length = 0;
+  Index slide_step = 0;
+  Index xi = 0;
+  double join_epsilon = 0.0;
+  Index reorder_capacity = 0;
+  std::int32_t max_searches = 0;
+  FM_RETURN_IF_ERROR(reader.GetI32(&window_length));
+  FM_RETURN_IF_ERROR(reader.GetI32(&slide_step));
+  FM_RETURN_IF_ERROR(reader.GetI32(&xi));
+  FM_RETURN_IF_ERROR(reader.GetDouble(&join_epsilon));
+  FM_RETURN_IF_ERROR(reader.GetI32(&reorder_capacity));
+  FM_RETURN_IF_ERROR(reader.GetI32(&max_searches));
+  const bool join_enabled_saved = join_epsilon >= 0.0;
+  const bool join_enabled_now = options.join_epsilon >= 0.0;
+  if (window_length != options.stream.window_length ||
+      slide_step != options.stream.slide_step ||
+      xi != options.stream.min_length_xi ||
+      join_epsilon != options.join_epsilon ||
+      join_enabled_saved != join_enabled_now ||
+      reorder_capacity != options.reorder_capacity ||
+      max_searches != options.max_searches_per_drain) {
+    return Status::FailedPrecondition(
+        "fleet snapshot was taken under a different configuration");
+  }
+
+  StatusOr<MotifFleetEngine> created = Create(options, metric);
+  if (!created.ok()) return created.status();
+  MotifFleetEngine engine = std::move(created).value();
+
+  std::uint64_t streams = 0;
+  FM_RETURN_IF_ERROR(reader.GetU64(&streams));
+  for (std::uint64_t id = 0; id < streams; ++id) {
+    StatusOr<WindowState> window =
+        WindowState::RestoreFrom(&reader, options.stream, metric);
+    if (!window.ok()) return window.status();
+    if (window.value().cross()) {
+      return Status::DataLoss("fleet manifest holds a cross-mode window");
+    }
+    engine.windows_.push_back(std::move(window).value());
+    engine.frontends_.emplace_back(options.reorder_capacity);
+    FM_RETURN_IF_ERROR(engine.frontends_.back().LoadFrom(&reader));
+  }
+  FM_RETURN_IF_ERROR(engine.scheduler_.LoadFrom(&reader));
+  if (engine.scheduler_.size() != engine.windows_.size()) {
+    return Status::DataLoss(
+        "fleet manifest scheduler does not cover its streams");
+  }
+  FM_RETURN_IF_ERROR(reader.GetI64(&engine.coalesced_slides_));
+  bool join_present = false;
+  FM_RETURN_IF_ERROR(reader.GetBool(&join_present));
+  if (join_present != engine.join_.has_value()) {
+    return Status::DataLoss(
+        "fleet manifest join presence contradicts its options echo");
+  }
+  if (join_present) FM_RETURN_IF_ERROR(engine.join_->LoadFrom(&reader));
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("fleet manifest has trailing bytes");
+  }
+  return engine;
+}
+
 FleetStats MotifFleetEngine::stats() const {
   FleetStats stats;
   stats.streams = static_cast<std::int64_t>(windows_.size());

@@ -57,6 +57,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "geo/metric.h"
@@ -173,6 +175,16 @@ class MotifFleetEngine {
   /// released. A no-op when nothing is buffered.
   StatusOr<FleetReport> Flush();
 
+  /// Journal-replay entry (src/durable/): re-applies a batch of
+  /// **already released** (post-reorder) points directly to the
+  /// windows, bypassing the frontends but keeping their watermark and
+  /// release accounting consistent, then drains exactly as Ingest
+  /// would. Feeding a journal's records batch-by-batch (one call per
+  /// journaled commit) reproduces the original engine's reports and
+  /// state bit for bit — that is the recovery parity contract proved by
+  /// tests/durable_recovery_fuzz_test.cc.
+  StatusOr<FleetReport> ReplayReleased(const std::vector<FleetArrival>& batch);
+
   /// True when `stream` has a search due but not yet run (only possible
   /// between calls under a search budget).
   bool SearchPending(std::size_t stream) const {
@@ -191,6 +203,12 @@ class MotifFleetEngine {
   const IngestStats& ingest_stats(std::size_t stream) const {
     return frontends_[stream].stats();
   }
+  /// The stream's release watermark (see IngestFrontend::watermark) —
+  /// the durable layer reads it after Restore to seed its journal-side
+  /// frontends.
+  double stream_watermark(std::size_t stream) const {
+    return frontends_[stream].watermark();
+  }
 
   /// Aggregated counters (computed on demand).
   FleetStats stats() const;
@@ -207,6 +225,22 @@ class MotifFleetEngine {
   }
 
   const FleetOptions& options() const { return options_; }
+
+  /// Serializes the fleet manifest into `out`: an options echo, every
+  /// stream's WindowState and frontend, the scheduler (drain order is
+  /// deterministic state), the coalesced-slide counter, and the join's
+  /// verdict-cache epoch. Restore() on the result continues
+  /// bit-identically — see WindowState::SaveTo for the per-window
+  /// contract. The blob is raw state, not a file format; the durable
+  /// layer (src/durable/) adds versioning, checksums, and rotation.
+  Status Snapshot(std::string* out) const;
+
+  /// Rebuilds an engine from Snapshot()'s bytes. `options` must match
+  /// the snapshot's echoed configuration except for
+  /// `stream.threads` (a runtime choice with bit-identical results).
+  static StatusOr<MotifFleetEngine> Restore(const FleetOptions& options,
+                                            const GroundMetric& metric,
+                                            std::string_view snapshot);
 
  private:
   MotifFleetEngine(const FleetOptions& options, const GroundMetric& metric);

@@ -50,4 +50,31 @@ void SearchScheduler::NoteSearched(std::size_t stream) {
   entry.last_searched = tick_++;
 }
 
+void SearchScheduler::SaveTo(BinaryWriter* writer) const {
+  writer->PutI64(tick_);
+  writer->PutU64(entries_.size());
+  for (const Entry& entry : entries_) {
+    writer->PutI32(entry.dirty_appends);
+    writer->PutI64(entry.last_searched);
+    writer->PutBool(entry.due);
+  }
+}
+
+Status SearchScheduler::LoadFrom(BinaryReader* reader) {
+  FM_RETURN_IF_ERROR(reader->GetI64(&tick_));
+  std::uint64_t count = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&count));
+  entries_.clear();
+  due_count_ = 0;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    Entry entry;
+    FM_RETURN_IF_ERROR(reader->GetI32(&entry.dirty_appends));
+    FM_RETURN_IF_ERROR(reader->GetI64(&entry.last_searched));
+    FM_RETURN_IF_ERROR(reader->GetBool(&entry.due));
+    if (entry.due) ++due_count_;
+    entries_.push_back(entry);
+  }
+  return Status::Ok();
+}
+
 }  // namespace frechet_motif

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "core/trajectory.h"
+#include "util/binary_codec.h"
+#include "util/status.h"
 
 namespace frechet_motif {
 
@@ -55,6 +57,13 @@ class SearchScheduler {
   /// Clears `stream`'s due mark and dirty count and stamps its
   /// staleness tick.
   void NoteSearched(std::size_t stream);
+
+  /// Serializes entries and the staleness tick — drain order is part of
+  /// the fleet's determinism contract, so recovery restores it exactly.
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores SaveTo's encoding, replacing this scheduler's state.
+  Status LoadFrom(BinaryReader* reader);
 
  private:
   struct Entry {

@@ -78,12 +78,15 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/trajectory.h"
 #include "geo/metric.h"
 #include "motif/relaxed_bounds.h"
 #include "stream/window_state.h"
+#include "util/binary_codec.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -143,6 +146,31 @@ class StreamingMotifMonitor {
   /// RelaxedBounds::Build over the window. Only meaningful after at
   /// least one search.
   RelaxedBounds CurrentBounds() const { return state_.CurrentBounds(); }
+
+  /// Serializes the monitor's complete window state (see
+  /// WindowState::SaveTo for the bit-exactness contract).
+  Status Snapshot(std::string* out) const {
+    BinaryWriter writer;
+    state_.SaveTo(&writer);
+    *out = writer.Take();
+    return Status::Ok();
+  }
+
+  /// Rebuilds a monitor from Snapshot()'s bytes; `options` must match
+  /// the saved geometry (threads may differ). The restored monitor's
+  /// future reports are bit-identical to the saved one's.
+  static StatusOr<StreamingMotifMonitor> Restore(const StreamOptions& options,
+                                                 const GroundMetric& metric,
+                                                 std::string_view snapshot) {
+    BinaryReader reader(snapshot);
+    StatusOr<WindowState> state =
+        WindowState::RestoreFrom(&reader, options, metric);
+    if (!state.ok()) return state.status();
+    if (!reader.AtEnd()) {
+      return Status::DataLoss("monitor snapshot has trailing bytes");
+    }
+    return StreamingMotifMonitor(std::move(state).value());
+  }
 
  private:
   explicit StreamingMotifMonitor(WindowState state);

@@ -361,4 +361,211 @@ RelaxedBounds WindowState::CurrentBounds() const {
   return bounds_.Snapshot(options_.min_length_xi);
 }
 
+namespace {
+
+void SavePointDeque(BinaryWriter* writer, const std::deque<Point>& points) {
+  writer->PutU64(points.size());
+  for (const Point& p : points) {
+    writer->PutDouble(p.x);
+    writer->PutDouble(p.y);
+  }
+}
+
+Status LoadPointDeque(BinaryReader* reader, std::deque<Point>* points) {
+  std::uint64_t size = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&size));
+  points->clear();
+  for (std::uint64_t k = 0; k < size; ++k) {
+    Point p;
+    FM_RETURN_IF_ERROR(reader->GetDouble(&p.x));
+    FM_RETURN_IF_ERROR(reader->GetDouble(&p.y));
+    points->push_back(p);
+  }
+  return Status::Ok();
+}
+
+void SaveTimeDeque(BinaryWriter* writer, const std::deque<double>& times) {
+  writer->PutU64(times.size());
+  for (const double t : times) writer->PutDouble(t);
+}
+
+Status LoadTimeDeque(BinaryReader* reader, std::deque<double>* times) {
+  std::uint64_t size = 0;
+  FM_RETURN_IF_ERROR(reader->GetU64(&size));
+  times->clear();
+  for (std::uint64_t k = 0; k < size; ++k) {
+    double t = 0.0;
+    FM_RETURN_IF_ERROR(reader->GetDouble(&t));
+    times->push_back(t);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WindowState::SaveTo(BinaryWriter* writer) const {
+  // Options echo: RestoreFrom rejects a snapshot taken under a
+  // different window geometry. The thread count is deliberately not
+  // echoed — it is a runtime choice with bit-identical results.
+  writer->PutBool(cross_);
+  writer->PutI32(options_.window_length);
+  writer->PutI32(options_.slide_step);
+  writer->PutI32(options_.min_length_xi);
+
+  SavePointDeque(writer, window_);
+  SavePointDeque(writer, second_window_);
+  writer->PutBool(timestamped_);
+  writer->PutBool(second_timestamped_);
+  SaveTimeDeque(writer, times_);
+  SaveTimeDeque(writer, second_times_);
+
+  writer->PutI64(pushed_first_);
+  writer->PutI64(pushed_second_);
+  writer->PutI32(appended_since_search_first_);
+  writer->PutI32(appended_since_search_second_);
+  writer->PutBool(searched_once_);
+  writer->PutBool(have_previous_);
+  writer->PutI32(previous_best_.i);
+  writer->PutI32(previous_best_.ie);
+  writer->PutI32(previous_best_.j);
+  writer->PutI32(previous_best_.je);
+  writer->PutDouble(previous_distance_);
+
+  writer->PutI64(engine_stats_.points_ingested);
+  writer->PutI64(engine_stats_.searches);
+  writer->PutI64(engine_stats_.seeded_searches);
+  writer->PutI64(engine_stats_.ground_distances_computed);
+  writer->PutI64(engine_stats_.dfd_cells_computed);
+  writer->PutI64(engine_stats_.bound_rescans);
+
+  // Ring matrix contents, logical row-major. The physical head
+  // positions are invisible through the logical API, so only the
+  // logical cells need to survive; RestoreFrom re-appends them.
+  const Index rows = ring_.rows();
+  const Index cols = ring_.cols();
+  writer->PutI32(rows);
+  writer->PutI32(cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) writer->PutDouble(ring_.Distance(i, j));
+  }
+
+  bounds_.SaveTo(writer);
+}
+
+StatusOr<WindowState> WindowState::RestoreFrom(BinaryReader* reader,
+                                               const StreamOptions& options,
+                                               const GroundMetric& metric) {
+  bool cross = false;
+  Index window_length = 0;
+  Index slide_step = 0;
+  Index xi = 0;
+  FM_RETURN_IF_ERROR(reader->GetBool(&cross));
+  FM_RETURN_IF_ERROR(reader->GetI32(&window_length));
+  FM_RETURN_IF_ERROR(reader->GetI32(&slide_step));
+  FM_RETURN_IF_ERROR(reader->GetI32(&xi));
+  if (window_length != options.window_length ||
+      slide_step != options.slide_step || xi != options.min_length_xi) {
+    return Status::FailedPrecondition(
+        "window snapshot was taken under different stream options "
+        "(window length / slide step / xi)");
+  }
+
+  StatusOr<WindowState> created = Create(options, metric, cross);
+  if (!created.ok()) return created.status();
+  WindowState state = std::move(created).value();
+
+  FM_RETURN_IF_ERROR(LoadPointDeque(reader, &state.window_));
+  FM_RETURN_IF_ERROR(LoadPointDeque(reader, &state.second_window_));
+  FM_RETURN_IF_ERROR(reader->GetBool(&state.timestamped_));
+  FM_RETURN_IF_ERROR(reader->GetBool(&state.second_timestamped_));
+  FM_RETURN_IF_ERROR(LoadTimeDeque(reader, &state.times_));
+  FM_RETURN_IF_ERROR(LoadTimeDeque(reader, &state.second_times_));
+  if (static_cast<Index>(state.window_.size()) > options.window_length ||
+      static_cast<Index>(state.second_window_.size()) >
+          options.window_length) {
+    return Status::DataLoss("window snapshot exceeds the window capacity");
+  }
+  if ((state.timestamped_ && state.times_.size() != state.window_.size()) ||
+      (!state.timestamped_ && !state.times_.empty()) ||
+      (state.second_timestamped_ &&
+       state.second_times_.size() != state.second_window_.size()) ||
+      (!state.second_timestamped_ && !state.second_times_.empty())) {
+    return Status::DataLoss(
+        "window snapshot timestamps do not match its points");
+  }
+
+  FM_RETURN_IF_ERROR(reader->GetI64(&state.pushed_first_));
+  FM_RETURN_IF_ERROR(reader->GetI64(&state.pushed_second_));
+  FM_RETURN_IF_ERROR(reader->GetI32(&state.appended_since_search_first_));
+  FM_RETURN_IF_ERROR(reader->GetI32(&state.appended_since_search_second_));
+  FM_RETURN_IF_ERROR(reader->GetBool(&state.searched_once_));
+  FM_RETURN_IF_ERROR(reader->GetBool(&state.have_previous_));
+  FM_RETURN_IF_ERROR(reader->GetI32(&state.previous_best_.i));
+  FM_RETURN_IF_ERROR(reader->GetI32(&state.previous_best_.ie));
+  FM_RETURN_IF_ERROR(reader->GetI32(&state.previous_best_.j));
+  FM_RETURN_IF_ERROR(reader->GetI32(&state.previous_best_.je));
+  FM_RETURN_IF_ERROR(reader->GetDouble(&state.previous_distance_));
+
+  FM_RETURN_IF_ERROR(reader->GetI64(&state.engine_stats_.points_ingested));
+  FM_RETURN_IF_ERROR(reader->GetI64(&state.engine_stats_.searches));
+  FM_RETURN_IF_ERROR(reader->GetI64(&state.engine_stats_.seeded_searches));
+  FM_RETURN_IF_ERROR(
+      reader->GetI64(&state.engine_stats_.ground_distances_computed));
+  FM_RETURN_IF_ERROR(
+      reader->GetI64(&state.engine_stats_.dfd_cells_computed));
+  FM_RETURN_IF_ERROR(reader->GetI64(&state.engine_stats_.bound_rescans));
+
+  // Derived caches: recomputed, not stored — ToSphereVec is a pure
+  // function of the point, so the cache is bit-identical to the one the
+  // saved instance held.
+  if (state.haversine_) {
+    for (const Point& p : state.window_) {
+      state.vecs_.push_back(ToSphereVec(p));
+    }
+    for (const Point& p : state.second_window_) {
+      state.second_vecs_.push_back(ToSphereVec(p));
+    }
+  }
+
+  // Ring rebuild: re-append the saved logical cells. The fresh ring's
+  // physical heads start at zero, which is invisible through the
+  // logical (i, j) API — contents and future eviction behavior are
+  // identical.
+  Index rows = 0;
+  Index cols = 0;
+  FM_RETURN_IF_ERROR(reader->GetI32(&rows));
+  FM_RETURN_IF_ERROR(reader->GetI32(&cols));
+  const Index expect_rows = static_cast<Index>(state.window_.size());
+  const Index expect_cols =
+      cross ? static_cast<Index>(state.second_window_.size()) : expect_rows;
+  if (rows != expect_rows || cols != expect_cols) {
+    return Status::DataLoss(
+        "window snapshot ring dimensions do not match its points");
+  }
+  std::vector<double> cells(static_cast<std::size_t>(rows) * cols);
+  for (double& cell : cells) FM_RETURN_IF_ERROR(reader->GetDouble(&cell));
+  const auto cell_at = [&](Index i, Index j) {
+    return cells[static_cast<std::size_t>(i) * cols + j];
+  };
+  if (!cross) {
+    for (Index k = 0; k < rows; ++k) {
+      state.ring_.AppendPoint([&](Index j) { return cell_at(k, j); },
+                              [&](Index i) { return cell_at(i, k); },
+                              cell_at(k, k));
+    }
+  } else {
+    // Columns first (no rows yet, so no cells are written), then each
+    // row fills its full extent from the saved matrix.
+    for (Index j = 0; j < cols; ++j) {
+      state.ring_.AppendCol([&](Index) { return 0.0; });
+    }
+    for (Index i = 0; i < rows; ++i) {
+      state.ring_.AppendRow([&](Index j) { return cell_at(i, j); });
+    }
+  }
+
+  FM_RETURN_IF_ERROR(state.bounds_.LoadFrom(reader));
+  return state;
+}
+
 }  // namespace frechet_motif

@@ -37,6 +37,7 @@
 #include "motif/relaxed_bounds.h"
 #include "motif/stats.h"
 #include "stream/incremental_bounds.h"
+#include "util/binary_codec.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -182,6 +183,28 @@ class WindowState {
   /// RelaxedBounds::Build over the window. Only meaningful after at
   /// least one search.
   RelaxedBounds CurrentBounds() const;
+
+  /// Serializes the complete window state — ring matrix contents,
+  /// incremental bounds (values and achievers), the carried optimum and
+  /// threshold, slide accounting and engine counters — such that a
+  /// RestoreFrom'd instance continues **bit-identically** to this one:
+  /// every future report (candidate, distance, seeded/carried flags)
+  /// and every engine counter evolves exactly as if the process had
+  /// never stopped. Doubles are stored as raw IEEE-754 bit patterns;
+  /// derived caches (sphere vectors) are recomputed deterministically
+  /// on restore. The encoding starts with an options echo that
+  /// RestoreFrom validates.
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Rebuilds a WindowState from SaveTo's encoding. `options` must
+  /// match the saved geometry (window length, slide step, ξ — the
+  /// thread count is a runtime choice and may differ; results are
+  /// bit-identical for every thread count). The metric must be the same
+  /// metric the state was built with — ring cells are restored verbatim
+  /// and future appends must extend them consistently.
+  static StatusOr<WindowState> RestoreFrom(BinaryReader* reader,
+                                           const StreamOptions& options,
+                                           const GroundMetric& metric);
 
  private:
   WindowState(const StreamOptions& options, const GroundMetric& metric,

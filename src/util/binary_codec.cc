@@ -1,0 +1,38 @@
+#include "util/binary_codec.h"
+
+#include <array>
+
+namespace frechet_motif {
+
+namespace {
+
+/// The 256-entry lookup table for the reflected 0xEDB88320 polynomial,
+/// computed once at first use.
+const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::array<std::uint32_t, 256>& table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace frechet_motif

@@ -1,0 +1,229 @@
+#ifndef FRECHET_MOTIF_UTIL_BINARY_CODEC_H_
+#define FRECHET_MOTIF_UTIL_BINARY_CODEC_H_
+
+/// Bit-exact binary encoding primitives for the durable state formats
+/// (src/durable/): a little-endian writer/reader pair and a CRC-32
+/// checksum.
+///
+/// The streaming engines' parity contract is *bit* identity, so the
+/// codec never round-trips values through text or through any lossy
+/// representation: doubles are stored as their raw IEEE-754 bit
+/// patterns, integers as fixed-width little-endian two's complement.
+/// Encoding is byte-shift based (no memcpy of host-endian words), so
+/// the on-disk format is identical across platforms.
+///
+/// The reader is defensive by design — every Get* reports truncation
+/// via Status instead of reading past the end — because recovery feeds
+/// it torn and corrupted buffers on purpose (see tests/fault_fs.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// CRC-32 (ISO-HDLC: polynomial 0xEDB88320, reflected, as in zlib/PNG)
+/// of `size` bytes. Pass a previous result as `seed` to checksum a
+/// stream in chunks.
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+/// String literals must not decay into the (pointer, size) overload: a
+/// two-argument call like Crc32("abc", seed) would otherwise bind `seed`
+/// to `size` and walk far past the literal. The array reference is an
+/// exact match for literals, so it always wins overload resolution.
+template <std::size_t N>
+inline std::uint32_t Crc32(const char (&data)[N], std::uint32_t seed = 0) {
+  return Crc32(std::string_view(data, N - 1), seed);
+}
+
+/// Appends fixed-width little-endian primitives to a byte string.
+class BinaryWriter {
+ public:
+  void PutU8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void PutU32(std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      out_.push_back(static_cast<char>((v >> (8 * b)) & 0xffu));
+    }
+  }
+
+  void PutU64(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      out_.push_back(static_cast<char>((v >> (8 * b)) & 0xffu));
+    }
+  }
+
+  void PutI32(std::int32_t v) { PutU32(static_cast<std::uint32_t>(v)); }
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Raw IEEE-754 bit pattern — the value read back is the exact double
+  /// written, NaN payloads and signed zeros included.
+  void PutDouble(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBytes(const void* data, std::size_t size) {
+    out_.append(static_cast<const char*>(data), size);
+  }
+
+  /// u64 length prefix + bytes.
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  void PutDoubleVector(const std::vector<double>& v) {
+    PutU64(v.size());
+    for (const double d : v) PutDouble(d);
+  }
+
+  void PutI32Vector(const std::vector<std::int32_t>& v) {
+    PutU64(v.size());
+    for (const std::int32_t x : v) PutI32(x);
+  }
+
+  std::size_t size() const { return out_.size(); }
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads the writer's encoding back, Status-checked against truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(std::uint8_t* v) {
+    FM_RETURN_IF_ERROR(Need(1));
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status GetU32(std::uint32_t* v) {
+    FM_RETURN_IF_ERROR(Need(4));
+    std::uint32_t out = 0;
+    for (int b = 0; b < 4; ++b) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + b]))
+             << (8 * b);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::Ok();
+  }
+
+  Status GetU64(std::uint64_t* v) {
+    FM_RETURN_IF_ERROR(Need(8));
+    std::uint64_t out = 0;
+    for (int b = 0; b < 8; ++b) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + b]))
+             << (8 * b);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::Ok();
+  }
+
+  Status GetI32(std::int32_t* v) {
+    std::uint32_t raw = 0;
+    FM_RETURN_IF_ERROR(GetU32(&raw));
+    *v = static_cast<std::int32_t>(raw);
+    return Status::Ok();
+  }
+
+  Status GetI64(std::int64_t* v) {
+    std::uint64_t raw = 0;
+    FM_RETURN_IF_ERROR(GetU64(&raw));
+    *v = static_cast<std::int64_t>(raw);
+    return Status::Ok();
+  }
+
+  Status GetBool(bool* v) {
+    std::uint8_t raw = 0;
+    FM_RETURN_IF_ERROR(GetU8(&raw));
+    if (raw > 1) {
+      return Status::DataLoss("encoded bool is neither 0 nor 1");
+    }
+    *v = raw != 0;
+    return Status::Ok();
+  }
+
+  Status GetDouble(double* v) {
+    std::uint64_t bits = 0;
+    FM_RETURN_IF_ERROR(GetU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::Ok();
+  }
+
+  Status GetBytes(void* out, std::size_t size) {
+    FM_RETURN_IF_ERROR(Need(size));
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return Status::Ok();
+  }
+
+  Status GetString(std::string* s) {
+    std::uint64_t size = 0;
+    FM_RETURN_IF_ERROR(GetU64(&size));
+    FM_RETURN_IF_ERROR(Need(size));
+    s->assign(data_.data() + pos_, static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return Status::Ok();
+  }
+
+  Status GetDoubleVector(std::vector<double>* v) {
+    std::uint64_t size = 0;
+    FM_RETURN_IF_ERROR(GetU64(&size));
+    // 8 bytes per element must still be available — guards against a
+    // corrupt length causing a giant allocation.
+    FM_RETURN_IF_ERROR(Need(size * 8));
+    v->resize(static_cast<std::size_t>(size));
+    for (double& d : *v) FM_RETURN_IF_ERROR(GetDouble(&d));
+    return Status::Ok();
+  }
+
+  Status GetI32Vector(std::vector<std::int32_t>* v) {
+    std::uint64_t size = 0;
+    FM_RETURN_IF_ERROR(GetU64(&size));
+    FM_RETURN_IF_ERROR(Need(size * 4));
+    v->resize(static_cast<std::size_t>(size));
+    for (std::int32_t& x : *v) FM_RETURN_IF_ERROR(GetI32(&x));
+    return Status::Ok();
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(std::uint64_t bytes) const {
+    if (bytes > data_.size() - pos_) {
+      return Status::DataLoss("encoded data truncated");
+    }
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_BINARY_CODEC_H_

@@ -21,6 +21,10 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  /// Stored data failed validation (bad magic, checksum mismatch,
+  /// truncated record). Distinct from kIoError — the bytes were read
+  /// fine, they just aren't what was written.
+  kDataLoss = 8,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -69,6 +73,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

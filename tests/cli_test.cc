@@ -46,6 +46,22 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "fmotif_cli_" + name;
 }
 
+/// Runs an arbitrary shell command (for pipelines, background jobs and
+/// signal delivery) capturing its stdout and exit code.
+CommandResult RunShell(const std::string& command) {
+  CommandResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
 /// Replaces every numeric literal with <num> and the test temp dir with
 /// <tmp>, so goldens pin the output *structure* without rotting on
 /// platform FP differences or temp paths.
@@ -283,6 +299,75 @@ TEST(CliStream, InvalidWindowIsRuntimeError) {
   // xi=100 needs a window of at least 204 points.
   const CommandResult r = RunFmotif("stream " + path + " --window=50");
   EXPECT_EQ(1, r.exit_code);
+}
+
+TEST(CliStream, DurableRunMatchesPlainRunAndRecoversOnRestart) {
+  const std::string path =
+      WriteTrace("dur.csv", "--kind=geolife --n=160 --seed=11");
+  const std::string state = TempPath("dur_state");
+  RunShell("rm -rf " + state);
+  const std::string args = " --window=60 --slide=30 --xi=8";
+
+  const CommandResult plain = RunFmotif("stream " + path + args);
+  ASSERT_EQ(0, plain.exit_code) << plain.output;
+  // A fresh durable run emits bit-identical per-slide reports and the
+  // same summary (the journal and snapshots are pure bookkeeping).
+  const CommandResult durable =
+      RunFmotif("stream " + path + args + " --state-dir=" + state);
+  ASSERT_EQ(0, durable.exit_code) << durable.output;
+  EXPECT_EQ(plain.output, durable.output);
+
+  // A restart over the same state directory recovers instead of starting
+  // cold: snapshot restored, journal tail replayed, stream re-registered.
+  const CommandResult resumed =
+      RunFmotif("stream " + path + args + " --state-dir=" + state);
+  ASSERT_EQ(0, resumed.exit_code) << resumed.output;
+  EXPECT_NE(std::string::npos, resumed.output.find("recovered: snapshot=yes"))
+      << resumed.output;
+}
+
+TEST(CliStream, SigintFlushesSummaryAndSyncsJournal) {
+  const std::string path =
+      WriteTrace("sig.csv", "--kind=geolife --n=160 --seed=13");
+  const std::string state = TempPath("sig_state");
+  const std::string args = " --window=60 --slide=30 --xi=8";
+
+  // Feed every row, then hold the pipe open so the tool blocks in its
+  // stdin read; SIGINT must end the feed cleanly — summary flushed,
+  // journal synced — instead of killing the process mid-report.
+  const std::string command =
+      "rm -rf " + state + "; ( cat " + path + "; sleep 2 ) | " +
+      std::string(FMOTIF_BINARY) + " stream -" + args + " --state-dir=" +
+      state + " 2>&1 & pid=$!; sleep 1; kill -INT $pid; wait $pid; "
+      "echo rc=$?";
+  const CommandResult r = RunShell(command);
+  EXPECT_NE(std::string::npos, r.output.find("interrupted: flushing summary"))
+      << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("160 points")) << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("rc=0")) << r.output;
+
+  // The synced journal makes the interrupted run recoverable.
+  const CommandResult resumed =
+      RunFmotif("stream " + path + args + " --state-dir=" + state);
+  ASSERT_EQ(0, resumed.exit_code) << resumed.output;
+  EXPECT_NE(std::string::npos, resumed.output.find("recovered: snapshot=yes"))
+      << resumed.output;
+}
+
+TEST(CliFleet, SigtermEndsTheMultiplexFeedCleanly) {
+  const std::string a = WriteTrace("sga.csv", "--kind=geolife --n=80 --seed=5");
+  // Multiplex the trace onto stream 0 as `0,lat,lon` rows, then hold the
+  // pipe open and SIGTERM the tool: the fleet summary must still appear.
+  const std::string command =
+      "( sed 's/^/0,/' " + a + "; sleep 2 ) | " +
+      std::string(FMOTIF_BINARY) +
+      " fleet - --window=60 --slide=30 --xi=8 2>&1 & pid=$!; sleep 1; "
+      "kill -TERM $pid; wait $pid; echo rc=$?";
+  const CommandResult r = RunShell(command);
+  EXPECT_NE(std::string::npos, r.output.find("interrupted: flushing summary"))
+      << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("1 streams")) << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("rc=0")) << r.output;
 }
 
 TEST(CliFleet, JsonReportsSlidesJoinDeltasAndSummaryGolden) {

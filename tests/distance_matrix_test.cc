@@ -85,5 +85,118 @@ TEST(OnTheFlyDistanceTest, SingleTrajectoryFormIsSelfDistance) {
   EXPECT_DOUBLE_EQ(fly.Distance(3, 3), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// RingDistanceMatrix eviction boundaries
+// ---------------------------------------------------------------------------
+
+// Oracle: encode the *global* (row id, col id) pair into each cell so a
+// read-back proves both which entries survived an eviction and that the
+// logical->physical index mapping stayed aligned after the heads moved.
+double CellOf(Index row_id, Index col_id) {
+  return 1000.0 * static_cast<double>(row_id) + static_cast<double>(col_id);
+}
+
+TEST(RingDistanceMatrixTest, AppendRowEvictsOldestExactlyAtCapacity) {
+  RingDistanceMatrix ring(/*row_capacity=*/3, /*col_capacity=*/2);
+  ring.AppendCol([](Index) { return CellOf(0, 0); });  // no rows yet
+  ring.AppendCol([](Index) { return CellOf(0, 1); });
+
+  for (Index r = 0; r < 3; ++r) {
+    ring.AppendRow([r](Index j) { return CellOf(r, j); });
+    EXPECT_EQ(ring.rows(), r + 1) << "no eviction below capacity";
+  }
+  // The window is exactly full: one more row must evict logical row 0
+  // and only logical row 0.
+  ring.AppendRow([](Index j) { return CellOf(3, j); });
+  EXPECT_EQ(ring.rows(), 3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 2; ++j) {
+      EXPECT_EQ(ring.Distance(i, j), CellOf(i + 1, j))
+          << "window should hold global rows 1..3 at (" << i << "," << j
+          << ")";
+    }
+  }
+}
+
+TEST(RingDistanceMatrixTest, HeadsWrapAcrossManyEvictions) {
+  RingDistanceMatrix ring(/*row_capacity=*/3, /*col_capacity=*/4);
+  for (Index j = 0; j < 4; ++j) {
+    ring.AppendCol([](Index) { return 0.0; });
+  }
+  // Enough appends to lap the physical buffer several times.
+  for (Index r = 0; r < 11; ++r) {
+    ring.AppendRow([r](Index j) { return CellOf(r, j); });
+  }
+  EXPECT_EQ(ring.rows(), 3);
+  EXPECT_EQ(ring.row_capacity(), 3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_EQ(ring.Distance(i, j), CellOf(8 + i, j));
+    }
+  }
+}
+
+TEST(RingDistanceMatrixTest, AppendColEvictsOldestColumn) {
+  RingDistanceMatrix ring(/*row_capacity=*/2, /*col_capacity=*/3);
+  ring.AppendRow([](Index) { return 0.0; });
+  ring.AppendRow([](Index) { return 0.0; });
+  for (Index c = 0; c < 5; ++c) {
+    ring.AppendCol([c](Index i) { return CellOf(i, c); });
+    EXPECT_LE(ring.cols(), 3) << "cols() must never exceed capacity";
+  }
+  EXPECT_EQ(ring.cols(), 3);
+  for (Index i = 0; i < 2; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_EQ(ring.Distance(i, j), CellOf(i, j + 2));
+    }
+  }
+}
+
+TEST(RingDistanceMatrixTest, CapacityOneAlwaysHoldsTheNewestEntry) {
+  RingDistanceMatrix ring(/*row_capacity=*/1, /*col_capacity=*/1);
+  ring.AppendPoint([](Index) { return 0.0; }, [](Index) { return 0.0; },
+                   /*self_distance=*/7.0);
+  EXPECT_EQ(ring.rows(), 1);
+  EXPECT_EQ(ring.cols(), 1);
+  EXPECT_EQ(ring.Distance(0, 0), 7.0);
+  ring.AppendPoint([](Index) { return 0.0; }, [](Index) { return 0.0; },
+                   /*self_distance=*/9.0);
+  EXPECT_EQ(ring.rows(), 1);
+  EXPECT_EQ(ring.Distance(0, 0), 9.0);
+}
+
+TEST(RingDistanceMatrixTest, AppendPointEvictsBothDimensionsTogether) {
+  RingDistanceMatrix ring(/*row_capacity=*/3, /*col_capacity=*/3);
+  // Self-matrix over global point ids 0..4: cell (a, b) = CellOf(a, b),
+  // with an asymmetric fill (row fill vs column fill differ by the
+  // argument order) so a swapped callback would be caught.
+  for (Index p = 0; p < 5; ++p) {
+    const Index base = p >= 3 ? p - 2 : 0;  // oldest surviving global id
+    ring.AppendPoint(
+        [p, base](Index k) { return CellOf(p, base + k); },
+        [p, base](Index k) { return CellOf(base + k, p); },
+        /*self_distance=*/CellOf(p, p));
+    EXPECT_EQ(ring.rows(), ring.cols()) << "self-matrix must stay square";
+    EXPECT_LE(ring.rows(), 3);
+  }
+  // Window now holds global points 2..4 in both dimensions.
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_EQ(ring.Distance(i, j), CellOf(2 + i, 2 + j));
+    }
+  }
+}
+
+TEST(RingDistanceMatrixTest, FootprintIsCapacityBoundNotSizeBound) {
+  RingDistanceMatrix ring(/*row_capacity=*/4, /*col_capacity=*/5);
+  const std::size_t fresh = ring.MemoryBytes();
+  EXPECT_EQ(fresh, 4u * 5u * sizeof(double));
+  for (Index j = 0; j < 5; ++j) ring.AppendCol([](Index) { return 0.0; });
+  for (Index r = 0; r < 9; ++r) {
+    ring.AppendRow([](Index) { return 0.0; });
+  }
+  EXPECT_EQ(ring.MemoryBytes(), fresh) << "the ring never reallocates";
+}
+
 }  // namespace
 }  // namespace frechet_motif

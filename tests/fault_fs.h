@@ -1,0 +1,195 @@
+#ifndef FRECHET_MOTIF_TESTS_FAULT_FS_H_
+#define FRECHET_MOTIF_TESTS_FAULT_FS_H_
+
+/// Fault-injecting in-memory filesystem for the durability tests.
+///
+/// `FaultFs` implements `DurableFs` with the crash semantics a real
+/// disk exposes but almost never at a reproducible moment:
+///
+///  * Every file carries **durable** bytes (covered by a `Sync`) and a
+///    **pending** suffix (written but not yet synced). Reads see both —
+///    the page cache — but a crash keeps only the durable bytes plus a
+///    *random prefix* of the pending ones (the kernel may have flushed
+///    some pages on its own, and the last write may tear mid-record).
+///  * `CrashAfter(n)` kills the "process" on the n-th subsequent
+///    mutating operation: the op applies a random prefix of its data
+///    (torn write), then it — and every later op — fails with IoError.
+///    Crash points therefore land *between* a write and its sync, or
+///    between a sync and its rename, exactly the windows the store's
+///    commit protocol must survive.
+///  * `Restart(...)` reboots: resolves every file to its crash-surviving
+///    content and clears the crashed state, so a fresh `DurableFleet::
+///    Open` can run recovery against the wreckage.
+///  * `FlipBit(path, bit)` corrupts stable storage for checksum and
+///    generation-fallback tests.
+///
+/// `Rename` is name-atomic (the destination is the whole source file,
+/// never a mix) but does **not** launder durability: an unsynced file
+/// stays torn-able after a rename, so a protocol that renames before
+/// syncing is caught.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durable/durable_fs.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+namespace testing_util {
+
+class FaultFs : public DurableFs {
+ public:
+  /// `seed` drives the torn-write prefix lengths.
+  explicit FaultFs(std::uint64_t seed) : rng_(seed) {}
+
+  /// Arms the crash countdown: the `ops`-th mutating operation from now
+  /// (1 = the very next one) tears and fails, as do all later ones.
+  void CrashAfter(std::int64_t ops) { crash_countdown_ = ops; }
+
+  /// True once an armed crash has fired.
+  bool crashed() const { return crashed_; }
+
+  /// Reboots after a crash (or a hard kill between calls): unsynced
+  /// bytes collapse to a random prefix, the crash state clears.
+  void Restart() {
+    for (auto& [path, file] : files_) {
+      const std::uint64_t kept =
+          rng_.NextUint64(static_cast<std::uint64_t>(file.pending.size()) + 1);
+      file.durable += file.pending.substr(0, static_cast<std::size_t>(kept));
+      file.pending.clear();
+    }
+    crashed_ = false;
+    crash_countdown_ = -1;
+  }
+
+  /// Flips one bit of `path`'s current content (durable + pending),
+  /// modeling stable-storage corruption. `bit` is taken modulo the
+  /// file's bit count. False when the file is missing or empty.
+  bool FlipBit(const std::string& path, std::uint64_t bit) {
+    auto it = files_.find(path);
+    if (it == files_.end()) return false;
+    const std::size_t durable_bits = it->second.durable.size() * 8;
+    const std::size_t total_bits =
+        durable_bits + it->second.pending.size() * 8;
+    if (total_bits == 0) return false;
+    bit %= total_bits;
+    std::string& target = bit < durable_bits
+                              ? it->second.durable
+                              : (bit -= durable_bits, it->second.pending);
+    target[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    return true;
+  }
+
+  /// Total mutating operations performed (for sizing CrashAfter).
+  std::int64_t op_count() const { return op_count_; }
+
+  // DurableFs:
+
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    const auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    return it->second.durable + it->second.pending;
+  }
+
+  Status WriteFile(const std::string& path, std::string_view data) override {
+    FM_RETURN_IF_ERROR(BeginOp(path, data));
+    File& file = files_[path];
+    file.durable.clear();
+    file.pending.assign(data.data(), data.size());
+    return Status::Ok();
+  }
+
+  Status Append(const std::string& path, std::string_view data) override {
+    FM_RETURN_IF_ERROR(BeginOp(path, data));
+    files_[path].pending.append(data.data(), data.size());
+    return Status::Ok();
+  }
+
+  Status Sync(const std::string& path) override {
+    FM_RETURN_IF_ERROR(BeginOp(path, {}));
+    const auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    it->second.durable += it->second.pending;
+    it->second.pending.clear();
+    return Status::Ok();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    FM_RETURN_IF_ERROR(BeginOp(from, {}));
+    const auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound("no such file: " + from);
+    files_[to] = it->second;
+    files_.erase(it);
+    return Status::Ok();
+  }
+
+  Status Remove(const std::string& path) override {
+    FM_RETURN_IF_ERROR(BeginOp(path, {}));
+    if (files_.erase(path) == 0) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<bool> Exists(const std::string& path) override {
+    return files_.count(path) > 0 || dirs_.count(path) > 0;
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    const std::string prefix = dir + "/";
+    for (const auto& [path, file] : files_) {
+      if (path.size() > prefix.size() &&
+          path.compare(0, prefix.size(), prefix) == 0 &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        names.push_back(path.substr(prefix.size()));
+      }
+    }
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    FM_RETURN_IF_ERROR(BeginOp(dir, {}));
+    dirs_.insert(dir);
+    return Status::Ok();
+  }
+
+ private:
+  struct File {
+    std::string durable;
+    std::string pending;
+  };
+
+  /// Common mutating-op prologue: fails when already crashed, fires an
+  /// armed crash (tearing `data` into `path` first).
+  Status BeginOp(const std::string& path, std::string_view torn_data) {
+    if (crashed_) return Status::IoError("crashed (injected)");
+    ++op_count_;
+    if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
+      crashed_ = true;
+      if (!torn_data.empty()) {
+        const std::uint64_t kept = rng_.NextUint64(torn_data.size() + 1);
+        files_[path].pending.append(torn_data.data(),
+                                    static_cast<std::size_t>(kept));
+      }
+      return Status::IoError("crashed (injected)");
+    }
+    return Status::Ok();
+  }
+
+  std::map<std::string, File> files_;
+  std::set<std::string> dirs_;
+  Rng rng_;
+  std::int64_t crash_countdown_ = -1;
+  bool crashed_ = false;
+  std::int64_t op_count_ = 0;
+};
+
+}  // namespace testing_util
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_TESTS_FAULT_FS_H_

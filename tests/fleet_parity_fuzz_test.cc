@@ -62,11 +62,14 @@ Trajectory MakeData(const FuzzConfig& config, std::size_t stream,
 }
 
 TEST(FleetParityFuzz, RandomInterleavedSchedulesMatchMonitorsAndJoin) {
-  Rng rng(20260731);
-  for (int round = 0; round < 5; ++round) {
+  const std::uint64_t seed = testing_util::FuzzSeed(20260731);
+  const int rounds = testing_util::FuzzRounds(5);
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
     const FuzzConfig config = DrawConfig(&rng);
     SCOPED_TRACE(::testing::Message()
-                 << "round " << round << ": W=" << config.window
+                 << "seed " << seed << " round " << round
+                 << ": W=" << config.window
                  << " slide=" << config.slide << " xi=" << config.xi
                  << " n=" << config.points << " streams=" << config.streams
                  << (config.haversine ? " haversine" : " euclidean")
@@ -85,7 +88,9 @@ TEST(FleetParityFuzz, RandomInterleavedSchedulesMatchMonitorsAndJoin) {
 
     std::vector<Trajectory> data;
     for (std::size_t s = 0; s < config.streams; ++s) {
-      data.push_back(MakeData(config, s, 2000 + 100 * round));
+      data.push_back(
+          MakeData(config, s, seed + 2000 + 100 * static_cast<std::uint64_t>(
+                                                      round)));
     }
 
     // Random interleaving: a shuffled multiset of per-stream cursors.

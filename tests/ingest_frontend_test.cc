@@ -1,0 +1,218 @@
+// Pins the IngestFrontend watermark tie semantics documented in
+// stream/ingest_frontend.h: "late" means strictly below the watermark,
+// equal-at-watermark arrivals are accepted, duplicate timestamps
+// preserve arrival order (and are not counted as reordered), and the
+// watermark only advances on release. These are deliberate boundary
+// decisions — a change here is a behavior change, not a refactor.
+
+#include <cmath>
+#include <vector>
+
+#include "geo/point.h"
+#include "gtest/gtest.h"
+#include "stream/ingest_frontend.h"
+#include "util/binary_codec.h"
+
+namespace frechet_motif {
+namespace {
+
+struct Release {
+  Point p;
+  bool has_ts = false;
+  double ts = 0.0;
+};
+
+IngestFrontend::Sink Collect(std::vector<Release>* out) {
+  return [out](const Point& p, const double* ts) {
+    Release r;
+    r.p = p;
+    r.has_ts = ts != nullptr;
+    r.ts = ts != nullptr ? *ts : 0.0;
+    out->push_back(r);
+    return Status::Ok();
+  };
+}
+
+TEST(IngestFrontend, EqualAtWatermarkIsAcceptedStrictlyBelowIsDropped) {
+  IngestFrontend frontend(/*reorder_capacity=*/2);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+
+  double ts = 10.0;
+  ASSERT_TRUE(frontend.Offer(Point(1, 0), &ts, sink).ok());
+  ts = 11.0;
+  ASSERT_TRUE(frontend.Offer(Point(2, 0), &ts, sink).ok());
+  ts = 12.0;
+  ASSERT_TRUE(frontend.Offer(Point(3, 0), &ts, sink).ok());
+  // Capacity 2: the third arrival released ts=10, so watermark == 10.
+  ASSERT_EQ(1u, released.size());
+  EXPECT_EQ(10.0, released[0].ts);
+  EXPECT_EQ(10.0, frontend.watermark());
+
+  // Exactly at the watermark: accepted (released in order after the
+  // equal-stamped predecessor), NOT late-dropped.
+  ts = 10.0;
+  ASSERT_TRUE(frontend.Offer(Point(4, 0), &ts, sink).ok());
+  ASSERT_EQ(2u, released.size());
+  EXPECT_EQ(10.0, released[1].ts);
+  EXPECT_EQ(Point(4, 0), released[1].p);
+  EXPECT_EQ(0, frontend.stats().late_dropped);
+
+  // Strictly below: provably too late, dropped and counted.
+  ts = 9.999;
+  ASSERT_TRUE(frontend.Offer(Point(5, 0), &ts, sink).ok());
+  EXPECT_EQ(2u, released.size());
+  EXPECT_EQ(1, frontend.stats().late_dropped);
+}
+
+TEST(IngestFrontend, DuplicateTimestampsPreserveArrivalOrder) {
+  IngestFrontend frontend(/*reorder_capacity=*/3);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+
+  // Three equal stamps, distinguishable by x; then a later stamp to
+  // push them all out.
+  for (double x = 1.0; x <= 3.0; x += 1.0) {
+    double ts = 5.0;
+    ASSERT_TRUE(frontend.Offer(Point(x, 0), &ts, sink).ok());
+  }
+  ASSERT_TRUE(frontend.Flush(sink).ok());
+  ASSERT_EQ(3u, released.size());
+  EXPECT_EQ(Point(1, 0), released[0].p);
+  EXPECT_EQ(Point(2, 0), released[1].p);
+  EXPECT_EQ(Point(3, 0), released[2].p);
+
+  // A run of equal stamps arriving at the watermark keeps coming out in
+  // arrival order (each re-sets the watermark to the same value).
+  released.clear();
+  for (double x = 4.0; x <= 6.0; x += 1.0) {
+    double ts = 5.0;
+    ASSERT_TRUE(frontend.Offer(Point(x, 0), &ts, sink).ok());
+  }
+  ASSERT_TRUE(frontend.Flush(sink).ok());
+  ASSERT_EQ(3u, released.size());
+  EXPECT_EQ(Point(4, 0), released[0].p);
+  EXPECT_EQ(Point(5, 0), released[1].p);
+  EXPECT_EQ(Point(6, 0), released[2].p);
+  EXPECT_EQ(0, frontend.stats().late_dropped);
+}
+
+TEST(IngestFrontend, DuplicatesAreNotCountedAsReordered) {
+  IngestFrontend frontend(/*reorder_capacity=*/4);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+
+  double ts = 7.0;
+  ASSERT_TRUE(frontend.Offer(Point(1, 0), &ts, sink).ok());
+  ts = 7.0;  // equal to the largest buffered: kept its place, no fixing
+  ASSERT_TRUE(frontend.Offer(Point(2, 0), &ts, sink).ok());
+  EXPECT_EQ(0, frontend.stats().reordered);
+
+  ts = 6.0;  // strictly below the largest buffered: this IS a reorder
+  ASSERT_TRUE(frontend.Offer(Point(3, 0), &ts, sink).ok());
+  EXPECT_EQ(1, frontend.stats().reordered);
+}
+
+TEST(IngestFrontend, WatermarkAdvancesOnlyOnRelease) {
+  IngestFrontend frontend(/*reorder_capacity=*/8);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+
+  double ts = 100.0;
+  ASSERT_TRUE(frontend.Offer(Point(1, 0), &ts, sink).ok());
+  // Buffered, not released: the watermark must not have moved, so an
+  // earlier arrival is still welcome.
+  EXPECT_TRUE(released.empty());
+  ts = 1.0;
+  ASSERT_TRUE(frontend.Offer(Point(2, 0), &ts, sink).ok());
+  EXPECT_EQ(0, frontend.stats().late_dropped);
+  ASSERT_TRUE(frontend.Flush(sink).ok());
+  ASSERT_EQ(2u, released.size());
+  EXPECT_EQ(1.0, released[0].ts);
+  EXPECT_EQ(100.0, released[1].ts);
+  EXPECT_EQ(100.0, frontend.watermark());
+}
+
+TEST(IngestFrontend, SnapshotRoundTripPreservesDuplicateOrder) {
+  IngestFrontend frontend(/*reorder_capacity=*/4);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+  for (double x = 1.0; x <= 3.0; x += 1.0) {
+    double ts = 5.0;
+    ASSERT_TRUE(frontend.Offer(Point(x, 0), &ts, sink).ok());
+  }
+
+  BinaryWriter writer;
+  frontend.SaveTo(&writer);
+  IngestFrontend restored(/*reorder_capacity=*/4);
+  BinaryReader reader(writer.bytes());
+  ASSERT_TRUE(restored.LoadFrom(&reader).ok());
+  EXPECT_EQ(frontend.buffered(), restored.buffered());
+
+  std::vector<Release> a;
+  std::vector<Release> b;
+  ASSERT_TRUE(frontend.Flush(Collect(&a)).ok());
+  ASSERT_TRUE(restored.Flush(Collect(&b)).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].p, b[k].p) << "duplicate-stamp order diverged at " << k;
+    EXPECT_EQ(a[k].ts, b[k].ts);
+  }
+}
+
+TEST(IngestFrontend, PassthroughPathSharesTheSameTieRule) {
+  // Capacity 0: timestamped arrivals pass straight through but keep the
+  // watermark contract — equal accepted, strictly below dropped.
+  IngestFrontend frontend(/*reorder_capacity=*/0);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+
+  double ts = 3.0;
+  ASSERT_TRUE(frontend.Offer(Point(1, 0), &ts, sink).ok());
+  ts = 3.0;
+  ASSERT_TRUE(frontend.Offer(Point(2, 0), &ts, sink).ok());
+  ASSERT_EQ(2u, released.size());
+  EXPECT_EQ(Point(2, 0), released[1].p);
+  EXPECT_EQ(0, frontend.stats().late_dropped);
+
+  ts = 2.0;
+  ASSERT_TRUE(frontend.Offer(Point(3, 0), &ts, sink).ok());
+  EXPECT_EQ(2u, released.size());
+  EXPECT_EQ(1, frontend.stats().late_dropped);
+  EXPECT_EQ(2, frontend.stats().released);
+}
+
+TEST(IngestFrontend, BareArrivalsCannotMixWithANonEmptyBuffer) {
+  IngestFrontend frontend(/*reorder_capacity=*/2);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+
+  // Bare arrivals alone are fine (pure passthrough).
+  ASSERT_TRUE(frontend.Offer(Point(1, 0), nullptr, sink).ok());
+  ASSERT_EQ(1u, released.size());
+  EXPECT_FALSE(released[0].has_ts);
+
+  // Buffer a timestamped point; now a bare arrival is ambiguous (it has
+  // no place in timestamp order) and must be rejected, not reordered.
+  double ts = 10.0;
+  ASSERT_TRUE(frontend.Offer(Point(2, 0), &ts, sink).ok());
+  ASSERT_EQ(1, frontend.buffered());
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            frontend.Offer(Point(3, 0), nullptr, sink).code());
+
+  // Draining the buffer makes bare arrivals legal again.
+  ASSERT_TRUE(frontend.Flush(sink).ok());
+  EXPECT_TRUE(frontend.Offer(Point(4, 0), nullptr, sink).ok());
+}
+
+TEST(IngestFrontend, NonFiniteStampsAreRejected) {
+  IngestFrontend frontend(/*reorder_capacity=*/2);
+  std::vector<Release> released;
+  const auto sink = Collect(&released);
+  const double nan = std::nan("");
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            frontend.Offer(Point(1, 0), &nan, sink).code());
+}
+
+}  // namespace
+}  // namespace frechet_motif

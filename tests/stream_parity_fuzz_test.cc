@@ -54,11 +54,14 @@ Trajectory MakeData(const FuzzConfig& config) {
 }
 
 TEST(StreamParityFuzz, RandomSchedulesMatchBatchSerialAndThreaded) {
-  Rng rng(20260730);
-  for (int round = 0; round < 6; ++round) {
-    const FuzzConfig config = DrawConfig(&rng, 1000 + round);
+  const std::uint64_t seed = testing_util::FuzzSeed(20260730);
+  const int rounds = testing_util::FuzzRounds(6);
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    const FuzzConfig config = DrawConfig(&rng, seed + 1000 + round);
     SCOPED_TRACE(::testing::Message()
-                 << "round " << round << ": W=" << config.window
+                 << "seed " << seed << " round " << round
+                 << ": W=" << config.window
                  << " slide=" << config.slide << " xi=" << config.xi
                  << " n=" << config.points
                  << (config.haversine ? " haversine" : " euclidean"));
@@ -116,8 +119,10 @@ TEST(StreamParityFuzz, RandomSchedulesMatchBatchSerialAndThreaded) {
 }
 
 TEST(StreamParityFuzz, RandomCrossInterleavings) {
-  Rng rng(424242);
-  for (int round = 0; round < 3; ++round) {
+  const std::uint64_t seed = testing_util::FuzzSeed(424242);
+  const int rounds = testing_util::FuzzRounds(3);
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
     const Index xi = static_cast<Index>(rng.NextInt(6, 16));
     StreamOptions options;
     options.min_length_xi = xi;
@@ -126,15 +131,16 @@ TEST(StreamParityFuzz, RandomCrossInterleavings) {
         static_cast<Index>(rng.NextInt(1, options.window_length));
     options.threads = round == 2 ? 4 : 1;
     SCOPED_TRACE(::testing::Message()
-                 << "round " << round << ": W=" << options.window_length
+                 << "seed " << seed << " round " << round
+                 << ": W=" << options.window_length
                  << " slide=" << options.slide_step << " xi=" << xi);
 
     DatasetOptions data;
     data.length = 260;
-    data.seed = 5000 + round;
+    data.seed = seed + 5000 + round;
     const Trajectory a =
         MakeDataset(DatasetKind::kGeoLifeLike, data).value();
-    data.seed = 6000 + round;
+    data.seed = seed + 6000 + round;
     const Trajectory b = MakeDataset(DatasetKind::kTruckLike, data).value();
     const HaversineMetric metric;
 

@@ -2,6 +2,8 @@
 #define FRECHET_MOTIF_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/distance_matrix.h"
@@ -10,6 +12,36 @@
 
 namespace frechet_motif {
 namespace testing_util {
+
+/// Seed for a randomized (fuzz-style) test: `default_seed` unless the
+/// FMOTIF_FUZZ_SEED environment variable overrides it. The seed in use
+/// is printed unconditionally, so any failure report carries what is
+/// needed to reproduce it:
+///
+///     FMOTIF_FUZZ_SEED=<printed seed> ctest -R <test> --output-on-failure
+inline std::uint64_t FuzzSeed(std::uint64_t default_seed) {
+  std::uint64_t seed = default_seed;
+  if (const char* env = std::getenv("FMOTIF_FUZZ_SEED");
+      env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::fprintf(stderr,
+               "[fuzz] seed = %llu (rerun with FMOTIF_FUZZ_SEED=%llu)\n",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+/// Iteration count for a randomized test: `default_rounds` unless
+/// FMOTIF_FUZZ_ROUNDS overrides it (CI's extended-fuzz job raises it).
+inline int FuzzRounds(int default_rounds) {
+  if (const char* env = std::getenv("FMOTIF_FUZZ_ROUNDS");
+      env != nullptr && *env != '\0') {
+    const long rounds = std::strtol(env, nullptr, 10);
+    if (rounds > 0) return static_cast<int>(rounds);
+  }
+  return default_rounds;
+}
 
 /// Random non-negative symmetric "ground distance" matrix with zero
 /// diagonal (n x n). The motif algorithms only read dG through the

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "cluster/subtrajectory_cluster.h"
+#include "durable/durable_fleet.h"
 #include "core/trajectory_stats.h"
 #include "data/datasets.h"
 #include "data/io.h"
@@ -111,7 +113,8 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         stream,
         "usage: fmotif stream <file|-> [--window=512] [--slide=32] "
         "[--xi=100]\n"
-        "       [--json] [--threads=N]\n"
+        "       [--state-dir=DIR] [--checkpoint=N] [--json] "
+        "[--threads=N]\n"
         "\n"
         "Feeds a trajectory point stream through the incremental "
         "sliding-window\n"
@@ -132,14 +135,22 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "replayed\n"
         "point by point. With --json, one JSON report per slide plus a "
         "final\n"
-        "summary document go to stdout.\n");
+        "summary document go to stdout.\n"
+        "\n"
+        "--state-dir=DIR makes the run durable: engine state is "
+        "checkpointed\n"
+        "and journaled there (rotating a snapshot every --checkpoint=N\n"
+        "records), and a restart recovers the window and resumes. SIGINT/\n"
+        "SIGTERM end the feed cleanly: the summary is still flushed and "
+        "the\n"
+        "journal synced before exit.\n");
   } else if (command == "fleet") {
     std::fprintf(
         stream,
         "usage: fmotif fleet <file>... | - [--window=512] [--slide=32] "
         "[--xi=100]\n"
-        "       [--eps=M] [--reorder=K] [--budget=K] [--json] "
-        "[--threads=N]\n"
+        "       [--eps=M] [--reorder=K] [--budget=K] [--state-dir=DIR]\n"
+        "       [--checkpoint=N] [--json] [--threads=N]\n"
         "\n"
         "Maintains one sliding-window motif per input stream behind a "
         "single\n"
@@ -160,7 +171,15 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "points\n"
         "per stream to fix out-of-order feeds (late arrivals below the\n"
         "watermark are dropped and counted). --budget=K caps searches per\n"
-        "drain — a backlogged window coalesces its pending slides.\n");
+        "drain — a backlogged window coalesces its pending slides.\n"
+        "\n"
+        "--state-dir=DIR journals every released batch and rotates "
+        "snapshots\n"
+        "(every --checkpoint=N records); a restart recovers the fleet "
+        "and\n"
+        "resumes. SIGINT/SIGTERM end the feed cleanly: the summary is "
+        "still\n"
+        "flushed and the journal synced before exit.\n");
   } else if (command == "topk") {
     std::fprintf(
         stream,
@@ -278,6 +297,44 @@ const fm::GroundMetric& Metric(const fm::Flags& flags) {
 
 int Threads(const fm::Flags& flags) {
   return static_cast<int>(flags.GetInt("threads", 1));
+}
+
+// The long-running commands (stream, fleet) convert SIGINT/SIGTERM into a
+// clean end-of-feed: the ingest loop stops, the end-of-run summary is
+// flushed, and a durable run commits its final journal sync — an operator
+// interrupt must not lose the last window's report.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void OnInterrupt(int) { g_interrupted = 1; }
+
+void InstallInterruptHandlers() {
+  g_interrupted = 0;
+  struct sigaction sa = {};
+  sa.sa_handler = OnInterrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked stdin read returns EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Shared --state-dir/--checkpoint handling for stream and fleet.
+fm::DurableOptions DurableConfig(const fm::Flags& flags) {
+  fm::DurableOptions durable;
+  durable.state_dir = flags.GetString("state-dir", "");
+  durable.checkpoint_interval_records =
+      static_cast<std::uint64_t>(flags.GetInt("checkpoint", 1024));
+  return durable;
+}
+
+void PrintRecoveryNote(const fm::DurableFleet& fleet) {
+  const fm::RecoveryInfo& r = fleet.recovery();
+  if (!r.restored_snapshot && r.replayed_records == 0) return;
+  std::fprintf(stderr,
+               "recovered: snapshot=%s, replayed %llu journal records, "
+               "%zu streams\n",
+               r.restored_snapshot ? "yes" : "no",
+               static_cast<unsigned long long>(r.replayed_records),
+               fleet.stream_count());
 }
 
 fm::MotifAlgorithm ParseAlgorithm(const std::string& name) {
@@ -463,6 +520,7 @@ int RunStream(const fm::Flags& flags) {
   if (flags.positional().size() != 2) return CommandUsage(stderr, "stream");
   const std::string& path = flags.positional()[1];
   const bool json = flags.GetBool("json", false);
+  InstallInterruptHandlers();
 
   fm::StreamOptions options;
   options.window_length =
@@ -472,9 +530,30 @@ int RunStream(const fm::Flags& flags) {
   options.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
   options.threads = Threads(flags);
 
-  fm::StatusOr<fm::StreamingMotifMonitor> monitor =
-      fm::StreamingMotifMonitor::Create(options, Metric(flags));
-  if (!monitor.ok()) return Fail(monitor.status());
+  // --state-dir routes the single stream through a one-stream
+  // DurableFleet (journal + snapshots + recovery); otherwise the plain
+  // in-memory monitor runs. Reports are bit-identical either way.
+  const fm::DurableOptions durable = DurableConfig(flags);
+  std::optional<fm::StreamingMotifMonitor> monitor;
+  std::optional<fm::DurableFleet> fleet;
+  if (durable.state_dir.empty()) {
+    fm::StatusOr<fm::StreamingMotifMonitor> created =
+        fm::StreamingMotifMonitor::Create(options, Metric(flags));
+    if (!created.ok()) return Fail(created.status());
+    monitor.emplace(std::move(created).value());
+  } else {
+    fm::FleetOptions fleet_options;
+    fleet_options.stream = options;
+    fm::StatusOr<fm::DurableFleet> opened =
+        fm::DurableFleet::Open(fleet_options, Metric(flags), durable);
+    if (!opened.ok()) return Fail(opened.status());
+    fleet.emplace(std::move(opened).value());
+    PrintRecoveryNote(*fleet);
+    if (fleet->stream_count() == 0) {
+      const fm::StatusOr<std::size_t> added = fleet->AddStream();
+      if (!added.ok()) return Fail(added.status());
+    }
+  }
 
   std::int64_t slides = 0;
   const auto emit = [&](const fm::StreamUpdate& u) {
@@ -486,10 +565,19 @@ int RunStream(const fm::Flags& flags) {
     }
   };
   const auto push = [&](const fm::Point& p, const double* ts) -> fm::Status {
-    fm::StatusOr<std::optional<fm::StreamUpdate>> update =
-        ts != nullptr ? monitor.value().Push(p, *ts) : monitor.value().Push(p);
-    if (!update.ok()) return update.status();
-    if (update.value().has_value()) emit(*update.value());
+    if (monitor.has_value()) {
+      fm::StatusOr<std::optional<fm::StreamUpdate>> update =
+          ts != nullptr ? monitor->Push(p, *ts) : monitor->Push(p);
+      if (!update.ok()) return update.status();
+      if (update.value().has_value()) emit(*update.value());
+      return fm::Status::Ok();
+    }
+    fm::StatusOr<fm::FleetReport> report =
+        ts != nullptr ? fleet->Push(0, p, *ts) : fleet->Push(0, p);
+    if (!report.ok()) return report.status();
+    for (const fm::FleetStreamUpdate& fu : report.value().updates) {
+      emit(fu.update);
+    }
     return fm::Status::Ok();
   };
 
@@ -510,7 +598,7 @@ int RunStream(const fm::Flags& flags) {
     std::istream& in = from_stdin ? std::cin : file;
     std::string line;
     std::size_t line_no = 0;
-    while (std::getline(in, line)) {
+    while (!g_interrupted && std::getline(in, line)) {
       ++line_no;
       double lat = 0.0;
       double lon = 0.0;
@@ -537,14 +625,40 @@ int RunStream(const fm::Flags& flags) {
     fm::StatusOr<fm::Trajectory> t = LoadRaw(path);
     if (!t.ok()) return Fail(t.status());
     const bool timed = t.value().has_timestamps();
-    for (fm::Index i = 0; i < t.value().size(); ++i) {
+    for (fm::Index i = 0; !g_interrupted && i < t.value().size(); ++i) {
       const double ts = timed ? t.value().timestamp(i) : 0.0;
       const fm::Status pushed = push(t.value()[i], timed ? &ts : nullptr);
       if (!pushed.ok()) return Fail(pushed);
     }
   }
 
-  const fm::StreamEngineStats& engine = monitor.value().engine_stats();
+  if (fleet.has_value()) {
+    // End of feed (or interrupt): release any reorder-buffered points,
+    // then force the journal tail to stable storage — the operator must
+    // never lose an already-reported window to an interrupt.
+    fm::StatusOr<fm::FleetReport> flushed = fleet->Flush();
+    if (!flushed.ok()) return Fail(flushed.status());
+    for (const fm::FleetStreamUpdate& fu : flushed.value().updates) {
+      emit(fu.update);
+    }
+    const fm::Status synced = fleet->Sync();
+    if (!synced.ok()) return Fail(synced);
+  }
+  if (g_interrupted) {
+    std::fprintf(stderr, "interrupted: flushing summary\n");
+  }
+
+  fm::StreamEngineStats engine;
+  if (monitor.has_value()) {
+    engine = monitor->engine_stats();
+  } else {
+    const fm::FleetStats stats = fleet->stats();
+    engine.points_ingested = stats.points_ingested;
+    engine.searches = stats.searches;
+    engine.seeded_searches = stats.seeded_searches;
+    engine.ground_distances_computed = stats.ground_distances_computed;
+    engine.dfd_cells_computed = stats.dfd_cells_computed;
+  }
   if (json) {
     fm::JsonWriter w;
     w.BeginObject();
@@ -575,6 +689,25 @@ int RunStream(const fm::Flags& flags) {
     w.Int(engine.ground_distances_computed);
     w.Key("dfd_cells_computed");
     w.Int(engine.dfd_cells_computed);
+    // Optional keys only: the default schema (and its goldens) is
+    // unchanged unless the run was durable or interrupted.
+    if (fleet.has_value()) {
+      w.Key("durable");
+      w.BeginObject();
+      w.Key("state_dir");
+      w.String(durable.state_dir);
+      w.Key("generation");
+      w.Int(static_cast<std::int64_t>(fleet->generation()));
+      w.Key("restored_snapshot");
+      w.Bool(fleet->recovery().restored_snapshot);
+      w.Key("replayed_records");
+      w.Int(static_cast<std::int64_t>(fleet->recovery().replayed_records));
+      w.EndObject();
+    }
+    if (g_interrupted) {
+      w.Key("interrupted");
+      w.Bool(true);
+    }
     w.EndObject();
     PrintJson(w);
   } else {
@@ -703,6 +836,7 @@ int RunFleet(const fm::Flags& flags) {
   const bool json = flags.GetBool("json", false);
   const bool from_stdin =
       flags.positional().size() == 2 && flags.positional()[1] == "-";
+  InstallInterruptHandlers();
 
   fm::FleetOptions options;
   options.stream.window_length = static_cast<fm::Index>(
@@ -718,9 +852,35 @@ int RunFleet(const fm::Flags& flags) {
   options.max_searches_per_drain =
       static_cast<int>(flags.GetInt("budget", 0));
 
-  fm::StatusOr<fm::MotifFleetEngine> engine =
-      fm::MotifFleetEngine::Create(options, Metric(flags));
-  if (!engine.ok()) return Fail(engine.status());
+  // --state-dir swaps the in-memory engine for a DurableFleet; every
+  // mutation below goes through the dispatch lambdas so both paths share
+  // one ingest loop.
+  const fm::DurableOptions durable_config = DurableConfig(flags);
+  std::optional<fm::MotifFleetEngine> plain;
+  std::optional<fm::DurableFleet> durable;
+  if (durable_config.state_dir.empty()) {
+    fm::StatusOr<fm::MotifFleetEngine> created =
+        fm::MotifFleetEngine::Create(options, Metric(flags));
+    if (!created.ok()) return Fail(created.status());
+    plain.emplace(std::move(created).value());
+  } else {
+    fm::StatusOr<fm::DurableFleet> opened =
+        fm::DurableFleet::Open(options, Metric(flags), durable_config);
+    if (!opened.ok()) return Fail(opened.status());
+    durable.emplace(std::move(opened).value());
+    PrintRecoveryNote(*durable);
+  }
+  const fm::MotifFleetEngine& view =
+      durable.has_value() ? durable->engine() : *plain;
+  const auto add_stream = [&]() -> fm::StatusOr<std::size_t> {
+    return durable.has_value() ? durable->AddStream() : plain->AddStream();
+  };
+  const auto ingest =
+      [&](const std::vector<fm::FleetArrival>& batch)
+      -> fm::StatusOr<fm::FleetReport> {
+    return durable.has_value() ? durable->Ingest(batch)
+                               : plain->Ingest(batch);
+  };
 
   std::int64_t slides = 0;
   if (from_stdin) {
@@ -729,7 +889,7 @@ int RunFleet(const fm::Flags& flags) {
     constexpr std::size_t kMaxStreams = 4096;
     std::string line;
     std::size_t line_no = 0;
-    while (std::getline(std::cin, line)) {
+    while (!g_interrupted && std::getline(std::cin, line)) {
       ++line_no;
       std::size_t stream = 0;
       double lat = 0.0;
@@ -754,24 +914,31 @@ int RunFleet(const fm::Flags& flags) {
         return Fail(fm::Status::InvalidArgument(
             "fleet stream id out of range on row " + std::to_string(line_no)));
       }
-      while (stream >= engine.value().stream_count()) {
-        const fm::StatusOr<std::size_t> added = engine.value().AddStream();
+      while (stream >= view.stream_count()) {
+        const fm::StatusOr<std::size_t> added = add_stream();
         if (!added.ok()) return Fail(added.status());
       }
-      fm::StatusOr<fm::FleetReport> report =
-          has_ts ? engine.value().Push(stream, fm::LatLon(lat, lon), ts)
-                 : engine.value().Push(stream, fm::LatLon(lat, lon));
+      fm::FleetArrival arrival;
+      arrival.stream = stream;
+      arrival.point = fm::LatLon(lat, lon);
+      arrival.has_timestamp = has_ts;
+      arrival.timestamp = has_ts ? ts : 0.0;
+      fm::StatusOr<fm::FleetReport> report = ingest({arrival});
       if (!report.ok()) return Fail(report.status());
       PrintFleetReport(report.value(), json, &slides);
     }
   } else {
     // One file per stream, replayed round-robin through one arrival loop.
+    // A recovered state directory already has its streams registered, so
+    // only the missing ones are added.
     std::vector<fm::Trajectory> streams;
     for (std::size_t k = 1; k < flags.positional().size(); ++k) {
       fm::StatusOr<fm::Trajectory> t = Load(flags.positional()[k], flags);
       if (!t.ok()) return Fail(t.status());
-      const fm::StatusOr<std::size_t> added = engine.value().AddStream();
-      if (!added.ok()) return Fail(added.status());
+      while (view.stream_count() < k) {
+        const fm::StatusOr<std::size_t> added = add_stream();
+        if (!added.ok()) return Fail(added.status());
+      }
       streams.push_back(std::move(t).value());
     }
     fm::Index longest = 0;
@@ -785,7 +952,7 @@ int RunFleet(const fm::Flags& flags) {
     // Unbudgeted reports are identical either way (the parity guard
     // runs due searches before a window slides further).
     const fm::Index chunk = options.stream.slide_step;
-    for (fm::Index k0 = 0; k0 < longest; k0 += chunk) {
+    for (fm::Index k0 = 0; !g_interrupted && k0 < longest; k0 += chunk) {
       std::vector<fm::FleetArrival> batch;
       for (fm::Index k = k0; k < std::min(longest, k0 + chunk); ++k) {
         for (std::size_t s = 0; s < streams.size(); ++s) {
@@ -800,17 +967,26 @@ int RunFleet(const fm::Flags& flags) {
           batch.push_back(arrival);
         }
       }
-      fm::StatusOr<fm::FleetReport> report = engine.value().Ingest(batch);
+      fm::StatusOr<fm::FleetReport> report = ingest(batch);
       if (!report.ok()) return Fail(report.status());
       PrintFleetReport(report.value(), json, &slides);
     }
   }
-  fm::StatusOr<fm::FleetReport> flushed = engine.value().Flush();
+  fm::StatusOr<fm::FleetReport> flushed =
+      durable.has_value() ? durable->Flush() : plain->Flush();
   if (!flushed.ok()) return Fail(flushed.status());
   PrintFleetReport(flushed.value(), json, &slides);
+  if (durable.has_value()) {
+    const fm::Status synced = durable->Sync();
+    if (!synced.ok()) return Fail(synced);
+  }
+  if (g_interrupted) {
+    std::fprintf(stderr, "interrupted: flushing summary\n");
+  }
 
-  const fm::FleetStats stats = engine.value().stats();
-  const fm::IncrementalJoinStats* join = engine.value().join_stats();
+  const fm::FleetStats stats =
+      durable.has_value() ? durable->stats() : plain->stats();
+  const fm::IncrementalJoinStats* join = view.join_stats();
   if (json) {
     fm::JsonWriter w;
     w.BeginObject();
@@ -866,7 +1042,7 @@ int RunFleet(const fm::Flags& flags) {
       w.Int(join->left_total);
       w.Key("current_matches");
       w.Int(static_cast<std::int64_t>(
-          engine.value().CurrentJoinMatches().size()));
+          view.CurrentJoinMatches().size()));
       w.EndObject();
     }
     w.EndObject();
@@ -890,7 +1066,7 @@ int RunFleet(const fm::Flags& flags) {
           static_cast<long long>(join->verdicts_carried),
           static_cast<long long>(join->entered_total),
           static_cast<long long>(join->left_total),
-          engine.value().CurrentJoinMatches().size());
+          view.CurrentJoinMatches().size());
     }
   }
   return kExitOk;
