@@ -1,0 +1,305 @@
+// Self-timed throughput/latency benchmark of the serve tier
+// (src/serve/motif_server.h) driven over real kernel sockets
+// (socketpair(2) wrapped in PosixServeSocket), in the same JSON
+// pipeline as the other benches:
+//
+//   ./bench_serve [--smoke] [--lengths=128] [--xi=N] [--json[=path]]
+//
+// For each fleet size N in {1, 4, 8} it replays N GeoLife-like streams
+// two ways over a window of W points (--lengths, default 128):
+//
+//   fleet_direct_ingest   MotifFleetEngine fed FleetArrival batches in
+//                         process — the no-wire baseline.
+//   serve_wire_ingest     the same points as CSV rows through a feeder
+//                         socketpair into MotifServer, with one
+//                         subscribed connection receiving every report
+//                         frame over a second socketpair — parse,
+//                         ingest, serialize, and socket I/O included.
+//
+// Each round-robin batch (one point per stream) is timed end to end —
+// from the client write(2) of the rows to the last report frame drained
+// from the subscriber's socket — giving a push-latency distribution;
+// the JSON records points/sec plus the p99 of those batch latencies.
+// The run aborts if the server drops or miscounts anything: ingest over
+// the wire must be lossless (frames_dropped = 0, every point acked).
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "geo/metric.h"
+#include "serve/motif_server.h"
+#include "serve/serve_socket.h"
+#include "stream/motif_fleet_engine.h"
+#include "util/timer.h"
+
+namespace frechet_motif {
+namespace bench {
+namespace {
+
+struct ServeMeasurement {
+  double direct_seconds = 0.0;
+  double serve_seconds = 0.0;
+  double p99_latency_us = 0.0;
+  std::int64_t points = 0;
+  std::int64_t frames_pushed = 0;
+  std::int64_t frames_dropped = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+};
+
+void Die(const Status& status, const char* where) {
+  std::fprintf(stderr, "%s: %s\n", where, status.ToString().c_str());
+  std::exit(1);
+}
+
+/// One end of a socketpair, adopted by the server; the other end stays
+/// with the bench as a plain fd (non-blocking, so drains terminate).
+struct WirePair {
+  std::unique_ptr<ServeSocket> server_side;
+  int client_fd = -1;
+};
+
+WirePair MakePair(const char* label) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    std::perror("socketpair");
+    std::exit(1);
+  }
+  const int flags = ::fcntl(fds[1], F_GETFL, 0);
+  ::fcntl(fds[1], F_SETFL, flags | O_NONBLOCK);
+  WirePair pair;
+  pair.server_side = std::make_unique<PosixServeSocket>(fds[0], label);
+  pair.client_fd = fds[1];
+  return pair;
+}
+
+void WriteAll(int fd, const std::string& bytes) {
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + at, bytes.size() - at);
+    if (n > 0) {
+      at += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    std::perror("write");
+    std::exit(1);
+  }
+}
+
+/// Reads everything currently buffered on `fd` (non-blocking).
+std::size_t DrainFd(int fd) {
+  char buf[16 * 1024];
+  std::size_t total = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+ServeMeasurement ReplayServe(Index window, Index streams,
+                             const BenchConfig& config) {
+  StreamOptions stream_options;
+  stream_options.window_length = window;
+  stream_options.slide_step = std::max<Index>(1, window / 16);
+  stream_options.min_length_xi =
+      config.xi > 0 ? static_cast<Index>(config.xi) : window / 8;
+
+  const HaversineMetric metric;
+  std::vector<Trajectory> data;
+  for (Index s = 0; s < streams; ++s) {
+    DatasetOptions options;
+    options.length = static_cast<Index>(2 * window);
+    options.seed = config.seed + static_cast<std::uint64_t>(s);
+    data.push_back(MakeDataset(DatasetKind::kGeoLifeLike, options).value());
+  }
+  const Index points_per_stream = data[0].size();
+
+  ServeMeasurement m;
+  m.points = static_cast<std::int64_t>(streams) * points_per_stream;
+
+  // --- In-process baseline: the engine fed the same batches directly. ---
+  FleetOptions fleet_options;
+  fleet_options.stream = stream_options;
+  auto direct = MotifFleetEngine::Create(fleet_options, metric);
+  if (!direct.ok()) Die(direct.status(), "fleet");
+  for (Index s = 0; s < streams; ++s) {
+    if (!direct.value().AddStream().ok()) Die(Status::Internal(""), "add");
+  }
+  Timer timer;
+  std::vector<FleetArrival> batch;
+  for (Index k = 0; k < points_per_stream; ++k) {
+    batch.clear();
+    for (Index s = 0; s < streams; ++s) {
+      batch.push_back(
+          FleetArrival{static_cast<std::size_t>(s), data[s][k], false, 0.0});
+    }
+    if (!direct.value().Ingest(batch).ok()) Die(Status::Internal(""), "ingest");
+  }
+  m.direct_seconds = timer.ElapsedSeconds();
+
+  // --- The same points over the wire: feeder + subscriber sockets. ---
+  ServeOptions serve_options;
+  serve_options.fleet = fleet_options;
+  auto server = MotifServer::Create(serve_options, metric);
+  if (!server.ok()) Die(server.status(), "server");
+
+  WirePair feed = MakePair("bench-feed");
+  WirePair sub = MakePair("bench-sub");
+  const int feed_fd = feed.client_fd;
+  const int sub_fd = sub.client_fd;
+  std::int64_t now = 0;
+  const MotifServer::ConnId feed_id =
+      server.value().OnAccept(std::move(feed.server_side), now);
+  const MotifServer::ConnId sub_id =
+      server.value().OnAccept(std::move(sub.server_side), now);
+  WriteAll(sub_fd, "SUB reports\n");
+  server.value().OnReadable(sub_id, now);
+  DrainFd(sub_fd);   // hello + subscribed
+  DrainFd(feed_fd);  // hello
+
+  // Pre-render every round-robin batch so row formatting stays outside
+  // the timed region.
+  std::vector<std::string> wire_batches;
+  wire_batches.reserve(static_cast<std::size_t>(points_per_stream));
+  for (Index k = 0; k < points_per_stream; ++k) {
+    std::string rows;
+    for (Index s = 0; s < streams; ++s) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%zu,%.8f,%.8f\n",
+                    static_cast<std::size_t>(s), data[s][k].lat(),
+                    data[s][k].lon());
+      rows += buf;
+    }
+    wire_batches.push_back(std::move(rows));
+  }
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(wire_batches.size());
+  timer.Restart();
+  Timer sample;
+  for (const std::string& rows : wire_batches) {
+    sample.Restart();
+    WriteAll(feed_fd, rows);
+    server.value().OnReadable(feed_id, ++now);
+    while (server.value().WantsWrite(sub_id)) {
+      server.value().OnWritable(sub_id, now);
+      DrainFd(sub_fd);
+    }
+    DrainFd(sub_fd);
+    latencies_us.push_back(sample.ElapsedSeconds() * 1e6);
+  }
+  m.serve_seconds = timer.ElapsedSeconds();
+
+  const ServeStats& stats = server.value().stats();
+  if (stats.points_ingested != m.points || stats.frames_dropped != 0 ||
+      stats.parse_errors != 0) {
+    std::fprintf(stderr,
+                 "WIRE LOSS: ingested %lld of %lld points, %lld dropped "
+                 "frames, %lld parse errors\n",
+                 static_cast<long long>(stats.points_ingested),
+                 static_cast<long long>(m.points),
+                 static_cast<long long>(stats.frames_dropped),
+                 static_cast<long long>(stats.parse_errors));
+    std::exit(1);
+  }
+  m.frames_pushed = stats.frames_pushed;
+  m.frames_dropped = stats.frames_dropped;
+  m.bytes_in = stats.bytes_in;
+  m.bytes_out = stats.bytes_out;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const std::size_t p99_at =
+      latencies_us.size() - 1 -
+      std::min(latencies_us.size() - 1, latencies_us.size() / 100);
+  m.p99_latency_us = latencies_us[p99_at];
+
+  if (!server.value().Shutdown().ok()) Die(Status::Internal(""), "shutdown");
+  ::close(feed_fd);
+  ::close(sub_fd);
+  return m;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace frechet_motif
+
+int main(int argc, char** argv) {
+  using namespace frechet_motif;
+  using namespace frechet_motif::bench;
+
+  BenchConfig config = ParseBenchConfig(argc, argv, /*default_lengths=*/
+                                        {128}, /*default_xis=*/{},
+                                        /*default_xi=*/0, /*default_n=*/0);
+  if (config.smoke) config.lengths = {64};
+  PrintHeader("serve",
+              "Serve tier over socketpairs vs direct engine ingest: wire "
+              "overhead, push throughput, and p99 batch latency",
+              config);
+
+  std::vector<KernelResult> results;
+  for (std::int64_t length : config.lengths) {
+    const Index window = static_cast<Index>(length);
+    for (Index streams : {Index{1}, Index{4}, Index{8}}) {
+      const ServeMeasurement m = ReplayServe(window, streams, config);
+
+      KernelResult direct;
+      direct.name = "fleet_direct_ingest";
+      direct.n = streams;
+      direct.ns_per_op =
+          m.direct_seconds * 1e9 / static_cast<double>(m.points);
+      direct.iterations = m.points;
+      direct.extras["window"] = static_cast<double>(window);
+      direct.extras["points_per_sec"] =
+          static_cast<double>(m.points) / m.direct_seconds;
+      results.push_back(direct);
+
+      KernelResult serve;
+      serve.name = "serve_wire_ingest";
+      serve.n = streams;
+      serve.ns_per_op = m.serve_seconds * 1e9 / static_cast<double>(m.points);
+      serve.iterations = m.points;
+      serve.extras["window"] = static_cast<double>(window);
+      serve.extras["points_per_sec"] =
+          static_cast<double>(m.points) / m.serve_seconds;
+      serve.extras["p99_push_latency_us"] = m.p99_latency_us;
+      serve.extras["frames_pushed"] = static_cast<double>(m.frames_pushed);
+      serve.extras["frames_dropped"] = static_cast<double>(m.frames_dropped);
+      serve.extras["bytes_in"] = static_cast<double>(m.bytes_in);
+      serve.extras["bytes_out"] = static_cast<double>(m.bytes_out);
+      // Wire tax: serve-path time over the in-process engine's for the
+      // identical ingest (parse + frames + socket I/O).
+      serve.extras["wire_overhead_ratio"] =
+          m.direct_seconds > 0.0 ? m.serve_seconds / m.direct_seconds : 0.0;
+      results.push_back(serve);
+
+      std::printf(
+          "W=%-5d N=%-3d direct %.0f pts/s | wire %.0f pts/s "
+          "(overhead x%.2f, p99 push %.0f us, %lld report frames)\n",
+          window, streams, static_cast<double>(m.points) / m.direct_seconds,
+          static_cast<double>(m.points) / m.serve_seconds,
+          m.direct_seconds > 0.0 ? m.serve_seconds / m.direct_seconds : 0.0,
+          m.p99_latency_us, static_cast<long long>(m.frames_pushed));
+    }
+  }
+
+  if (!config.json_path.empty() &&
+      !WriteKernelJson(config.json_path, "serve_throughput", config,
+                       results)) {
+    return 1;
+  }
+  return 0;
+}

@@ -53,6 +53,7 @@
 #include "frechet_motif/join.h"
 #include "frechet_motif/motif.h"
 #include "frechet_motif/options.h"
+#include "frechet_motif/serve.h"
 #include "frechet_motif/similarity.h"
 #include "frechet_motif/status.h"
 #include "frechet_motif/stream.h"

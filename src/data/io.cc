@@ -73,6 +73,29 @@ CsvRow ParseCsvPointRow(const std::string& line, double* lat, double* lon,
   return CsvRow::kPoint;
 }
 
+CsvRow ParseFleetCsvRow(const std::string& line, std::size_t* stream,
+                        double* lat, double* lon, double* timestamp,
+                        bool* has_timestamp) {
+  std::size_t at = 0;
+  while (at < line.size() &&
+         (line[at] == ' ' || line[at] == '\t' || line[at] == '\r')) {
+    ++at;
+  }
+  if (at == line.size()) return CsvRow::kBlank;
+  const std::size_t comma = line.find(',', at);
+  if (comma == std::string::npos) return CsvRow::kMalformed;
+  // Validate before the cast: converting a negative, non-integral,
+  // out-of-range or non-finite double to size_t is undefined behavior.
+  double id = 0.0;
+  if (!ParseDoubleC(line.substr(at, comma - at), &id) ||
+      !(id >= 0.0 && id <= 1e9) || id != std::floor(id)) {
+    return CsvRow::kMalformed;
+  }
+  *stream = static_cast<std::size_t>(id);
+  return ParseCsvPointRow(line.substr(comma + 1), lat, lon, timestamp,
+                          has_timestamp);
+}
+
 Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);

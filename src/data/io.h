@@ -35,6 +35,15 @@ enum class CsvRow {
 CsvRow ParseCsvPointRow(const std::string& line, double* lat, double* lon,
                         double* timestamp, bool* has_timestamp);
 
+/// Parses a multiplexed fleet row `stream,lat,lon[,timestamp]` (the
+/// dialect of `fmotif fleet -` stdin and the serve tier's ingest lines):
+/// splits a leading non-negative integer stream id (<= 1e9), then
+/// delegates to ParseCsvPointRow for the point fields. A missing or
+/// malformed id classifies the row kMalformed.
+CsvRow ParseFleetCsvRow(const std::string& line, std::size_t* stream,
+                        double* lat, double* lon, double* timestamp,
+                        bool* has_timestamp);
+
 /// GeoLife PLT reader: skips the 6-line preamble, then parses rows of
 ///   latitude,longitude,0,altitude_ft,days,date,time
 /// converting the fractional `days` field (days since 1899-12-30) into

@@ -1,5 +1,6 @@
 #include "durable/durable_fleet.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -241,9 +242,14 @@ FleetStats DurableFleet::stats() const {
   FleetStats stats = engine_.stats();
   stats.reordered = 0;
   stats.late_dropped = 0;
+  stats.reorder_buffered = 0;
+  stats.reorder_buffered_peak = 0;
   for (const IngestFrontend& frontend : frontends_) {
     stats.reordered += frontend.stats().reordered;
     stats.late_dropped += frontend.stats().late_dropped;
+    stats.reorder_buffered += static_cast<std::int64_t>(frontend.buffered());
+    stats.reorder_buffered_peak =
+        std::max(stats.reorder_buffered_peak, frontend.stats().buffered_peak);
   }
   return stats;
 }

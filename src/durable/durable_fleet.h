@@ -126,6 +126,17 @@ class DurableFleet {
   /// released points).
   FleetStats stats() const;
 
+  /// Per-stream arrival accounting from the journal-side frontend —
+  /// the counters that describe the raw feed (the engine's frontends
+  /// only ever see released points).
+  const IngestStats& ingest_stats(std::size_t stream) const {
+    return frontends_[stream].stats();
+  }
+  /// Points currently held in `stream`'s journal-side reorder buffer.
+  Index buffered(std::size_t stream) const {
+    return frontends_[stream].buffered();
+  }
+
   std::uint64_t generation() const { return store_.generation(); }
 
  private:

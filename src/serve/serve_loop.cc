@@ -1,0 +1,94 @@
+#include "serve/serve_loop.h"
+
+#include <errno.h>
+#include <poll.h>
+
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace frechet_motif {
+
+std::int64_t ServeNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status RunServeLoop(MotifServer& server, ServeListener& listener,
+                    const ServeLoopOptions& options) {
+  const std::int64_t start_ms = ServeNowMs();
+
+  while (true) {
+    std::int64_t now = ServeNowMs();
+
+    const bool stop_requested =
+        (options.stop != nullptr && *options.stop != 0) ||
+        (options.stop_atomic != nullptr &&
+         options.stop_atomic->load(std::memory_order_relaxed)) ||
+        (options.max_runtime_ms > 0 &&
+         now - start_ms >= options.max_runtime_ms);
+    if (stop_requested && !server.draining()) server.BeginDrain(now);
+    if (server.draining() && server.DrainComplete()) return Status::Ok();
+
+    // Readiness set: the listener (unless draining) plus every
+    // connection's socket for the directions the server wants.
+    std::vector<pollfd> fds;
+    std::vector<MotifServer::ConnId> fd_conn;
+    if (!server.draining()) {
+      fds.push_back(pollfd{listener.fd(), POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (MotifServer::ConnId id : server.ConnectionIds()) {
+      ServeSocket* socket = server.socket(id);
+      if (socket == nullptr || socket->fd() < 0) continue;
+      short events = 0;
+      if (server.WantsRead(id)) events |= POLLIN;
+      if (server.WantsWrite(id)) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back(pollfd{socket->fd(), events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               options.poll_interval_ms);
+    now = ServeNowMs();
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: the stop flag check runs next
+      return Status::IoError("poll failed");
+    }
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      if (fd_conn[k] == 0) {
+        // Accept everything pending; the server sheds past capacity.
+        while (true) {
+          StatusOr<std::unique_ptr<ServeSocket>> accepted = listener.Accept();
+          if (!accepted.ok()) return accepted.status();
+          if (accepted.value() == nullptr) break;
+          server.OnAccept(std::move(accepted).value(), now);
+        }
+        continue;
+      }
+      const MotifServer::ConnId id = fd_conn[k];
+      // POLLERR/POLLHUP surface through the read/write calls as
+      // kEof/kError — route them through the normal handlers.
+      if (fds[k].revents & (POLLIN | POLLERR | POLLHUP)) {
+        if (server.WantsRead(id)) {
+          server.OnReadable(id, now);
+        } else {
+          server.OnWritable(id, now);
+        }
+      }
+      if ((fds[k].revents & POLLOUT) && server.Connected(id)) {
+        server.OnWritable(id, now);
+      }
+    }
+
+    server.Tick(now);
+  }
+}
+
+}  // namespace frechet_motif

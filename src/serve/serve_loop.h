@@ -1,0 +1,59 @@
+#ifndef FRECHET_MOTIF_SERVE_SERVE_LOOP_H_
+#define FRECHET_MOTIF_SERVE_SERVE_LOOP_H_
+
+/// Production transport of the serve tier: a single-threaded poll(2)
+/// event loop driving a `MotifServer` over real sockets.
+///
+/// The loop owns nothing but readiness detection and the monotonic
+/// clock — all policy (admission, parsing, backpressure, drain) lives
+/// in the server core, which is what the fault-injection tests drive
+/// directly. Signal-triggered shutdown is cooperative: the caller
+/// installs handlers that set a `sig_atomic_t` flag (the CLI reuses
+/// `fmotif`'s interrupt flag), the loop notices it between poll rounds,
+/// begins the drain, and returns once every connection has flushed or
+/// the grace period expired. The caller then runs
+/// `MotifServer::Shutdown()` for the durable checkpoint.
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+
+#include "serve/motif_server.h"
+#include "serve/serve_socket.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+
+struct ServeLoopOptions {
+  /// Drain trigger: the loop begins a graceful drain once `*stop` is
+  /// non-zero (typically set by a SIGTERM/SIGINT handler). Null means
+  /// the loop only ends via `stop_atomic` or `max_runtime_ms`.
+  const volatile std::sig_atomic_t* stop = nullptr;
+
+  /// Thread-safe drain trigger for callers that run the loop on a
+  /// worker thread (tests, embedders). A `sig_atomic_t` is only safe
+  /// against signal handlers on the same thread; cross-thread stops
+  /// must use this one.
+  const std::atomic<bool>* stop_atomic = nullptr;
+
+  /// poll(2) timeout — the upper bound on drain-trigger and timeout
+  /// latency when no traffic arrives.
+  int poll_interval_ms = 200;
+
+  /// Safety valve for tests/benchmarks: drain unconditionally after
+  /// this long (0 = run until `stop`).
+  std::int64_t max_runtime_ms = 0;
+};
+
+/// Runs until a drain (stop flag or max runtime) completes. Returns the
+/// first listener-level error, or Ok after a clean drain; per-connection
+/// failures never end the loop.
+Status RunServeLoop(MotifServer& server, ServeListener& listener,
+                    const ServeLoopOptions& options);
+
+/// The loop's clock: monotonic milliseconds (steady_clock).
+std::int64_t ServeNowMs();
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SERVE_SERVE_LOOP_H_

@@ -1,0 +1,178 @@
+#include "serve/serve_socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+
+namespace frechet_motif {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("fcntl(O_NONBLOCK): " +
+                           std::string(::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+std::string PeerLabel(const sockaddr_in& addr) {
+  char text[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, text, sizeof(text));
+  return std::string(text) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+bool RetryableErrno(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
+}
+
+}  // namespace
+
+PosixServeSocket::PosixServeSocket(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)) {
+  // Best-effort: an fd that rejects O_NONBLOCK still works, it would
+  // just risk blocking — and every fd we adopt is a socket.
+  (void)SetNonBlocking(fd_);
+}
+
+PosixServeSocket::~PosixServeSocket() { Close(); }
+
+IoResult PosixServeSocket::Read(char* buf, std::size_t cap) {
+  if (fd_ < 0) return {IoStatus::kError, 0};
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult PosixServeSocket::Write(const char* data, std::size_t len) {
+  if (fd_ < 0) return {IoStatus::kError, 0};
+  while (true) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+void PosixServeSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<PosixListener> PosixListener::Create(const std::string& bind_addr,
+                                              int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable bind address: " + bind_addr);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind " + bind_addr + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + err);
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+
+  // Resolve port 0 to the kernel's assignment.
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  int resolved = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    resolved = ntohs(bound.sin_port);
+  }
+  return PosixListener(fd, resolved);
+}
+
+PosixListener::~PosixListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PosixListener::PosixListener(PosixListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+PosixListener& PosixListener::operator=(PosixListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<std::unique_ptr<ServeSocket>> PosixListener::Accept() {
+  if (fd_ < 0) return Status::Internal("listener closed");
+  while (true) {
+    sockaddr_in addr;
+    socklen_t addr_len = sizeof(addr);
+    const int conn =
+        ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+    if (conn >= 0) {
+      const int one = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<ServeSocket>(
+          new PosixServeSocket(conn, PeerLabel(addr)));
+    }
+    if (RetryableErrno(errno) && errno != EINTR) {
+      return std::unique_ptr<ServeSocket>();  // nothing pending
+    }
+    if (errno == EINTR) continue;
+    // Per-connection accept failures (ECONNABORTED, EMFILE, ...) must not
+    // kill the listener loop; report them as "nothing usable pending".
+    if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+        errno == ENOBUFS || errno == ENOMEM || errno == EPROTO) {
+      return std::unique_ptr<ServeSocket>();
+    }
+    return Status::IoError("accept: " + std::string(::strerror(errno)));
+  }
+}
+
+}  // namespace frechet_motif

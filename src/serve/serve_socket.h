@@ -1,0 +1,129 @@
+#ifndef FRECHET_MOTIF_SERVE_SERVE_SOCKET_H_
+#define FRECHET_MOTIF_SERVE_SERVE_SOCKET_H_
+
+/// The narrow socket seam of the serve tier.
+///
+/// All byte I/O performed by `MotifServer` goes through `ServeSocket`,
+/// and all connection admission through `ServeListener` — never through
+/// raw fds. The production implementations (`PosixServeSocket`,
+/// `PosixListener`) wrap non-blocking TCP sockets; the test double
+/// (`tests/fault_socket.h`) is an in-memory pair that injects short
+/// reads/writes, EAGAIN storms, and mid-frame resets, mirroring the
+/// `DurableFs`/`FaultFs` seam of the durability layer. The server core
+/// is therefore testable byte-for-byte without a network stack.
+///
+/// ## I/O contract
+///
+/// Both Read and Write are non-blocking and may move fewer bytes than
+/// asked (`IoStatus::kOk` with a short count). `kWouldBlock` moves no
+/// bytes and means "retry when the transport signals readiness".
+/// `kEof` is read-side only: the peer closed cleanly. `kError` is a
+/// dead connection (reset, protocol error, injected fault) — the server
+/// drops it without further I/O. No method ever blocks, raises, or
+/// terminates the process.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace frechet_motif {
+
+/// Outcome class of one non-blocking socket operation.
+enum class IoStatus {
+  kOk,          ///< `bytes` moved (possibly fewer than requested).
+  kWouldBlock,  ///< Nothing moved; retry on the next readiness signal.
+  kEof,         ///< Peer closed the read side cleanly (Read only).
+  kError,       ///< Connection dead (reset / injected fault).
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+/// One bidirectional byte stream. Implementations own the underlying
+/// resource and release it in Close() (also called by the destructor).
+class ServeSocket {
+ public:
+  virtual ~ServeSocket() = default;
+
+  /// Reads at most `cap` bytes into `buf`.
+  virtual IoResult Read(char* buf, std::size_t cap) = 0;
+
+  /// Writes at most `len` bytes from `data`.
+  virtual IoResult Write(const char* data, std::size_t len) = 0;
+
+  virtual void Close() = 0;
+
+  /// The pollable descriptor, or -1 when the transport is not
+  /// fd-backed (in-memory test sockets).
+  virtual int fd() const { return -1; }
+
+  /// Peer label for counters/log lines ("127.0.0.1:43210", "fault").
+  virtual std::string peer() const = 0;
+};
+
+/// Accepts inbound connections. `Accept` never blocks: it returns a
+/// null socket when no connection is pending.
+class ServeListener {
+ public:
+  virtual ~ServeListener() = default;
+
+  /// One pending connection as a ready ServeSocket, a null pointer when
+  /// none is pending, or an error for a broken listener.
+  virtual StatusOr<std::unique_ptr<ServeSocket>> Accept() = 0;
+
+  virtual int fd() const = 0;
+};
+
+/// Production socket: a connected non-blocking TCP (or socketpair) fd.
+/// Takes ownership of `fd`; writes suppress SIGPIPE (MSG_NOSIGNAL).
+class PosixServeSocket : public ServeSocket {
+ public:
+  /// Adopts `fd` and switches it to non-blocking mode.
+  explicit PosixServeSocket(int fd, std::string peer = "");
+  ~PosixServeSocket() override;
+
+  PosixServeSocket(const PosixServeSocket&) = delete;
+  PosixServeSocket& operator=(const PosixServeSocket&) = delete;
+
+  IoResult Read(char* buf, std::size_t cap) override;
+  IoResult Write(const char* data, std::size_t len) override;
+  void Close() override;
+  int fd() const override { return fd_; }
+  std::string peer() const override { return peer_; }
+
+ private:
+  int fd_ = -1;
+  std::string peer_;
+};
+
+/// Production listener: a non-blocking TCP listener on `bind_addr:port`
+/// (port 0 = kernel-assigned; read it back via port()).
+class PosixListener : public ServeListener {
+ public:
+  static StatusOr<PosixListener> Create(const std::string& bind_addr,
+                                        int port);
+  ~PosixListener() override;
+
+  PosixListener(PosixListener&& other) noexcept;
+  PosixListener& operator=(PosixListener&& other) noexcept;
+
+  StatusOr<std::unique_ptr<ServeSocket>> Accept() override;
+  int fd() const override { return fd_; }
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+ private:
+  PosixListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_SERVE_SERVE_SOCKET_H_

@@ -1,5 +1,6 @@
 #include "stream/ingest_frontend.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -43,6 +44,8 @@ Status IngestFrontend::Offer(const Point& p, const double* timestamp,
     ++stats_.reordered;
   }
   buffer_.emplace(*timestamp, p);
+  stats_.buffered_peak = std::max(stats_.buffered_peak,
+                                  static_cast<std::int64_t>(buffer_.size()));
   while (static_cast<Index>(buffer_.size()) > capacity_) {
     const auto head = buffer_.begin();
     const double ts = head->first;
@@ -62,6 +65,7 @@ void IngestFrontend::SaveTo(BinaryWriter* writer) const {
   writer->PutI64(stats_.released);
   writer->PutI64(stats_.reordered);
   writer->PutI64(stats_.late_dropped);
+  writer->PutI64(stats_.buffered_peak);
   writer->PutU64(buffer_.size());
   for (const auto& [ts, p] : buffer_) {
     writer->PutDouble(ts);
@@ -76,6 +80,7 @@ Status IngestFrontend::LoadFrom(BinaryReader* reader) {
   FM_RETURN_IF_ERROR(reader->GetI64(&stats_.released));
   FM_RETURN_IF_ERROR(reader->GetI64(&stats_.reordered));
   FM_RETURN_IF_ERROR(reader->GetI64(&stats_.late_dropped));
+  FM_RETURN_IF_ERROR(reader->GetI64(&stats_.buffered_peak));
   std::uint64_t buffered = 0;
   FM_RETURN_IF_ERROR(reader->GetU64(&buffered));
   buffer_.clear();

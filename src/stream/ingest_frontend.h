@@ -66,6 +66,9 @@ struct IngestStats {
   /// Points dropped because they arrived below the watermark — too late
   /// for the buffer capacity to fix.
   std::int64_t late_dropped = 0;
+  /// High-water mark of the reorder buffer's occupancy — how much of
+  /// `reorder_capacity` the feed's disorder actually needed.
+  std::int64_t buffered_peak = 0;
 };
 
 class IngestFrontend {

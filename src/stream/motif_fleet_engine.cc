@@ -303,6 +303,9 @@ FleetStats MotifFleetEngine::stats() const {
   for (const IngestFrontend& frontend : frontends_) {
     stats.reordered += frontend.stats().reordered;
     stats.late_dropped += frontend.stats().late_dropped;
+    stats.reorder_buffered += static_cast<std::int64_t>(frontend.buffered());
+    stats.reorder_buffered_peak =
+        std::max(stats.reorder_buffered_peak, frontend.stats().buffered_peak);
   }
   stats.coalesced_slides = coalesced_slides_;
   return stats;

@@ -138,6 +138,11 @@ struct FleetStats {
   /// the watermark.
   std::int64_t reordered = 0;
   std::int64_t late_dropped = 0;
+  /// Points currently held back in reorder buffers (sum over streams)
+  /// and the worst single-stream occupancy ever reached — how much of
+  /// `reorder_capacity` the feeds' disorder actually needed.
+  std::int64_t reorder_buffered = 0;
+  std::int64_t reorder_buffered_peak = 0;
 };
 
 class MotifFleetEngine {
@@ -202,6 +207,10 @@ class MotifFleetEngine {
   }
   const IngestStats& ingest_stats(std::size_t stream) const {
     return frontends_[stream].stats();
+  }
+  /// Points currently held in `stream`'s reorder buffer.
+  Index stream_buffered(std::size_t stream) const {
+    return frontends_[stream].buffered();
   }
   /// The stream's release watermark (see IngestFrontend::watermark) —
   /// the durable layer reads it after Restore to seed its journal-side

@@ -55,8 +55,10 @@ void JsonWriter::Prepare([[maybe_unused]] bool is_key) {
          "a value inside an object needs a Key() first");
   if (!stack_.empty()) {
     if (has_element_.back()) out_ += ',';
-    out_ += '\n';
-    out_.append(2 * stack_.size(), ' ');
+    if (style_ == JsonStyle::kPretty) {
+      out_ += '\n';
+      out_.append(2 * stack_.size(), ' ');
+    }
     has_element_.back() = true;
   } else {
     assert(out_.empty() && "JSON documents hold exactly one root value");
@@ -77,12 +79,12 @@ void JsonWriter::EndObject() {
   const bool had_elements = has_element_.back();
   stack_.pop_back();
   has_element_.pop_back();
-  if (had_elements) {
+  if (had_elements && style_ == JsonStyle::kPretty) {
     out_ += '\n';
     out_.append(2 * stack_.size(), ' ');
   }
   Append("}");
-  if (stack_.empty()) out_ += '\n';
+  if (stack_.empty() && style_ == JsonStyle::kPretty) out_ += '\n';
 }
 
 void JsonWriter::BeginArray() {
@@ -97,18 +99,19 @@ void JsonWriter::EndArray() {
   const bool had_elements = has_element_.back();
   stack_.pop_back();
   has_element_.pop_back();
-  if (had_elements) {
+  if (had_elements && style_ == JsonStyle::kPretty) {
     out_ += '\n';
     out_.append(2 * stack_.size(), ' ');
   }
   Append("]");
-  if (stack_.empty()) out_ += '\n';
+  if (stack_.empty() && style_ == JsonStyle::kPretty) out_ += '\n';
 }
 
 void JsonWriter::Key(const std::string& name) {
   assert(!stack_.empty() && stack_.back() == Scope::kObject);
   Prepare(/*is_key=*/true);
-  Append("\"" + JsonEscape(name) + "\": ");
+  Append("\"" + JsonEscape(name) +
+         (style_ == JsonStyle::kPretty ? "\": " : "\":"));
   key_pending_ = true;
 }
 

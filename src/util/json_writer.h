@@ -28,9 +28,21 @@
 
 namespace frechet_motif {
 
+/// Output layout of a JsonWriter document.
+enum class JsonStyle {
+  /// 2-space indent, one key per line, trailing newline after the root
+  /// closes — the human-facing CLI/bench layout.
+  kPretty,
+  /// Single line, no whitespace, no trailing newline — one frame of a
+  /// newline-delimited JSON stream (the serve tier's wire format). The
+  /// caller owns the frame-terminating '\n'.
+  kCompact,
+};
+
 class JsonWriter {
  public:
   JsonWriter() = default;
+  explicit JsonWriter(JsonStyle style) : style_(style) {}
 
   /// Opens an object/array, as a document root, object value or array
   /// element.
@@ -64,6 +76,7 @@ class JsonWriter {
   void Prepare(bool is_key);
   void Append(const std::string& text);
 
+  JsonStyle style_ = JsonStyle::kPretty;
   std::string out_;
   std::vector<Scope> stack_;
   /// Whether the current container already holds an element (comma needed).

@@ -152,8 +152,8 @@ TEST(CliUsage, RootHelpExitsZero) {
 
 TEST(CliUsage, PerCommandHelpExitsZero) {
   for (const char* command :
-       {"motif", "stream", "fleet", "topk", "cross", "join", "cluster",
-        "stats", "simplify", "gen"}) {
+       {"motif", "stream", "fleet", "serve", "topk", "cross", "join",
+        "cluster", "stats", "simplify", "gen"}) {
     const CommandResult r = RunFmotif(std::string(command) + " --help");
     EXPECT_EQ(0, r.exit_code) << command;
     EXPECT_NE(std::string::npos, r.output.find("usage: fmotif")) << command;
@@ -572,6 +572,97 @@ TEST(CliPipeline, CrossTrajectoryMotif) {
   ASSERT_EQ(0, r.exit_code) << r.output;
   EXPECT_TRUE(LooksLikeValidJson(r.output));
   EXPECT_NE(std::string::npos, r.output.find("\"command\": \"cross\""));
+}
+
+TEST(CliStream, FinalRowWithoutNewlineIsStillIngested) {
+  // A tailed feed often ends without a trailing newline (truncated file,
+  // `printf` producer). The final row must still count.
+  const std::string path =
+      WriteTrace("nonl.csv", "--kind=geolife --n=160 --seed=9");
+  const std::string args = " --window=60 --slide=30 --xi=8";
+  const CommandResult from_file = RunFmotif("stream " + path + args);
+  ASSERT_EQ(0, from_file.exit_code) << from_file.output;
+  const CommandResult stripped = RunShell(
+      "head -c -1 " + path + " | " + std::string(FMOTIF_BINARY) +
+      " stream -" + args + " 2>&1");
+  EXPECT_EQ(0, stripped.exit_code) << stripped.output;
+  EXPECT_EQ(from_file.output, stripped.output);
+  EXPECT_NE(std::string::npos, stripped.output.find("160 points"))
+      << stripped.output;
+}
+
+TEST(CliFleet, FinalRowWithoutNewlineIsStillIngested) {
+  const std::string a =
+      WriteTrace("fnl.csv", "--kind=geolife --n=80 --seed=5");
+  const std::string args = " --window=60 --slide=30 --xi=8";
+  const std::string mux = "sed 's/^/0,/' " + a;
+  const CommandResult full = RunShell(
+      mux + " | " + std::string(FMOTIF_BINARY) + " fleet -" + args + " 2>&1");
+  ASSERT_EQ(0, full.exit_code) << full.output;
+  const CommandResult stripped = RunShell(
+      mux + " | head -c -1 | " + std::string(FMOTIF_BINARY) + " fleet -" +
+      args + " 2>&1");
+  EXPECT_EQ(0, stripped.exit_code) << stripped.output;
+  EXPECT_EQ(full.output, stripped.output);
+  EXPECT_NE(std::string::npos, stripped.output.find("80 points"))
+      << stripped.output;
+}
+
+TEST(CliServe, SigtermDrainsCheckpointsAndRestartRecovers) {
+  // Drives the real binary over a real socket: start `fmotif serve` with
+  // a state directory, feed rows and subscribe through bash's /dev/tcp,
+  // SIGTERM it mid-session, and check the drain delivered a bye frame,
+  // the summary flushed, and a restart recovers from the checkpoint.
+  if (RunShell("bash -c 'exit 42'").exit_code != 42) {
+    GTEST_SKIP() << "bash unavailable (needed for /dev/tcp client)";
+  }
+  const std::string state = TempPath("serve_state");
+  const std::string err = TempPath("serve_err");
+  const std::string script = TempPath("serve_drive.sh");
+  const std::string args =
+      " --window=16 --slide=4 --xi=2 --state-dir=" + state + " --json";
+  {
+    std::ofstream out(script);
+    out << "set -u\n"
+        << "rm -rf " << state << "\n"
+        << std::string(FMOTIF_BINARY) << " serve --port=0" << args << " 2> "
+        << err << " &\npid=$!\nport=\n"
+        << "for i in $(seq 1 100); do\n"
+        << "  port=$(sed -n 's/^listening on 127\\.0\\.0\\.1:\\([0-9]*\\)$"
+        << "/\\1/p' " << err << ")\n"
+        << "  [ -n \"$port\" ] && break\n  sleep 0.1\ndone\n"
+        << "[ -n \"$port\" ] || { echo no-port; kill \"$pid\"; exit 1; }\n"
+        << "exec 3<>/dev/tcp/127.0.0.1/\"$port\"\n"
+        << "printf 'SUB reports\\n' >&3\n"
+        << "for i in $(seq 0 39); do printf '0,40.%03d,-70.0\\n' \"$i\" >&3; "
+        << "done\nsleep 0.5\nkill -TERM \"$pid\"\n"
+        << "cat <&3\n"  // drains frames until the server closes the socket
+        << "wait \"$pid\"\necho rc=$?\n";
+    ASSERT_TRUE(out.good());
+  }
+  const CommandResult r = RunShell("bash " + script);
+  EXPECT_NE(std::string::npos, r.output.find("{\"type\":\"hello\""))
+      << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("{\"type\":\"report\""))
+      << r.output;
+  EXPECT_NE(std::string::npos,
+            r.output.find("{\"type\":\"bye\",\"reason\":\"draining\"}"))
+      << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("\"command\": \"serve\""))
+      << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("\"points_ingested\": 40"))
+      << r.output;
+  EXPECT_NE(std::string::npos, r.output.find("rc=0")) << r.output;
+
+  // A restart over the same state directory resumes from the checkpoint
+  // the drain wrote, then exits on its own via the runtime valve.
+  const CommandResult resumed =
+      RunFmotif("serve --port=0" + args + " --max-runtime-ms=300");
+  ASSERT_EQ(0, resumed.exit_code) << resumed.output;
+  EXPECT_NE(std::string::npos, resumed.output.find("recovered: snapshot="))
+      << resumed.output;
+  EXPECT_NE(std::string::npos, resumed.output.find("\"streams\": 1"))
+      << resumed.output;
 }
 
 }  // namespace

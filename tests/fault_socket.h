@@ -1,0 +1,161 @@
+#ifndef FRECHET_MOTIF_TESTS_FAULT_SOCKET_H_
+#define FRECHET_MOTIF_TESTS_FAULT_SOCKET_H_
+
+/// Fault-injecting in-memory socket for the serve-tier tests — the
+/// transport-side twin of tests/fault_fs.h.
+///
+/// A `FaultConn` is the test's handle on one connection: the test feeds
+/// inbound bytes (in arbitrarily torn chunks), harvests whatever the
+/// server wrote, and arms faults. `NewSocket()` mints the server-side
+/// `ServeSocket` endpoint; both share state through a `shared_ptr`, so
+/// the handle stays valid after the server closes or destroys its end.
+///
+/// Injectable failure modes, mirroring what a real TCP peer can do but
+/// at a reproducible byte:
+///
+///  * **Short reads/writes** — `set_max_read` / `set_max_write` cap the
+///    bytes one call may move, so every protocol boundary is exercised
+///    torn.
+///  * **EAGAIN storms** — `StallReads(n)` / `StallWrites(n)` make the
+///    next n calls return `kWouldBlock` without moving a byte.
+///  * **Half-close** — `FeedEof()` delivers a clean `kEof` after the
+///    pending inbound bytes drain.
+///  * **Reset** — `FailAfterOps(n)` kills the connection on the n-th
+///    subsequent Read/Write (CrashAfter-style): that call and every
+///    later one return `kError`. `FailNow()` is `FailAfterOps(1)`
+///    without waiting for the server to touch the socket.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/serve_socket.h"
+
+namespace frechet_motif {
+namespace testing_util {
+
+class FaultConn {
+ public:
+  FaultConn() : state_(std::make_shared<State>()) {}
+
+  /// The server-side endpoint. Call once per connection.
+  std::unique_ptr<ServeSocket> NewSocket() {
+    return std::make_unique<Socket>(state_);
+  }
+
+  // --- test-side I/O ------------------------------------------------
+
+  /// Appends bytes the server will see on its next Read.
+  void Feed(std::string_view bytes) { state_->inbound.append(bytes); }
+
+  /// Clean peer half-close once the pending inbound bytes drain.
+  void FeedEof() { state_->eof_after_inbound = true; }
+
+  /// Everything the server wrote since the last take.
+  std::string TakeOutput() {
+    std::string out = std::move(state_->outbound);
+    state_->outbound.clear();
+    return out;
+  }
+
+  /// Peek at the pending server output without consuming it.
+  const std::string& output() const { return state_->outbound; }
+
+  /// True once the server closed its endpoint.
+  bool closed() const { return state_->closed; }
+
+  /// Inbound bytes the server has not read yet.
+  std::size_t unread() const { return state_->inbound.size(); }
+
+  // --- fault arming -------------------------------------------------
+
+  void set_max_read(std::size_t cap) { state_->max_read = cap; }
+  void set_max_write(std::size_t cap) { state_->max_write = cap; }
+  void StallReads(int n) { state_->stalled_reads = n; }
+  void StallWrites(int n) { state_->stalled_writes = n; }
+
+  /// The `ops`-th subsequent Read/Write (1 = the very next one) returns
+  /// `kError`, as do all later ones.
+  void FailAfterOps(std::int64_t ops) { state_->fail_countdown = ops; }
+  void FailNow() { state_->failed = true; }
+  bool failed() const { return state_->failed; }
+
+  /// Total Read/Write calls the server has made (for sizing
+  /// FailAfterOps sweeps).
+  std::int64_t op_count() const { return state_->op_count; }
+
+ private:
+  struct State {
+    std::string inbound;   // fed by the test, consumed by server Reads
+    std::string outbound;  // produced by server Writes
+    bool eof_after_inbound = false;
+    bool closed = false;
+    std::size_t max_read = SIZE_MAX;
+    std::size_t max_write = SIZE_MAX;
+    int stalled_reads = 0;
+    int stalled_writes = 0;
+    std::int64_t fail_countdown = -1;
+    bool failed = false;
+    std::int64_t op_count = 0;
+
+    /// Common op prologue: counts the call and fires an armed failure.
+    bool BeginOp() {
+      if (failed) return false;
+      ++op_count;
+      if (fail_countdown > 0 && --fail_countdown == 0) failed = true;
+      return !failed;
+    }
+  };
+
+  class Socket : public ServeSocket {
+   public:
+    explicit Socket(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    ~Socket() override { Close(); }
+
+    IoResult Read(char* buf, std::size_t cap) override {
+      if (!state_->BeginOp()) return {IoStatus::kError, 0};
+      if (state_->stalled_reads > 0) {
+        --state_->stalled_reads;
+        return {IoStatus::kWouldBlock, 0};
+      }
+      if (state_->inbound.empty()) {
+        return {state_->eof_after_inbound ? IoStatus::kEof
+                                          : IoStatus::kWouldBlock,
+                0};
+      }
+      const std::size_t n = std::min(
+          {cap, state_->inbound.size(), state_->max_read});
+      std::memcpy(buf, state_->inbound.data(), n);
+      state_->inbound.erase(0, n);
+      return {IoStatus::kOk, n};
+    }
+
+    IoResult Write(const char* data, std::size_t len) override {
+      if (!state_->BeginOp()) return {IoStatus::kError, 0};
+      if (state_->stalled_writes > 0) {
+        --state_->stalled_writes;
+        return {IoStatus::kWouldBlock, 0};
+      }
+      const std::size_t n = std::min(len, state_->max_write);
+      state_->outbound.append(data, n);
+      return {IoStatus::kOk, n};
+    }
+
+    void Close() override { state_->closed = true; }
+    std::string peer() const override { return "fault"; }
+
+   private:
+    std::shared_ptr<State> state_;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace testing_util
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_TESTS_FAULT_SOCKET_H_

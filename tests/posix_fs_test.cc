@@ -1,0 +1,175 @@
+// Direct unit tests for the real-filesystem implementation of the
+// DurableFs seam (src/durable/durable_fs.cc) — especially its error
+// paths, which the FaultFs-driven durability tests never reach:
+// missing files, rename-over-existing with cached append descriptors,
+// writes to a closed FIFO reader (EPIPE), and directory handling.
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "durable/durable_fs.h"
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace frechet_motif {
+namespace {
+
+/// Fresh scratch directory per test, removed on teardown.
+class PosixFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/fmotif_posix_fs_XXXXXX";
+    ASSERT_NE(nullptr, ::mkdtemp(tmpl));
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    // Best-effort recursive cleanup (one level deep: tests only create
+    // flat files and one subdirectory).
+    const StatusOr<std::vector<std::string>> entries = fs_.ListDir(dir_);
+    if (entries.ok()) {
+      for (const std::string& name : entries.value()) {
+        const std::string path = dir_ + "/" + name;
+        if (::unlink(path.c_str()) != 0) ::rmdir(path.c_str());
+      }
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  PosixFs fs_;
+  std::string dir_;
+};
+
+TEST_F(PosixFsTest, ReadMissingFileIsNotFound) {
+  const StatusOr<std::string> r = fs_.ReadFile(Path("absent"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(StatusCode::kNotFound, r.status().code());
+}
+
+TEST_F(PosixFsTest, RemoveMissingFileIsNotFound) {
+  const Status s = fs_.Remove(Path("absent"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kNotFound, s.code());
+}
+
+TEST_F(PosixFsTest, WriteReadRoundTripAndTruncate) {
+  ASSERT_TRUE(fs_.WriteFile(Path("f"), "first contents").ok());
+  ASSERT_TRUE(fs_.WriteFile(Path("f"), "2nd").ok());  // truncates
+  const StatusOr<std::string> r = fs_.ReadFile(Path("f"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ("2nd", r.value());
+}
+
+TEST_F(PosixFsTest, AppendCreatesAndAccumulates) {
+  ASSERT_TRUE(fs_.Append(Path("log"), "one").ok());
+  ASSERT_TRUE(fs_.Append(Path("log"), "|two").ok());
+  ASSERT_TRUE(fs_.Sync(Path("log")).ok());
+  const StatusOr<std::string> r = fs_.ReadFile(Path("log"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ("one|two", r.value());
+}
+
+TEST_F(PosixFsTest, RenameOverExistingReplacesAndDropsCachedFd) {
+  // Both paths have cached O_APPEND descriptors; the rename must close
+  // them so later appends to the destination reopen the *new* inode
+  // rather than resurrecting the replaced file.
+  ASSERT_TRUE(fs_.Append(Path("src"), "new").ok());
+  ASSERT_TRUE(fs_.Append(Path("dst"), "old-old-old").ok());
+  ASSERT_TRUE(fs_.Rename(Path("src"), Path("dst")).ok());
+
+  StatusOr<std::string> r = fs_.ReadFile(Path("dst"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ("new", r.value());
+  EXPECT_FALSE(fs_.Exists(Path("src")).value());
+
+  ASSERT_TRUE(fs_.Append(Path("dst"), "+tail").ok());
+  r = fs_.ReadFile(Path("dst"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ("new+tail", r.value());
+}
+
+TEST_F(PosixFsTest, RenameMissingSourceFails) {
+  const Status s = fs_.Rename(Path("absent"), Path("dst"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kIoError, s.code());
+}
+
+TEST_F(PosixFsTest, RemoveDropsCachedAppendFd) {
+  ASSERT_TRUE(fs_.Append(Path("j"), "gen1").ok());
+  ASSERT_TRUE(fs_.Remove(Path("j")).ok());
+  // A fresh append must create a new file, not write into the unlinked
+  // inode behind a stale descriptor.
+  ASSERT_TRUE(fs_.Append(Path("j"), "gen2").ok());
+  const StatusOr<std::string> r = fs_.ReadFile(Path("j"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ("gen2", r.value());
+}
+
+TEST_F(PosixFsTest, AppendToFifoWithoutReaderSurfacesIoError) {
+  // A full or broken pipe is the classic short-write/EPIPE path. With
+  // SIGPIPE ignored, the failed write(2) must come back as a Status,
+  // not kill the process.
+  const std::string fifo = Path("fifo");
+  ASSERT_EQ(0, ::mkfifo(fifo.c_str(), 0600));
+  struct sigaction old_sa = {};
+  struct sigaction ign = {};
+  ign.sa_handler = SIG_IGN;
+  ASSERT_EQ(0, ::sigaction(SIGPIPE, &ign, &old_sa));
+
+  // Open a reader, let PosixFs cache an append fd, then close the
+  // reader so the next write hits EPIPE.
+  const int reader = ::open(fifo.c_str(), O_RDONLY | O_NONBLOCK);
+  ASSERT_GE(reader, 0);
+  ASSERT_TRUE(fs_.Append(fifo, "x").ok());
+  ::close(reader);
+  const Status s = fs_.Append(fifo, "after reader closed");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kIoError, s.code());
+
+  ::sigaction(SIGPIPE, &old_sa, nullptr);
+}
+
+TEST_F(PosixFsTest, ExistsDistinguishesFilesDirsAndAbsent) {
+  EXPECT_FALSE(fs_.Exists(Path("nope")).value());
+  ASSERT_TRUE(fs_.WriteFile(Path("f"), "x").ok());
+  EXPECT_TRUE(fs_.Exists(Path("f")).value());
+  ASSERT_TRUE(fs_.CreateDir(Path("sub")).ok());
+  EXPECT_TRUE(fs_.Exists(Path("sub")).value());
+}
+
+TEST_F(PosixFsTest, CreateDirIsIdempotentButListDirOfMissingFails) {
+  ASSERT_TRUE(fs_.CreateDir(Path("sub")).ok());
+  ASSERT_TRUE(fs_.CreateDir(Path("sub")).ok());  // EEXIST is fine
+  const StatusOr<std::vector<std::string>> missing =
+      fs_.ListDir(Path("no_such_dir"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(StatusCode::kIoError, missing.status().code());
+}
+
+TEST_F(PosixFsTest, ListDirReturnsEntryNamesWithoutDotEntries) {
+  ASSERT_TRUE(fs_.WriteFile(Path("a"), "1").ok());
+  ASSERT_TRUE(fs_.WriteFile(Path("b"), "2").ok());
+  const StatusOr<std::vector<std::string>> entries = fs_.ListDir(dir_);
+  ASSERT_TRUE(entries.ok());
+  std::vector<std::string> names = entries.value();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ((std::vector<std::string>{"a", "b"}), names);
+}
+
+TEST_F(PosixFsTest, SyncOfMissingPathFails) {
+  const Status s = fs_.Sync(Path("absent"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kIoError, s.code());
+}
+
+}  // namespace
+}  // namespace frechet_motif

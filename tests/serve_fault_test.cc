@@ -1,0 +1,381 @@
+// Randomized fault schedules for the serve tier, mirroring
+// durable_recovery_fuzz_test.cc on the transport side: inbound bytes
+// torn at every boundary, short reads and writes, EAGAIN storms,
+// resets at every frame position, slow subscribers, and garbage
+// storms. The invariants under every schedule:
+//
+//  * the server never crashes and never blocks ingest;
+//  * a surviving subscriber's report stream is bit-identical to a
+//    batch MotifFleetEngine oracle fed the same acknowledged points
+//    (parity-exact mode: unbudgeted, so batch boundaries cannot
+//    change the report sequence);
+//  * a killed or evicted connection never disturbs the others.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault_socket.h"
+#include "geo/metric.h"
+#include "gtest/gtest.h"
+#include "serve/motif_server.h"
+#include "serve_test_util.h"
+#include "stream/motif_fleet_engine.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace frechet_motif {
+namespace {
+
+using testing_util::FaultConn;
+using testing_util::Frames;
+using testing_util::FramesOfType;
+using testing_util::FuzzRounds;
+using testing_util::FuzzSeed;
+using testing_util::HasFrame;
+using testing_util::OracleReportFrames;
+
+ServeOptions SmallOptions() {
+  ServeOptions options;
+  options.fleet.stream.window_length = 8;
+  options.fleet.stream.slide_step = 2;
+  options.fleet.stream.min_length_xi = 2;
+  return options;
+}
+
+MotifServer MakeServer(const ServeOptions& options) {
+  return std::move(MotifServer::Create(options, Euclidean())).value();
+}
+
+std::string Row(std::size_t stream, double lat, double lon) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%zu,%.6f,%.6f\n", stream, lat, lon);
+  return buf;
+}
+
+FleetArrival Arrival(std::size_t stream, double lat, double lon) {
+  FleetArrival a;
+  a.stream = stream;
+  a.point = LatLon(lat, lon);
+  return a;
+}
+
+/// The deterministic two-stream feed every schedule ingests: 60 points
+/// alternating between streams 0 and 1, wiggly enough that motifs
+/// appear and change across slides.
+struct Feed {
+  std::string wire;                   // concatenated ingest rows
+  std::vector<FleetArrival> points;   // the same rows, decoded
+};
+
+Feed MakeFeed(int n = 60) {
+  Feed feed;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t stream = static_cast<std::size_t>(i % 2);
+    const double lat = 40.0 + 0.002 * (i % 7) + 0.01 * static_cast<int>(stream);
+    const double lon = -70.0 + 0.001 * i;
+    feed.wire += Row(stream, lat, lon);
+    feed.points.push_back(Arrival(stream, lat, lon));
+  }
+  return feed;
+}
+
+// ---------------------------------------------------------------------------
+// Torn chunks, short reads/writes, EAGAIN storms
+// ---------------------------------------------------------------------------
+
+TEST(ServeFault, TornChunksShortIoAndStallsPreserveParity) {
+  const std::uint64_t seed = FuzzSeed(20260808);
+  const int rounds = FuzzRounds(12);
+  const ServeOptions options = SmallOptions();
+  const Feed feed = MakeFeed();
+  const std::vector<std::string> want =
+      OracleReportFrames(options.fleet, Euclidean(), feed.points);
+  ASSERT_FALSE(want.empty());
+
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    MotifServer server = MakeServer(options);
+    std::int64_t now = 0;
+
+    FaultConn sub;
+    const MotifServer::ConnId sub_id = server.OnAccept(sub.NewSocket(), now);
+    sub.Feed("SUB reports\n");
+    server.OnReadable(sub_id, now);
+    sub.TakeOutput();
+    // The subscriber survives, but with a rude transport: every write
+    // is short and interleaved with EAGAIN stalls.
+    sub.set_max_write(1 + static_cast<std::size_t>(rng.NextUint64(5)));
+
+    FaultConn ingest;
+    const MotifServer::ConnId ingest_id =
+        server.OnAccept(ingest.NewSocket(), now);
+    ingest.TakeOutput();
+    ingest.set_max_read(1 + static_cast<std::size_t>(rng.NextUint64(4)));
+
+    // Deliver the feed in random torn chunks with stall storms.
+    std::size_t at = 0;
+    while (at < feed.wire.size()) {
+      const std::size_t chunk = 1 + static_cast<std::size_t>(
+                                        rng.NextUint64(7));
+      ingest.Feed(feed.wire.substr(at, chunk));
+      at += chunk;
+      if (rng.NextUint64(4) == 0) {
+        ingest.StallReads(static_cast<int>(rng.NextUint64(3)) + 1);
+      }
+      server.OnReadable(ingest_id, ++now);
+      // Stalled reads leave bytes pending: keep knocking until drained.
+      int guard = 0;
+      while (ingest.unread() > 0 && !ingest.failed() && ++guard < 64) {
+        server.OnReadable(ingest_id, ++now);
+      }
+      ASSERT_LT(guard, 64) << "ingest wedged";
+      if (rng.NextUint64(3) == 0) {
+        sub.StallWrites(static_cast<int>(rng.NextUint64(2)) + 1);
+      }
+      server.OnWritable(sub_id, now);
+      server.Tick(now);
+    }
+    // Let the subscriber drain completely.
+    for (int k = 0; k < 64 && server.WantsWrite(sub_id); ++k) {
+      server.OnWritable(sub_id, ++now);
+    }
+
+    EXPECT_EQ(0, server.stats().parse_errors) << "round " << round;
+    EXPECT_EQ(static_cast<std::int64_t>(feed.points.size()),
+              server.stats().points_ingested)
+        << "round " << round;
+    EXPECT_EQ(0, server.ConnDroppedFrames(sub_id)) << "round " << round;
+    EXPECT_EQ(want, FramesOfType(sub.TakeOutput(), "report"))
+        << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resets at every frame boundary
+// ---------------------------------------------------------------------------
+
+TEST(ServeFault, SubscriberResetAtEveryOpNeverDisturbsSurvivors) {
+  // Sweep the reset point across the doomed subscriber's whole I/O op
+  // sequence. At every position: no crash, ingest completes, and the
+  // surviving subscriber stays bit-identical to the oracle.
+  const ServeOptions options = SmallOptions();
+  const Feed feed = MakeFeed(40);
+  const std::vector<std::string> want =
+      OracleReportFrames(options.fleet, Euclidean(), feed.points);
+  ASSERT_FALSE(want.empty());
+
+  // Calibration run: how many ops does the doomed connection perform?
+  std::int64_t total_ops = 0;
+  {
+    MotifServer server = MakeServer(options);
+    FaultConn doomed;
+    const MotifServer::ConnId id = server.OnAccept(doomed.NewSocket(), 0);
+    doomed.Feed("SUB reports\n");
+    server.OnReadable(id, 0);
+    FaultConn ingest;
+    const MotifServer::ConnId iid = server.OnAccept(ingest.NewSocket(), 0);
+    ingest.Feed(feed.wire);
+    server.OnReadable(iid, 1);
+    total_ops = doomed.op_count();
+  }
+  ASSERT_GT(total_ops, 2);
+
+  for (std::int64_t reset_at = 1; reset_at <= total_ops; ++reset_at) {
+    MotifServer server = MakeServer(options);
+    std::int64_t now = 0;
+
+    FaultConn doomed;
+    const MotifServer::ConnId doomed_id =
+        server.OnAccept(doomed.NewSocket(), now);
+    doomed.Feed("SUB reports\n");
+    doomed.FailAfterOps(reset_at);
+    server.OnReadable(doomed_id, now);
+
+    FaultConn survivor;
+    const MotifServer::ConnId survivor_id =
+        server.OnAccept(survivor.NewSocket(), now);
+    survivor.Feed("SUB reports\n");
+    server.OnReadable(survivor_id, now);
+    survivor.TakeOutput();
+
+    FaultConn ingest;
+    const MotifServer::ConnId ingest_id =
+        server.OnAccept(ingest.NewSocket(), now);
+    ingest.TakeOutput();
+    ingest.Feed(feed.wire);
+    server.OnReadable(ingest_id, ++now);
+    server.Tick(now);
+
+    EXPECT_EQ(static_cast<std::int64_t>(feed.points.size()),
+              server.stats().points_ingested)
+        << "reset_at " << reset_at;
+    EXPECT_EQ(want, FramesOfType(survivor.TakeOutput(), "report"))
+        << "reset_at " << reset_at;
+    EXPECT_TRUE(server.Connected(survivor_id));
+    EXPECT_TRUE(server.Connected(ingest_id));
+  }
+}
+
+TEST(ServeFault, IngesterResetMidFeedKeepsAcknowledgedPrefixConsistent) {
+  // Kill the ingest connection at every read-op position. Whatever
+  // rows the engine acknowledged must produce exactly the oracle
+  // prefix for that many points — never a torn row, never a duplicate.
+  const ServeOptions options = SmallOptions();
+  const Feed feed = MakeFeed(30);
+
+  for (std::int64_t reset_at = 1; reset_at <= 40; ++reset_at) {
+    MotifServer server = MakeServer(options);
+    std::int64_t now = 0;
+
+    FaultConn sub;
+    const MotifServer::ConnId sub_id = server.OnAccept(sub.NewSocket(), now);
+    sub.Feed("SUB reports\n");
+    server.OnReadable(sub_id, now);
+    sub.TakeOutput();
+
+    FaultConn ingest;
+    const MotifServer::ConnId ingest_id =
+        server.OnAccept(ingest.NewSocket(), now);
+    ingest.TakeOutput();
+    ingest.set_max_read(7);  // several reads per row: resets tear mid-row
+    ingest.FailAfterOps(reset_at);
+    ingest.Feed(feed.wire);
+    server.OnReadable(ingest_id, ++now);
+    int guard = 0;
+    while (server.Connected(ingest_id) && ingest.unread() > 0 &&
+           !ingest.failed() && ++guard < 256) {
+      server.OnReadable(ingest_id, ++now);
+    }
+
+    const std::int64_t acked = server.stats().points_ingested;
+    ASSERT_LE(acked, static_cast<std::int64_t>(feed.points.size()));
+    const std::vector<FleetArrival> prefix(
+        feed.points.begin(),
+        feed.points.begin() + static_cast<std::size_t>(acked));
+    const std::vector<std::string> want =
+        OracleReportFrames(options.fleet, Euclidean(), prefix);
+    EXPECT_EQ(want, FramesOfType(sub.TakeOutput(), "report"))
+        << "reset_at " << reset_at;
+    EXPECT_TRUE(server.Connected(sub_id)) << "reset_at " << reset_at;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slow subscriber vs. ingest liveness
+// ---------------------------------------------------------------------------
+
+TEST(ServeFault, StalledSubscriberNeverBlocksIngest) {
+  ServeOptions options = SmallOptions();
+  options.limits.subscriber_queue_bytes = 512;
+  options.limits.subscriber_queue_high_water_bytes = 1024;
+  MotifServer server = MakeServer(options);
+  std::int64_t now = 0;
+
+  FaultConn stuck;
+  const MotifServer::ConnId stuck_id = server.OnAccept(stuck.NewSocket(), now);
+  stuck.Feed("SUB reports\n");
+  server.OnReadable(stuck_id, now);
+  stuck.StallWrites(1 << 20);
+
+  const Feed feed = MakeFeed(200);
+  FaultConn ingest;
+  const MotifServer::ConnId ingest_id =
+      server.OnAccept(ingest.NewSocket(), now);
+  std::size_t at = 0;
+  while (at < feed.wire.size()) {
+    const std::size_t chunk = std::min<std::size_t>(64, feed.wire.size() - at);
+    ingest.Feed(feed.wire.substr(at, chunk));
+    at += chunk;
+    server.OnReadable(ingest_id, ++now);
+  }
+
+  // Every point went through regardless of the wedged subscriber, and
+  // its queue stayed bounded (drop-oldest, then eviction).
+  EXPECT_EQ(static_cast<std::int64_t>(feed.points.size()),
+            server.stats().points_ingested);
+  EXPECT_GT(server.stats().frames_dropped, 0);
+  EXPECT_EQ(1, server.stats().evicted_slow);
+  // Eviction is flush-then-close; the wedged socket never drains, so
+  // the grace deadline reaps the connection.
+  server.Tick(now + options.limits.drain_grace_ms + 1);
+  EXPECT_FALSE(server.Connected(stuck_id));
+}
+
+// ---------------------------------------------------------------------------
+// Garbage storms
+// ---------------------------------------------------------------------------
+
+TEST(ServeFault, RandomGarbageNeverKillsTheProcess) {
+  const std::uint64_t seed = FuzzSeed(777);
+  const int rounds = FuzzRounds(8);
+  Rng rng(seed);
+
+  for (int round = 0; round < rounds; ++round) {
+    ServeOptions options = SmallOptions();
+    options.limits.max_line_bytes = 64;
+    options.limits.max_ingest_pending_bytes = 4096;
+    MotifServer server = MakeServer(options);
+    std::int64_t now = 0;
+
+    FaultConn sane;
+    const MotifServer::ConnId sane_id = server.OnAccept(sane.NewSocket(), now);
+    sane.Feed("SUB reports\n");
+    server.OnReadable(sane_id, now);
+    sane.TakeOutput();
+
+    FaultConn chaos;
+    const MotifServer::ConnId chaos_id =
+        server.OnAccept(chaos.NewSocket(), now);
+    for (int burst = 0; burst < 50 && server.Connected(chaos_id); ++burst) {
+      std::string junk;
+      const std::uint64_t len = rng.NextUint64(120);
+      for (std::uint64_t k = 0; k < len; ++k) {
+        junk.push_back(static_cast<char>(rng.NextUint64(256)));
+      }
+      if (rng.NextUint64(2) == 0) junk.push_back('\n');
+      chaos.Feed(junk);
+      server.OnReadable(chaos_id, ++now);
+      server.Tick(now);
+    }
+
+    // The sane connection still works end to end.
+    sane.Feed(Row(0, 40.0, -70.0));
+    server.OnReadable(sane_id, ++now);
+    EXPECT_GE(server.stats().points_ingested, 1) << "round " << round;
+    sane.Feed("PING\n");
+    server.OnReadable(sane_id, ++now);
+    EXPECT_TRUE(HasFrame(sane.TakeOutput(), "pong")) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Faults during drain
+// ---------------------------------------------------------------------------
+
+TEST(ServeFault, ResetDuringDrainStillCompletes) {
+  MotifServer server = MakeServer(SmallOptions());
+  std::int64_t now = 0;
+
+  FaultConn a;
+  FaultConn b;
+  const MotifServer::ConnId id_a = server.OnAccept(a.NewSocket(), now);
+  const MotifServer::ConnId id_b = server.OnAccept(b.NewSocket(), now);
+  a.TakeOutput();
+  b.TakeOutput();
+  a.FailNow();            // bye write hits a dead socket
+  b.StallWrites(1 << 20);  // bye write stalls past the grace period
+
+  server.BeginDrain(now);
+  EXPECT_FALSE(server.Connected(id_a));  // reset → closed immediately
+  EXPECT_TRUE(server.Connected(id_b));
+  server.Tick(now + SmallOptions().limits.drain_grace_ms + 1);
+  EXPECT_TRUE(server.DrainComplete());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace frechet_motif

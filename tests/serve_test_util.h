@@ -1,0 +1,79 @@
+#ifndef FRECHET_MOTIF_TESTS_SERVE_TEST_UTIL_H_
+#define FRECHET_MOTIF_TESTS_SERVE_TEST_UTIL_H_
+
+/// Shared helpers for the serve-tier tests: newline-frame splitting,
+/// type filtering, and the batch parity oracle.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geo/metric.h"
+#include "serve/motif_server.h"
+#include "stream/motif_fleet_engine.h"
+
+namespace frechet_motif {
+namespace testing_util {
+
+/// Splits a server byte stream into its newline-delimited frames
+/// (terminators stripped). Trailing bytes without a newline are a torn
+/// frame and are dropped, exactly as a line-based client would.
+inline std::vector<std::string> Frames(const std::string& bytes) {
+  std::vector<std::string> frames;
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', at);
+    if (nl == std::string::npos) break;
+    frames.push_back(bytes.substr(at, nl - at));
+    at = nl + 1;
+  }
+  return frames;
+}
+
+/// Frames whose `"type"` discriminator equals `type`. Relies on the
+/// serializers always emitting `type` first.
+inline std::vector<std::string> FramesOfType(const std::string& bytes,
+                                             const std::string& type) {
+  const std::string prefix = "{\"type\":\"" + type + "\"";
+  std::vector<std::string> out;
+  for (std::string& f : Frames(bytes)) {
+    if (f.compare(0, prefix.size(), prefix) == 0) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+inline bool HasFrame(const std::string& bytes, const std::string& type) {
+  return !FramesOfType(bytes, type).empty();
+}
+
+/// The parity oracle: feeds `arrivals` one at a time to a fresh
+/// engine and returns the report frames its updates serialize to —
+/// in unbudgeted (parity-exact) mode this is the exact byte stream a
+/// `SUB reports` subscriber must observe, regardless of how the
+/// arrivals were torn into reads and batches on the wire.
+inline std::vector<std::string> OracleReportFrames(
+    const FleetOptions& options, const GroundMetric& metric,
+    const std::vector<FleetArrival>& arrivals) {
+  MotifFleetEngine engine =
+      std::move(MotifFleetEngine::Create(options, metric)).value();
+  std::vector<std::string> frames;
+  for (const FleetArrival& a : arrivals) {
+    while (a.stream >= engine.stream_count()) {
+      (void)std::move(engine.AddStream()).value();
+    }
+    FleetReport report = std::move(engine.Ingest({a})).value();
+    for (const FleetStreamUpdate& u : report.updates) {
+      std::string frame = SerializeReportFrame(u);
+      frame.pop_back();  // strip '\n' to match Frames()
+      frames.push_back(std::move(frame));
+    }
+  }
+  // No Flush: the server never force-releases reorder buffers either,
+  // so the oracle stops at the same released prefix.
+  return frames;
+}
+
+}  // namespace testing_util
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_TESTS_SERVE_TEST_UTIL_H_

@@ -29,6 +29,9 @@
 #include "join/similarity_join.h"
 #include "motif/motif.h"
 #include "motif/top_k.h"
+#include "serve/motif_server.h"
+#include "serve/serve_loop.h"
+#include "serve/serve_socket.h"
 #include "stream/motif_fleet_engine.h"
 #include "stream/streaming_motif_monitor.h"
 #include "util/flags.h"
@@ -73,6 +76,8 @@ int Usage(std::FILE* stream) {
       "  fleet    <file>...|-       N sliding windows over one arrival "
       "loop,\n"
       "                             with optional ε-join deltas\n"
+      "  serve                      fleet engine behind a TCP line "
+      "protocol\n"
       "  topk     <file>            the k best motifs, diversity-separated\n"
       "  cross    <fileA> <fileB>   best motif pair across two "
       "trajectories\n"
@@ -180,6 +185,44 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "resumes. SIGINT/SIGTERM end the feed cleanly: the summary is "
         "still\n"
         "flushed and the journal synced before exit.\n");
+  } else if (command == "serve") {
+    std::fprintf(
+        stream,
+        "usage: fmotif serve [--port=0] [--bind=127.0.0.1] [--window=512]\n"
+        "       [--slide=32] [--xi=100] [--eps=M] [--reorder=K] "
+        "[--budget=K]\n"
+        "       [--state-dir=DIR] [--checkpoint=N] [--max-conns=64]\n"
+        "       [--idle-timeout-ms=MS] [--max-runtime-ms=MS] [--json]\n"
+        "       [--threads=N]\n"
+        "\n"
+        "Runs the fleet engine behind a TCP line protocol. Clients send "
+        "one\n"
+        "`stream,lat,lon[,timestamp]` row per line (the fleet stdin "
+        "dialect;\n"
+        "new ids add streams on the fly) plus commands `SUB "
+        "reports|join|all`,\n"
+        "`UNSUB`, `PING`, `STATS`, `QUIT`; the server pushes per-slide\n"
+        "reports and ε-join deltas to subscribers as newline-delimited\n"
+        "single-line JSON frames. `--port=0` picks a free port; the "
+        "resolved\n"
+        "address is printed to stderr as `listening on HOST:PORT`.\n"
+        "\n"
+        "The server is robustness-first: malformed, oversized, or torn\n"
+        "lines answer with `error` frames and never kill the process; a\n"
+        "slow subscriber loses oldest broadcast frames (counted and\n"
+        "reported via `dropped` frames) and is evicted past a high-water\n"
+        "mark; connections past --max-conns are shed with `error\n"
+        "{code:\"busy\"}`; --idle-timeout-ms evicts silent peers.\n"
+        "\n"
+        "--state-dir=DIR journals every ingest and checkpoints on "
+        "shutdown\n"
+        "(rotating a snapshot every --checkpoint=N records); a restart\n"
+        "recovers the fleet and resumes. SIGINT/SIGTERM drain "
+        "gracefully:\n"
+        "accepting stops, every subscriber queue is flushed, then the\n"
+        "journal is checkpointed and synced. --max-runtime-ms drains\n"
+        "automatically after a fixed runtime (0 = run until "
+        "signalled).\n");
   } else if (command == "topk") {
     std::fprintf(
         stream,
@@ -315,6 +358,35 @@ void InstallInterruptHandlers() {
   sa.sa_flags = 0;  // no SA_RESTART: a blocked stdin read returns EINTR
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Reads one feed line for the live-tail loops (stream/fleet stdin).
+///
+/// std::getline already delivers a final unterminated row (eofbit
+/// without failbit), so EOF-without-newline ingests like any other row.
+/// The subtle case is a read torn mid-line: the interrupt handlers
+/// install without SA_RESTART, so SIGINT/SIGTERM during a blocked stdin
+/// read makes the stream report end-of-feed with only the row's prefix
+/// extracted — and a truncated coordinate ("39.1" torn from
+/// "39.123456") parses as a valid, wrong point that a durable run would
+/// journal. stdio keeps the distinction the iostream loses: a torn read
+/// sets ferror(stdin), a real end of feed sets feof(stdin). Torn reads
+/// resume until the row completes; once the interrupt flag is up the
+/// torn prefix is dropped and the feed ends at the last complete row.
+bool ReadFeedLine(std::istream& in, bool from_stdin, std::string* line) {
+  line->clear();
+  std::string chunk;
+  while (true) {
+    const bool got = static_cast<bool>(std::getline(in, chunk));
+    line->append(chunk);
+    if (got && !in.eof()) return true;  // complete, terminated row
+    const bool torn =
+        from_stdin && std::ferror(stdin) != 0 && std::feof(stdin) == 0;
+    if (!torn) return got || !line->empty();  // real EOF (maybe final row)
+    if (g_interrupted) return false;  // drop the torn prefix
+    std::clearerr(stdin);             // EINTR: resume mid-row
+    in.clear();
+  }
 }
 
 /// Shared --state-dir/--checkpoint handling for stream and fleet.
@@ -598,7 +670,7 @@ int RunStream(const fm::Flags& flags) {
     std::istream& in = from_stdin ? std::cin : file;
     std::string line;
     std::size_t line_no = 0;
-    while (!g_interrupted && std::getline(in, line)) {
+    while (!g_interrupted && ReadFeedLine(in, from_stdin, &line)) {
       ++line_no;
       double lat = 0.0;
       double lon = 0.0;
@@ -692,6 +764,16 @@ int RunStream(const fm::Flags& flags) {
     // Optional keys only: the default schema (and its goldens) is
     // unchanged unless the run was durable or interrupted.
     if (fleet.has_value()) {
+      // The durable path routes through an IngestFrontend, so its
+      // late-arrival and reorder-occupancy counters are observable here
+      // (the plain monitor path has no reorder stage).
+      const fm::FleetStats fleet_stats = fleet->stats();
+      w.Key("reordered");
+      w.Int(fleet_stats.reordered);
+      w.Key("late_dropped");
+      w.Int(fleet_stats.late_dropped);
+      w.Key("reorder_buffered_peak");
+      w.Int(fleet_stats.reorder_buffered_peak);
       w.Key("durable");
       w.BeginObject();
       w.Key("state_dir");
@@ -808,27 +890,12 @@ void PrintFleetReport(const fm::FleetReport& report, bool json,
   if (!json) std::fflush(stdout);
 }
 
-/// Parses a multiplexed stdin row `stream,lat,lon[,timestamp]`: splits the
-/// leading integer stream id, then delegates to ParseCsvPointRow.
+/// Parses a multiplexed stdin row `stream,lat,lon[,timestamp]`. The grammar
+/// lives in data/io.h (ParseFleetCsvRow) — `fmotif serve` speaks the same
+/// dialect over TCP, so both front ends share one parser.
 fm::CsvRow ParseFleetRow(const std::string& line, std::size_t* stream,
                          double* lat, double* lon, double* ts, bool* has_ts) {
-  std::size_t at = 0;
-  while (at < line.size() &&
-         (line[at] == ' ' || line[at] == '\t' || line[at] == '\r')) {
-    ++at;
-  }
-  if (at == line.size()) return fm::CsvRow::kBlank;
-  const std::size_t comma = line.find(',', at);
-  if (comma == std::string::npos) return fm::CsvRow::kMalformed;
-  // Validate before the cast: converting a negative, non-integral,
-  // out-of-range or non-finite double to size_t is undefined behavior.
-  double id = 0.0;
-  if (!fm::ParseDoubleC(line.substr(at, comma - at), &id) ||
-      !(id >= 0.0 && id <= 1e9) || id != std::floor(id)) {
-    return fm::CsvRow::kMalformed;
-  }
-  *stream = static_cast<std::size_t>(id);
-  return fm::ParseCsvPointRow(line.substr(comma + 1), lat, lon, ts, has_ts);
+  return fm::ParseFleetCsvRow(line, stream, lat, lon, ts, has_ts);
 }
 
 int RunFleet(const fm::Flags& flags) {
@@ -889,7 +956,8 @@ int RunFleet(const fm::Flags& flags) {
     constexpr std::size_t kMaxStreams = 4096;
     std::string line;
     std::size_t line_no = 0;
-    while (!g_interrupted && std::getline(std::cin, line)) {
+    while (!g_interrupted && ReadFeedLine(std::cin, /*from_stdin=*/true,
+                                          &line)) {
       ++line_no;
       std::size_t stream = 0;
       double lat = 0.0;
@@ -1025,6 +1093,10 @@ int RunFleet(const fm::Flags& flags) {
     w.Int(stats.reordered);
     w.Key("late_dropped");
     w.Int(stats.late_dropped);
+    w.Key("reorder_buffered");
+    w.Int(stats.reorder_buffered);
+    w.Key("reorder_buffered_peak");
+    w.Int(stats.reorder_buffered_peak);
     w.Key("ground_distances_computed");
     w.Int(stats.ground_distances_computed);
     w.Key("dfd_cells_computed");
@@ -1068,6 +1140,151 @@ int RunFleet(const fm::Flags& flags) {
           static_cast<long long>(join->left_total),
           view.CurrentJoinMatches().size());
     }
+  }
+  return kExitOk;
+}
+
+int RunServe(const fm::Flags& flags) {
+  if (flags.positional().size() != 1) return CommandUsage(stderr, "serve");
+  const bool json = flags.GetBool("json", false);
+  InstallInterruptHandlers();
+
+  fm::ServeOptions options;
+  options.fleet.stream.window_length = static_cast<fm::Index>(
+      flags.GetInt("window", options.fleet.stream.window_length));
+  options.fleet.stream.slide_step = static_cast<fm::Index>(
+      flags.GetInt("slide", options.fleet.stream.slide_step));
+  options.fleet.stream.min_length_xi =
+      static_cast<fm::Index>(flags.GetInt("xi", 100));
+  options.fleet.stream.threads = Threads(flags);
+  if (flags.Has("eps")) {
+    options.fleet.join_epsilon = flags.GetDouble("eps", 250.0);
+  }
+  options.fleet.reorder_capacity =
+      static_cast<fm::Index>(flags.GetInt("reorder", 0));
+  options.fleet.max_searches_per_drain =
+      static_cast<int>(flags.GetInt("budget", 0));
+  options.durable = DurableConfig(flags);
+  options.limits.max_connections = static_cast<int>(
+      flags.GetInt("max-conns", options.limits.max_connections));
+  options.limits.idle_timeout_ms =
+      flags.GetInt("idle-timeout-ms", options.limits.idle_timeout_ms);
+
+  fm::StatusOr<fm::MotifServer> server =
+      fm::MotifServer::Create(options, Metric(flags));
+  if (!server.ok()) return Fail(server.status());
+  if (server.value().durable() != nullptr) {
+    PrintRecoveryNote(*server.value().durable());
+  }
+
+  const std::string bind = flags.GetString("bind", "127.0.0.1");
+  fm::StatusOr<fm::PosixListener> listener =
+      fm::PosixListener::Create(bind, static_cast<int>(
+                                          flags.GetInt("port", 0)));
+  if (!listener.ok()) return Fail(listener.status());
+  // Machine-parsable: tests and scripts discover a --port=0 allocation
+  // from this line.
+  std::fprintf(stderr, "listening on %s:%d\n", bind.c_str(),
+               listener.value().port());
+  std::fflush(stderr);
+
+  fm::ServeLoopOptions loop;
+  loop.stop = &g_interrupted;
+  loop.max_runtime_ms = flags.GetInt("max-runtime-ms", 0);
+  const fm::Status ran =
+      fm::RunServeLoop(server.value(), listener.value(), loop);
+  if (!ran.ok()) return Fail(ran);
+  const fm::Status shut = server.value().Shutdown();
+  if (!shut.ok()) return Fail(shut);
+
+  const fm::ServeStats& s = server.value().stats();
+  const fm::FleetStats fleet = server.value().fleet_stats();
+  if (json) {
+    fm::JsonWriter w;
+    w.BeginObject();
+    w.Key("command");
+    w.String("serve");
+    w.Key("options");
+    w.BeginObject();
+    w.Key("window");
+    w.Int(options.fleet.stream.window_length);
+    w.Key("slide");
+    w.Int(options.fleet.stream.slide_step);
+    w.Key("xi");
+    w.Int(options.fleet.stream.min_length_xi);
+    w.Key("eps_m");
+    w.Double(options.fleet.join_epsilon);
+    w.Key("reorder");
+    w.Int(options.fleet.reorder_capacity);
+    w.Key("budget");
+    w.Int(options.fleet.max_searches_per_drain);
+    w.Key("metric");
+    w.String(Metric(flags).Name());
+    w.Key("threads");
+    w.Int(options.fleet.stream.threads);
+    w.Key("max_conns");
+    w.Int(options.limits.max_connections);
+    w.EndObject();
+    w.Key("accepted");
+    w.Int(s.accepted);
+    w.Key("rejected_busy");
+    w.Int(s.rejected_busy);
+    w.Key("evicted_slow");
+    w.Int(s.evicted_slow);
+    w.Key("evicted_idle");
+    w.Int(s.evicted_idle);
+    w.Key("closed_by_peer");
+    w.Int(s.closed_by_peer);
+    w.Key("lines_in");
+    w.Int(s.lines_in);
+    w.Key("points_ingested");
+    w.Int(s.points_ingested);
+    w.Key("parse_errors");
+    w.Int(s.parse_errors);
+    w.Key("oversized_lines");
+    w.Int(s.oversized_lines);
+    w.Key("engine_errors");
+    w.Int(s.engine_errors);
+    w.Key("frames_pushed");
+    w.Int(s.frames_pushed);
+    w.Key("frames_dropped");
+    w.Int(s.frames_dropped);
+    w.Key("bytes_in");
+    w.Int(s.bytes_in);
+    w.Key("bytes_out");
+    w.Int(s.bytes_out);
+    w.Key("streams");
+    w.Int(fleet.streams);
+    w.Key("reordered");
+    w.Int(fleet.reordered);
+    w.Key("late_dropped");
+    w.Int(fleet.late_dropped);
+    w.Key("reorder_buffered_peak");
+    w.Int(fleet.reorder_buffered_peak);
+    if (server.value().durable() != nullptr) {
+      w.Key("durable");
+      w.BeginObject();
+      w.Key("state_dir");
+      w.String(options.durable.state_dir);
+      w.Key("generation");
+      w.Int(static_cast<std::int64_t>(
+          server.value().durable()->generation()));
+      w.EndObject();
+    }
+    w.EndObject();
+    PrintJson(w);
+  } else {
+    std::printf(
+        "%lld conns (%lld shed), %lld lines, %lld points, %lld streams, "
+        "%lld frames pushed (%lld dropped), %lld parse errors\n",
+        static_cast<long long>(s.accepted),
+        static_cast<long long>(s.rejected_busy),
+        static_cast<long long>(s.lines_in),
+        static_cast<long long>(s.points_ingested),
+        static_cast<long long>(fleet.streams),
+        static_cast<long long>(s.frames_pushed),
+        static_cast<long long>(s.frames_dropped),
+        static_cast<long long>(s.parse_errors));
   }
   return kExitOk;
 }
@@ -1539,6 +1756,7 @@ int main(int argc, char** argv) {
   }
   if (command == "stream") return RunStream(flags);
   if (command == "fleet") return RunFleet(flags);
+  if (command == "serve") return RunServe(flags);
   if (command == "topk") return RunTopK(flags);
   if (command == "cross") return RunCross(flags);
   if (command == "join") return RunJoin(flags);
