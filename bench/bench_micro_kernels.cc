@@ -25,6 +25,8 @@
 #include "motif/group.h"
 #include "motif/relaxed_bounds.h"
 #include "similarity/frechet.h"
+#include "stream/motif_fleet_engine.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -95,6 +97,12 @@ std::vector<KernelResult> RunAll(const BenchConfig& config) {
   }));
 
   // -- The DFD kernel: baseline vs monomorphized vs early-exit --------
+  // Each matrix-path row carries the SIMD level it dispatched to
+  // (0=scalar 1=sse2 2=avx2 3=avx512) so the committed JSON records what
+  // the numbers mean; *_scalar rows pin the level to 0 via the
+  // programmatic cap, isolating the vectorization speedup from the
+  // monomorphization one.
+  const double simd_level = static_cast<double>(ActiveSimdLevel());
   const std::vector<Index> range_lengths =
       config.smoke ? std::vector<Index>{32, 64}
                    : std::vector<Index>{64, 128, 256};
@@ -117,6 +125,16 @@ std::vector<KernelResult> RunAll(const BenchConfig& config) {
                                        &scratch)
                     .value();
     }));
+    results.back().extras["simd_level"] = simd_level;
+    SetSimdLevelCap(SimdLevel::kScalar);
+    results.push_back(
+        Measure("dfd_on_range_matrix_scalar", len, 1, budget, [&] {
+          g_sink += DiscreteFrechetOnRange(dg, i0, i0 + len - 1, j0,
+                                           j0 + len - 1, kNoFrechetThreshold,
+                                           &scratch)
+                        .value();
+        }));
+    ClearSimdLevelCap();
     results.push_back(
         Measure("dfd_on_range_matrix_threshold", len, 1, budget, [&] {
           g_sink += DiscreteFrechetOnRange(dg, i0, i0 + len - 1, j0,
@@ -124,6 +142,17 @@ std::vector<KernelResult> RunAll(const BenchConfig& config) {
                                            &scratch)
                         .value();
         }));
+    results.back().extras["simd_level"] = simd_level;
+    SetSimdLevelCap(SimdLevel::kScalar);
+    results.push_back(Measure("dfd_on_range_matrix_threshold_scalar", len, 1,
+                              budget, [&] {
+                                g_sink += DiscreteFrechetOnRange(
+                                              dg, i0, i0 + len - 1, j0,
+                                              j0 + len - 1, range_exact * 0.5,
+                                              &scratch)
+                                              .value();
+                              }));
+    ClearSimdLevelCap();
   }
 
   // -- Whole-trajectory kernels ---------------------------------------
@@ -171,6 +200,58 @@ std::vector<KernelResult> RunAll(const BenchConfig& config) {
         Measure("btm_relaxed", n, threads, search_budget, [&] {
           g_sink += BtmMotif(dg, pooled).value().distance;
         }));
+  }
+
+  // -- Fleet drain fan-out: 16 windows, serial vs threaded ------------
+  // One op = one Ingest of slide_step points per stream (blocked), which
+  // makes all 16 windows due in the same batch-end drain — the threaded
+  // fleet fans those searches out one window per lane. Results are
+  // bit-identical either way (tests/fleet_drain_test.cc); this measures
+  // the wall-clock. `hw_threads` is recorded so the CI gate only
+  // compares the curves on machines that actually have the cores.
+  constexpr std::size_t kFleetStreams = 16;
+  const double hw_threads = static_cast<double>(ResolveThreadCount(0));
+  StreamOptions drain_stream;
+  drain_stream.window_length = config.smoke ? 70 : 128;
+  drain_stream.slide_step = config.smoke ? 10 : 16;
+  drain_stream.min_length_xi = config.smoke ? 10 : 16;
+  const Index drain_batch = drain_stream.slide_step;
+  std::vector<Trajectory> drain_walks;
+  for (std::size_t s = 0; s < kFleetStreams; ++s) {
+    drain_walks.push_back(Dataset(4096, 500 + s));
+  }
+  for (const int fleet_threads : {1, 4}) {
+    FleetOptions fleet_options;
+    fleet_options.stream = drain_stream;
+    fleet_options.stream.threads = fleet_threads;
+    MotifFleetEngine fleet =
+        MotifFleetEngine::Create(fleet_options, Haversine()).value();
+    for (std::size_t s = 0; s < kFleetStreams; ++s) {
+      g_sink += static_cast<double>(fleet.AddStream().value());
+    }
+    std::vector<Index> cursor(kFleetStreams, 0);
+    const auto ingest_per_stream = [&](Index count) {
+      std::vector<FleetArrival> batch;
+      batch.reserve(kFleetStreams * static_cast<std::size_t>(count));
+      for (std::size_t s = 0; s < kFleetStreams; ++s) {
+        for (Index k = 0; k < count; ++k) {
+          FleetArrival arrival;
+          arrival.stream = s;
+          arrival.point =
+              drain_walks[s][(cursor[s] + k) % drain_walks[s].size()];
+          batch.push_back(arrival);
+        }
+        cursor[s] = (cursor[s] + count) % drain_walks[s].size();
+      }
+      g_sink += static_cast<double>(
+          fleet.Ingest(batch).value().updates.size());
+    };
+    ingest_per_stream(drain_stream.window_length);  // fill all windows
+    results.push_back(Measure("fleet_drain_16w", kFleetStreams,
+                              fleet_threads, search_budget, [&] {
+                                ingest_per_stream(drain_batch);
+                              }));
+    results.back().extras["hw_threads"] = hw_threads;
   }
   return results;
 }

@@ -28,11 +28,9 @@ void FillHaversine(const Trajectory& s, const Trajectory& t, Index n, Index m,
   for (Index j0 = 0; j0 < m; j0 += kBlock) {
     const Index j1 = std::min<Index>(j0 + kBlock, m);
     for (Index i = 0; i < n; ++i) {
-      const SphereVec& a = sv[i];
       double* row = values->data() + static_cast<std::size_t>(i) * m;
-      for (Index j = j0; j < j1; ++j) {
-        row[j] = SphereVecDistanceMeters(a, tv[j]);
-      }
+      SphereVecDistanceBatch(sv[i], tv.data() + j0,
+                             static_cast<std::size_t>(j1 - j0), row + j0);
     }
   }
 }
@@ -126,6 +124,64 @@ void RingDistanceMatrix::AppendPoint(
     *Cell(k_new, k) = dist_new_to_k(k);
     *Cell(k, k_new) = dist_k_to_new(k);
   }
+  *Cell(k_new, k_new) = self_distance;
+}
+
+void RingDistanceMatrix::WriteRowFromBuffer(Index i, const double* values,
+                                            Index count) {
+  double* row = values_.data() +
+                static_cast<std::size_t>(PhysicalRow(i)) * col_capacity_;
+  // Logical columns [0, count) occupy physical slots [col_head_, cap) then
+  // wrap to [0, ...): two contiguous copies.
+  const Index first = std::min(count, col_capacity_ - col_head_);
+  std::copy(values, values + first, row + col_head_);
+  std::copy(values + first, values + count, row);
+}
+
+void RingDistanceMatrix::WriteColFromBuffer(Index j, const double* values,
+                                            Index count) {
+  double* col = values_.data() + PhysicalCol(j);
+  const Index first = std::min(count, row_capacity_ - row_head_);
+  for (Index i = 0; i < first; ++i) {
+    col[static_cast<std::size_t>(row_head_ + i) * col_capacity_] = values[i];
+  }
+  for (Index i = first; i < count; ++i) {
+    col[static_cast<std::size_t>(i - first) * col_capacity_] = values[i];
+  }
+}
+
+void RingDistanceMatrix::AppendRowFromBuffer(const double* values) {
+  if (row_size_ == row_capacity_) {
+    row_head_ = row_head_ + 1 == row_capacity_ ? 0 : row_head_ + 1;
+    --row_size_;
+  }
+  const Index i = row_size_++;
+  WriteRowFromBuffer(i, values, col_size_);
+}
+
+void RingDistanceMatrix::AppendColFromBuffer(const double* values) {
+  if (col_size_ == col_capacity_) {
+    col_head_ = col_head_ + 1 == col_capacity_ ? 0 : col_head_ + 1;
+    --col_size_;
+  }
+  const Index j = col_size_++;
+  WriteColFromBuffer(j, values, row_size_);
+}
+
+void RingDistanceMatrix::AppendPointFromBuffers(const double* new_to_k,
+                                                const double* k_to_new,
+                                                double self_distance) {
+  if (row_size_ == row_capacity_) {
+    row_head_ = row_head_ + 1 == row_capacity_ ? 0 : row_head_ + 1;
+    col_head_ = col_head_ + 1 == col_capacity_ ? 0 : col_head_ + 1;
+    --row_size_;
+    --col_size_;
+  }
+  const Index k_new = row_size_;
+  ++row_size_;
+  ++col_size_;
+  WriteRowFromBuffer(k_new, new_to_k, k_new);
+  WriteColFromBuffer(k_new, k_to_new, k_new);
   *Cell(k_new, k_new) = self_distance;
 }
 

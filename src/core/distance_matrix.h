@@ -168,6 +168,22 @@ class RingDistanceMatrix final : public DistanceProvider {
                    const std::function<double(Index)>& dist_k_to_new,
                    double self_distance);
 
+  /// Buffer counterparts of the append methods: the caller computes the
+  /// fresh cells into a contiguous buffer (e.g. with
+  /// SphereVecDistanceBatch) and the ring bulk-copies them — contiguous
+  /// segment copies for a row, strided stores for a column — instead of
+  /// paying one std::function dispatch per cell. Identical eviction and
+  /// cell semantics to the std::function forms.
+  /// `values[j]` for j in [0, cols()) fills the new row.
+  void AppendRowFromBuffer(const double* values);
+  /// `values[i]` for i in [0, rows()) fills the new column.
+  void AppendColFromBuffer(const double* values);
+  /// `new_to_k[k]` / `k_to_new[k]` for k in [0, rows()) fill the new row /
+  /// column (pass the same buffer twice for a symmetric metric);
+  /// `self_distance` fills the diagonal cell.
+  void AppendPointFromBuffers(const double* new_to_k, const double* k_to_new,
+                              double self_distance);
+
   /// Raw layout accessors for monomorphized kernels (subset_search) and
   /// incremental bound maintenance: cell (i, j) lives at
   /// data()[phys(i, row_head, row_capacity) * col_capacity +
@@ -190,6 +206,11 @@ class RingDistanceMatrix final : public DistanceProvider {
            static_cast<std::size_t>(PhysicalRow(i)) * col_capacity_ +
            PhysicalCol(j);
   }
+
+  /// Bulk writes of logical row i / column j from a contiguous buffer of
+  /// `count` values, splitting at the ring wrap point.
+  void WriteRowFromBuffer(Index i, const double* values, Index count);
+  void WriteColFromBuffer(Index j, const double* values, Index count);
 
   Index row_capacity_;
   Index col_capacity_;

@@ -25,6 +25,13 @@ double SphereVecDistanceMeters(const SphereVec& a, const SphereVec& b) {
          std::asin(std::clamp(half_chord, 0.0, 1.0));
 }
 
+void SphereVecDistanceBatch(const SphereVec& p, const SphereVec* others,
+                            std::size_t count, double* out) {
+  for (std::size_t k = 0; k < count; ++k) {
+    out[k] = SphereVecDistanceMeters(p, others[k]);
+  }
+}
+
 double GreatCircleDistanceMeters(const Point& a, const Point& b) {
   return SphereVecDistanceMeters(ToSphereVec(a), ToSphereVec(b));
 }

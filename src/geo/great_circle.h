@@ -1,6 +1,8 @@
 #ifndef FRECHET_MOTIF_GEO_GREAT_CIRCLE_H_
 #define FRECHET_MOTIF_GEO_GREAT_CIRCLE_H_
 
+#include <cstddef>
+
 #include "geo/point.h"
 
 namespace frechet_motif {
@@ -27,6 +29,14 @@ SphereVec ToSphereVec(const Point& p);
 /// Algebraically equal to the haversine formula of the paper's Section 3
 /// and numerically stable for small separations.
 double SphereVecDistanceMeters(const SphereVec& a, const SphereVec& b);
+
+/// Batch form over a contiguous span: out[k] = SphereVecDistanceMeters(p,
+/// others[k]) for k in [0, count). Per-element results are bit-identical
+/// to the one-pair call; the batch exists so hot append paths (the
+/// streaming window's ring fills, DistanceMatrix::Build) pay one call per
+/// row instead of one indirect call per cell.
+void SphereVecDistanceBatch(const SphereVec& p, const SphereVec* others,
+                            std::size_t count, double* out);
 
 /// Great-circle distance in meters between two latitude/longitude points
 /// (degrees). Exactly ToSphereVec + SphereVecDistanceMeters, so cached and

@@ -92,6 +92,54 @@ Status MotifFleetEngine::RunOne(std::size_t stream, FleetReport* report) {
   return Status::Ok();
 }
 
+Status MotifFleetEngine::RunManyParallel(const std::vector<std::size_t>& order,
+                                         std::size_t budget,
+                                         FleetReport* report) {
+  const int threads = ResolveThreadCount(options_.stream.threads);
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  // Coalescing accounting reads appended_since_search(), which RunSearch
+  // resets — capture it for every window before any search runs.
+  std::vector<Index> pending(budget, 0);
+  for (std::size_t k = 0; k < budget; ++k) {
+    const WindowState& window = windows_[order[k]];
+    if (window.searched_once()) {
+      pending[k] =
+          window.appended_since_search() / options_.stream.slide_step;
+    }
+  }
+  // Compute phase: lane k searches its static chunk of the drain order,
+  // one whole window at a time. Each search runs serially inside its lane
+  // (the pool is occupied by the fan-out itself and is not re-entrant)
+  // and touches only its own window's state, so lanes share nothing.
+  std::vector<std::optional<StatusOr<StreamUpdate>>> updates(budget);
+  pool_->RunOnAllLanes([&](int lane) {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    ThreadPool::ChunkRange(static_cast<std::int64_t>(budget),
+                           pool_->threads(), lane, &begin, &end);
+    for (std::int64_t k = begin; k < end; ++k) {
+      updates[static_cast<std::size_t>(k)].emplace(
+          windows_[order[static_cast<std::size_t>(k)]].RunSearch(nullptr));
+    }
+  });
+  // Merge phase: the serial loop's side effects, in drain order. Errors
+  // surface at the same deterministic position the serial loop would
+  // report them.
+  for (std::size_t k = 0; k < budget; ++k) {
+    StatusOr<StreamUpdate>& update = *updates[k];
+    if (!update.ok()) return update.status();
+    if (pending[k] > 1) coalesced_slides_ += pending[k] - 1;
+    scheduler_.NoteSearched(order[k]);
+    if (join_.has_value()) {
+      FM_RETURN_IF_ERROR(
+          join_->Update(order[k], windows_[order[k]].WindowTrajectory()));
+    }
+    report->updates.push_back(
+        FleetStreamUpdate{order[k], std::move(update).value()});
+  }
+  return Status::Ok();
+}
+
 Status MotifFleetEngine::DrainInternal(FleetReport* report) {
   if (scheduler_.due_count() > 0) {
     const std::vector<std::size_t> order = scheduler_.DrainOrder();
@@ -101,8 +149,16 @@ Status MotifFleetEngine::DrainInternal(FleetReport* report) {
                   order.size(),
                   static_cast<std::size_t>(options_.max_searches_per_drain))
             : order.size();
-    for (std::size_t k = 0; k < budget; ++k) {
-      FM_RETURN_IF_ERROR(RunOne(order[k], report));
+    // Two ways to spend the worker pool on a drain: several due windows
+    // amortize best with one window per lane (independent searches, no
+    // intra-search synchronization); a single due window keeps the
+    // intra-search parallelism RunOne provides.
+    if (ResolveThreadCount(options_.stream.threads) > 1 && budget > 1) {
+      FM_RETURN_IF_ERROR(RunManyParallel(order, budget, report));
+    } else {
+      for (std::size_t k = 0; k < budget; ++k) {
+        FM_RETURN_IF_ERROR(RunOne(order[k], report));
+      }
     }
   }
   // One join tick per call: every searched stream — parity-guard

@@ -18,7 +18,12 @@
 ///    reorder buffer for out-of-order feeds — stream/ingest_frontend.h);
 ///  * one `SearchScheduler` ordering due re-searches by dirty-cell count
 ///    and staleness (stream/search_scheduler.h);
-///  * one lazily created `ThreadPool` shared by every search;
+///  * one lazily created `ThreadPool` shared by every search. A drain
+///    with several due windows fans out across it **one window per
+///    lane** (independent windows, searches run whole on a lane, side
+///    effects merged serially in drain order — bit-identical to the
+///    serial drain); a drain with a single due window spends the same
+///    pool on intra-search parallelism instead;
 ///  * optionally one `IncrementalDfdJoin` (join/incremental_join.h)
 ///    maintaining which window pairs are within ε, emitting per-slide
 ///    join deltas.
@@ -263,6 +268,17 @@ class MotifFleetEngine {
 
   /// Runs `stream`'s search now and appends its report.
   Status RunOne(std::size_t stream, FleetReport* report);
+
+  /// Drain-phase fan-out: runs the searches of the first `budget` windows
+  /// of `order` concurrently — one whole window per pool lane (windows
+  /// are independent; each search runs serially inside its lane) — then
+  /// applies every side effect (coalescing accounting, scheduler
+  /// bookkeeping, join refresh, report append) serially in drain order.
+  /// Because the side-effect sequence is exactly the serial loop's and
+  /// each search is deterministic, the report stream is bit-identical to
+  /// running RunOne over the prefix one window at a time.
+  Status RunManyParallel(const std::vector<std::size_t>& order,
+                         std::size_t budget, FleetReport* report);
 
   /// Drains due searches per the scheduling mode, then ticks the join if
   /// anything changed.

@@ -70,35 +70,53 @@ Status WindowState::Append(int side, const Point& p, const double* timestamp) {
 
   // Fresh ground distances, computed exactly as DistanceMatrix::Build
   // computes them (cached sphere vectors for haversine, metric calls
-  // otherwise) so ring cells are bit-identical to a fresh matrix.
+  // otherwise) so ring cells are bit-identical to a fresh matrix. The
+  // haversine path batches each append: the opposite side's vectors are
+  // staged into a contiguous scratch buffer, the fresh cells computed with
+  // one SphereVecDistanceBatch call, and the ring bulk-copies the buffer —
+  // no per-cell std::function dispatch. SphereVecDistanceMeters is exactly
+  // symmetric (the chord terms are squared), so one buffer serves both the
+  // new row and the new column of the self-matrix.
   if (!cross_) {
-    const auto new_to_k = [&](Index k) {
-      return haversine_ ? SphereVecDistanceMeters(pv, vecs_[k])
-                        : metric_->Distance(p, window_[k]);
-    };
-    const auto k_to_new = [&](Index k) {
-      return haversine_ ? SphereVecDistanceMeters(vecs_[k], pv)
-                        : metric_->Distance(window_[k], p);
-    };
-    const double self =
-        haversine_ ? SphereVecDistanceMeters(pv, pv) : metric_->Distance(p, p);
-    ring_.AppendPoint(new_to_k, k_to_new, self);
+    if (haversine_) {
+      batch_vecs_.assign(vecs_.begin(), vecs_.end());
+      batch_dists_.resize(batch_vecs_.size());
+      SphereVecDistanceBatch(pv, batch_vecs_.data(), batch_vecs_.size(),
+                             batch_dists_.data());
+      ring_.AppendPointFromBuffers(batch_dists_.data(), batch_dists_.data(),
+                                   SphereVecDistanceMeters(pv, pv));
+    } else {
+      ring_.AppendPoint(
+          [&](Index k) { return metric_->Distance(p, window_[k]); },
+          [&](Index k) { return metric_->Distance(window_[k], p); },
+          metric_->Distance(p, p));
+    }
     engine_stats_.ground_distances_computed +=
         2 * static_cast<std::int64_t>(window_.size()) + 1;
   } else if (side == 0) {
-    const auto row_cell = [&](Index j) {
-      return haversine_ ? SphereVecDistanceMeters(pv, second_vecs_[j])
-                        : metric_->Distance(p, second_window_[j]);
-    };
-    ring_.AppendRow(row_cell);
+    if (haversine_) {
+      batch_vecs_.assign(second_vecs_.begin(), second_vecs_.end());
+      batch_dists_.resize(batch_vecs_.size());
+      SphereVecDistanceBatch(pv, batch_vecs_.data(), batch_vecs_.size(),
+                             batch_dists_.data());
+      ring_.AppendRowFromBuffer(batch_dists_.data());
+    } else {
+      ring_.AppendRow(
+          [&](Index j) { return metric_->Distance(p, second_window_[j]); });
+    }
     engine_stats_.ground_distances_computed +=
         static_cast<std::int64_t>(second_window_.size());
   } else {
-    const auto col_cell = [&](Index i) {
-      return haversine_ ? SphereVecDistanceMeters(vecs_[i], pv)
-                        : metric_->Distance(window_[i], p);
-    };
-    ring_.AppendCol(col_cell);
+    if (haversine_) {
+      batch_vecs_.assign(vecs_.begin(), vecs_.end());
+      batch_dists_.resize(batch_vecs_.size());
+      SphereVecDistanceBatch(pv, batch_vecs_.data(), batch_vecs_.size(),
+                             batch_dists_.data());
+      ring_.AppendColFromBuffer(batch_dists_.data());
+    } else {
+      ring_.AppendCol(
+          [&](Index i) { return metric_->Distance(window_[i], p); });
+    }
     engine_stats_.ground_distances_computed +=
         static_cast<std::int64_t>(window_.size());
   }

@@ -241,6 +241,13 @@ class WindowState {
   Candidate previous_best_;
   double previous_distance_ = std::numeric_limits<double>::infinity();
 
+  /// Scratch for the batched haversine append path: the opposite side's
+  /// sphere vectors staged contiguously, and the fresh cells computed by
+  /// SphereVecDistanceBatch. Reused across appends (capacity stabilizes at
+  /// the window length); never serialized.
+  std::vector<SphereVec> batch_vecs_;
+  std::vector<double> batch_dists_;
+
   StreamEngineStats engine_stats_;
 };
 

@@ -1,0 +1,199 @@
+// Fleet drain concurrency tier: a drain with several due windows fans
+// its searches out across the shared ThreadPool (one whole window per
+// lane) while applying every side effect serially in drain order — so a
+// threaded fleet must be **bit-identical** to a serial one: the same
+// report sequence (stream ids, candidates, distances, seeded/carried
+// flags, DP-cell counters), the same join deltas, the same aggregated
+// stats, the same final window contents. These tests run 16-window
+// fleets with threads=1 and threads=4 side by side and assert exactly
+// that; they are part of the TSan CI suite, which additionally proves
+// the fan-out is race-free.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/datasets.h"
+#include "geo/metric.h"
+#include "gtest/gtest.h"
+#include "stream/motif_fleet_engine.h"
+#include "test_util.h"
+
+namespace frechet_motif {
+namespace {
+
+constexpr std::size_t kStreams = 16;
+
+Trajectory GeoWalk(Index n, std::uint64_t seed) {
+  DatasetOptions options;
+  options.length = n;
+  options.seed = seed;
+  return MakeDataset(DatasetKind::kGeoLifeLike, options).value();
+}
+
+StreamOptions SmallStreamOptions(int threads) {
+  StreamOptions options;
+  options.window_length = 70;
+  options.slide_step = 10;
+  options.min_length_xi = 10;
+  options.threads = threads;
+  return options;
+}
+
+void ExpectReportEq(const FleetReport& expected, const FleetReport& actual) {
+  ASSERT_EQ(expected.updates.size(), actual.updates.size());
+  for (std::size_t k = 0; k < expected.updates.size(); ++k) {
+    const FleetStreamUpdate& e = expected.updates[k];
+    const FleetStreamUpdate& a = actual.updates[k];
+    ASSERT_EQ(e.stream, a.stream) << "update " << k;
+    EXPECT_EQ(e.update.window_start, a.update.window_start) << "update " << k;
+    EXPECT_EQ(e.update.motif.best, a.update.motif.best) << "update " << k;
+    EXPECT_EQ(e.update.motif.distance, a.update.motif.distance)
+        << "update " << k;
+    EXPECT_EQ(e.update.seeded, a.update.seeded) << "update " << k;
+    EXPECT_EQ(e.update.seed_threshold, a.update.seed_threshold)
+        << "update " << k;
+    EXPECT_EQ(e.update.carried, a.update.carried) << "update " << k;
+    EXPECT_EQ(e.update.stats.dfd_cells_computed,
+              a.update.stats.dfd_cells_computed)
+        << "update " << k;
+  }
+  ASSERT_EQ(expected.join_delta.entered.size(),
+            actual.join_delta.entered.size());
+  ASSERT_EQ(expected.join_delta.left.size(), actual.join_delta.left.size());
+  for (std::size_t k = 0; k < expected.join_delta.entered.size(); ++k) {
+    EXPECT_EQ(expected.join_delta.entered[k], actual.join_delta.entered[k]);
+  }
+  for (std::size_t k = 0; k < expected.join_delta.left.size(); ++k) {
+    EXPECT_EQ(expected.join_delta.left[k], actual.join_delta.left[k]);
+  }
+}
+
+void ExpectStatsEq(const FleetStats& expected, const FleetStats& actual) {
+  EXPECT_EQ(expected.streams, actual.streams);
+  EXPECT_EQ(expected.points_ingested, actual.points_ingested);
+  EXPECT_EQ(expected.searches, actual.searches);
+  EXPECT_EQ(expected.seeded_searches, actual.seeded_searches);
+  EXPECT_EQ(expected.ground_distances_computed,
+            actual.ground_distances_computed);
+  EXPECT_EQ(expected.dfd_cells_computed, actual.dfd_cells_computed);
+  EXPECT_EQ(expected.coalesced_slides, actual.coalesced_slides);
+}
+
+MotifFleetEngine MakeFleet(const FleetOptions& options,
+                           const GroundMetric& metric) {
+  auto fleet = MotifFleetEngine::Create(options, metric);
+  EXPECT_TRUE(fleet.ok()) << fleet.status();
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    EXPECT_EQ(s, fleet.value().AddStream().value());
+  }
+  return std::move(fleet).value();
+}
+
+/// One batch containing `per_stream` fresh points for every stream,
+/// blocked stream-by-stream so each window becomes due only at its last
+/// in-batch append — the batch-end drain then holds all 16 due windows
+/// at once, which is exactly the fan-out path under test.
+std::vector<FleetArrival> NextBatch(const std::vector<Trajectory>& walks,
+                                    Index* cursor, Index per_stream) {
+  std::vector<FleetArrival> batch;
+  batch.reserve(kStreams * static_cast<std::size_t>(per_stream));
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    for (Index k = 0; k < per_stream; ++k) {
+      FleetArrival arrival;
+      arrival.stream = s;
+      arrival.point = walks[s][*cursor + k];
+      batch.push_back(arrival);
+    }
+  }
+  *cursor += per_stream;
+  return batch;
+}
+
+void RunDrainParity(FleetOptions serial_options, FleetOptions threaded_options,
+                    Index warmup, Index per_batch, int batches) {
+  const HaversineMetric metric;
+  std::vector<Trajectory> walks;
+  const Index total = warmup + per_batch * static_cast<Index>(batches);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    walks.push_back(GeoWalk(total, 9000 + s));
+  }
+
+  MotifFleetEngine serial = MakeFleet(serial_options, metric);
+  MotifFleetEngine threaded = MakeFleet(threaded_options, metric);
+
+  Index serial_cursor = 0;
+  Index threaded_cursor = 0;
+  // Warmup batch fills all 16 windows at once: every stream's first
+  // search lands in the same batch-end drain.
+  auto feed = [&](MotifFleetEngine& fleet, Index* cursor,
+                  Index per_stream) -> FleetReport {
+    const std::vector<FleetArrival> batch =
+        NextBatch(walks, cursor, per_stream);
+    auto report = fleet.Ingest(batch);
+    EXPECT_TRUE(report.ok()) << report.status();
+    return std::move(report).value();
+  };
+
+  ExpectReportEq(feed(serial, &serial_cursor, warmup),
+                 feed(threaded, &threaded_cursor, warmup));
+  for (int b = 0; b < batches; ++b) {
+    const FleetReport expected = feed(serial, &serial_cursor, per_batch);
+    const FleetReport actual = feed(threaded, &threaded_cursor, per_batch);
+    ExpectReportEq(expected, actual);
+  }
+
+  ExpectStatsEq(serial.stats(), threaded.stats());
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const Trajectory a = serial.WindowTrajectory(s);
+    const Trajectory b = threaded.WindowTrajectory(s);
+    ASSERT_EQ(a.size(), b.size()) << "stream " << s;
+    for (Index k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].x, b[k].x) << "stream " << s << " point " << k;
+      EXPECT_EQ(a[k].y, b[k].y) << "stream " << s << " point " << k;
+    }
+  }
+  const std::vector<JoinPair> ma = serial.CurrentJoinMatches();
+  const std::vector<JoinPair> mb = threaded.CurrentJoinMatches();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t k = 0; k < ma.size(); ++k) EXPECT_EQ(ma[k], mb[k]);
+}
+
+TEST(FleetDrain, SerialAndThreadedDrainsBitIdentical) {
+  FleetOptions serial;
+  serial.stream = SmallStreamOptions(/*threads=*/1);
+  FleetOptions threaded;
+  threaded.stream = SmallStreamOptions(/*threads=*/4);
+  RunDrainParity(serial, threaded, /*warmup=*/70, /*per_batch=*/10,
+                 /*batches=*/8);
+}
+
+TEST(FleetDrain, ThreadedDrainsMatchUnderBudgetCoalescingAndJoin) {
+  // Budgeted mode defers (and coalesces) all but the 5 dirtiest windows
+  // per drain while the ε-join ticks on every searched window — the
+  // fan-out prefix is budget-limited and the deferred accounting and
+  // join refresh both happen in the serial merge phase. Larger batches
+  // (3 slide-steps per stream) force real coalescing.
+  FleetOptions serial;
+  serial.stream = SmallStreamOptions(/*threads=*/1);
+  serial.max_searches_per_drain = 5;
+  serial.join_epsilon = 150000.0;
+  FleetOptions threaded = serial;
+  threaded.stream.threads = 4;
+  RunDrainParity(serial, threaded, /*warmup=*/70, /*per_batch=*/30,
+                 /*batches=*/5);
+}
+
+TEST(FleetDrain, AllHardwareThreadsMatchSerial) {
+  // threads=0 resolves to every hardware thread; the chunked one-window-
+  // per-lane split changes with the lane count but the merged report
+  // must not.
+  FleetOptions serial;
+  serial.stream = SmallStreamOptions(/*threads=*/1);
+  FleetOptions threaded;
+  threaded.stream = SmallStreamOptions(/*threads=*/0);
+  RunDrainParity(serial, threaded, /*warmup=*/70, /*per_batch=*/10,
+                 /*batches=*/4);
+}
+
+}  // namespace
+}  // namespace frechet_motif

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "geo/metric.h"
@@ -233,6 +236,161 @@ TEST(Table1Test, DfdRobustToResamplingButSumMeasuresAreNot) {
   EXPECT_DOUBLE_EQ(DtwDistance(a, b, Euclidean()).value(), 0.0);
   // EDR pays one edit per duplicated sample.
   EXPECT_EQ(EdrDistance(a, b, Euclidean(), 1e-9).value(), 10);
+}
+
+// -------------------------------------------- Oracle-table edge cases
+//
+// The production DTW/EDR/LCSS use rolling rows (O(min) space); these
+// oracles keep the full (la+1)×(lb+1) table in the textbook layout. Any
+// divergence — especially at the single-row/column boundaries the
+// rolling code hand-seeds — is a recurrence bug.
+
+double DtwOracle(const Trajectory& a, const Trajectory& b) {
+  const Index la = a.size(), lb = b.size();
+  std::vector<std::vector<double>> t(
+      static_cast<std::size_t>(la),
+      std::vector<double>(static_cast<std::size_t>(lb)));
+  for (Index p = 0; p < la; ++p) {
+    for (Index q = 0; q < lb; ++q) {
+      const double d = Euclidean().Distance(a[p], b[q]);
+      if (p == 0 && q == 0) {
+        t[p][q] = d;
+      } else if (p == 0) {
+        t[p][q] = t[p][q - 1] + d;
+      } else if (q == 0) {
+        t[p][q] = t[p - 1][q] + d;
+      } else {
+        t[p][q] =
+            d + std::min({t[p - 1][q], t[p][q - 1], t[p - 1][q - 1]});
+      }
+    }
+  }
+  return t[la - 1][lb - 1];
+}
+
+Index EdrOracle(const Trajectory& a, const Trajectory& b, double epsilon) {
+  const Index la = a.size(), lb = b.size();
+  std::vector<std::vector<Index>> t(
+      static_cast<std::size_t>(la) + 1,
+      std::vector<Index>(static_cast<std::size_t>(lb) + 1));
+  for (Index p = 0; p <= la; ++p) t[p][0] = p;
+  for (Index q = 0; q <= lb; ++q) t[0][q] = q;
+  for (Index p = 1; p <= la; ++p) {
+    for (Index q = 1; q <= lb; ++q) {
+      const Index subst =
+          Euclidean().Distance(a[p - 1], b[q - 1]) <= epsilon ? 0 : 1;
+      t[p][q] = std::min({static_cast<Index>(t[p - 1][q - 1] + subst),
+                          static_cast<Index>(t[p - 1][q] + 1),
+                          static_cast<Index>(t[p][q - 1] + 1)});
+    }
+  }
+  return t[la][lb];
+}
+
+Index LcssOracle(const Trajectory& a, const Trajectory& b, double epsilon) {
+  const Index la = a.size(), lb = b.size();
+  std::vector<std::vector<Index>> t(
+      static_cast<std::size_t>(la) + 1,
+      std::vector<Index>(static_cast<std::size_t>(lb) + 1, 0));
+  for (Index p = 1; p <= la; ++p) {
+    for (Index q = 1; q <= lb; ++q) {
+      if (Euclidean().Distance(a[p - 1], b[q - 1]) <= epsilon) {
+        t[p][q] = t[p - 1][q - 1] + 1;
+      } else {
+        t[p][q] = std::max(t[p - 1][q], t[p][q - 1]);
+      }
+    }
+  }
+  return t[la][lb];
+}
+
+TEST(OracleTableTest, RollingRowsMatchFullTablesOnRandomPairs) {
+  const std::uint64_t seed = testing_util::FuzzSeed(60617);
+  const int rounds = testing_util::FuzzRounds(6);
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    const Index n = static_cast<Index>(rng.NextInt(1, 40));
+    const Index m = static_cast<Index>(rng.NextInt(1, 40));
+    const Trajectory a = MakePlanarWalk(n, rng.NextUint64());
+    const Trajectory b = MakePlanarWalk(m, rng.NextUint64());
+    const double eps = rng.NextDouble(0.0, 30.0);
+    EXPECT_EQ(DtwOracle(a, b), DtwDistance(a, b, Euclidean()).value());
+    EXPECT_EQ(EdrOracle(a, b, eps),
+              EdrDistance(a, b, Euclidean(), eps).value());
+    EXPECT_EQ(LcssOracle(a, b, eps),
+              LcssLength(a, b, Euclidean(), eps).value());
+  }
+}
+
+TEST(OracleTableTest, SinglePointAndSingleRowShapes) {
+  // The rolling-row implementations special-case the first row/column;
+  // 1×1, 1×m and n×1 shapes exercise exactly those seams.
+  const Trajectory one = Line({{1, 2}});
+  const Trajectory other = Line({{4, 6}});
+  const Trajectory row = Line({{0, 0}, {3, 4}, {6, 8}});
+  EXPECT_DOUBLE_EQ(DtwDistance(one, other, Euclidean()).value(), 5.0);
+  // 1×m DTW sums every ground distance along the single row.
+  EXPECT_DOUBLE_EQ(DtwDistance(one, row, Euclidean()).value(),
+                   std::sqrt(5.0) + std::sqrt(8.0) + std::sqrt(61.0));
+  EXPECT_DOUBLE_EQ(DtwDistance(row, one, Euclidean()).value(),
+                   DtwDistance(one, row, Euclidean()).value());
+  // 1×m EDR: one substitution (or unit edit) plus m-1 deletes.
+  EXPECT_EQ(EdrDistance(one, row, Euclidean(), 1000.0).value(), 2);
+  EXPECT_EQ(EdrDistance(one, row, Euclidean(), 0.0).value(), 3);
+  EXPECT_EQ(EdrDistance(row, one, Euclidean(), 1000.0).value(), 2);
+  // 1×m LCSS is 1 iff any point of `row` is within epsilon.
+  EXPECT_EQ(LcssLength(one, row, Euclidean(), 2.9).value(), 1);
+  EXPECT_EQ(LcssLength(one, row, Euclidean(), 0.5).value(), 0);
+  EXPECT_DOUBLE_EQ(LcssDistance(one, row, Euclidean(), 2.9).value(), 0.0);
+  EXPECT_DOUBLE_EQ(LcssDistance(one, row, Euclidean(), 0.5).value(), 1.0);
+}
+
+TEST(OracleTableTest, EpsilonBoundaryIsInclusive) {
+  // Matching is d <= epsilon, not <: a pair at exactly epsilon matches.
+  const Trajectory a = Line({{0, 0}});
+  const Trajectory b = Line({{3, 4}});  // distance exactly 5
+  EXPECT_EQ(EdrDistance(a, b, Euclidean(), 5.0).value(), 0);
+  EXPECT_EQ(EdrDistance(a, b, Euclidean(), std::nextafter(5.0, 0.0)).value(),
+            1);
+  EXPECT_EQ(LcssLength(a, b, Euclidean(), 5.0).value(), 1);
+  EXPECT_EQ(LcssLength(a, b, Euclidean(), std::nextafter(5.0, 0.0)).value(),
+            0);
+}
+
+TEST(OracleTableTest, EdrRespectsEditDistanceBounds) {
+  // Hand-checkable table: EDR is bounded below by the length gap and
+  // above by max length, and normalization lands in [0, 1].
+  const Trajectory a = MakePlanarWalk(9, 23);
+  const Trajectory b = MakePlanarWalk(17, 24);
+  const Index d = EdrDistance(a, b, Euclidean(), 5.0).value();
+  EXPECT_GE(d, 8);   // |la - lb|
+  EXPECT_LE(d, 17);  // max(la, lb)
+  const double norm = EdrNormalized(a, b, Euclidean(), 5.0).value();
+  EXPECT_DOUBLE_EQ(norm, static_cast<double>(d) / 17.0);
+  EXPECT_GE(norm, 0.0);
+  EXPECT_LE(norm, 1.0);
+  // Self distance at any epsilon >= 0 is 0 / normalized 0.
+  EXPECT_EQ(EdrDistance(b, b, Euclidean(), 0.0).value(), 0);
+  EXPECT_DOUBLE_EQ(EdrNormalized(b, b, Euclidean(), 0.0).value(), 0.0);
+}
+
+TEST(OracleTableTest, LcssPrefixAndSubsequenceIdentities) {
+  // A prefix is a common subsequence of the whole: LCSS(a, a[:k]) == k,
+  // so the normalized distance (denominator min length) is exactly 0.
+  const Trajectory a = MakePlanarWalk(15, 29);
+  std::vector<Point> prefix;
+  for (Index i = 0; i < 6; ++i) prefix.push_back(a[i]);
+  const Trajectory p{std::vector<Point>(prefix)};
+  EXPECT_EQ(LcssLength(a, p, Euclidean(), 0.0).value(), 6);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, p, Euclidean(), 0.0).value(), 0.0);
+  // Interleaving foreign points leaves the subsequence intact.
+  std::vector<Point> noisy;
+  for (Index i = 0; i < a.size(); ++i) {
+    noisy.push_back(a[i]);
+    noisy.push_back(Point{1e6 + static_cast<double>(i), -1e6});
+  }
+  const Trajectory n{std::vector<Point>(noisy)};
+  EXPECT_EQ(LcssLength(a, n, Euclidean(), 0.0).value(), a.size());
 }
 
 }  // namespace
