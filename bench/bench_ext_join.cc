@@ -67,10 +67,10 @@ int Main(int argc, char** argv) {
          TablePrinter::Fmt(static_cast<std::int64_t>(pruned.value().size())),
          TablePrinter::Fmt(with_cascade, 3), TablePrinter::Fmt(no_cascade, 3),
          "x" + TablePrinter::Fmt(no_cascade / std::max(1e-9, with_cascade), 1),
-         TablePrinter::FmtPercent(stats.pruned_bbox / total, 1),
-         TablePrinter::FmtPercent(stats.pruned_endpoints / total, 1),
-         TablePrinter::FmtPercent(stats.pruned_hausdorff / total, 1),
-         TablePrinter::FmtPercent(stats.decided_exact / total, 1)});
+         TablePrinter::FmtPercent(static_cast<double>(stats.pruned_bbox) / total, 1),
+         TablePrinter::FmtPercent(static_cast<double>(stats.pruned_endpoints) / total, 1),
+         TablePrinter::FmtPercent(static_cast<double>(stats.pruned_hausdorff) / total, 1),
+         TablePrinter::FmtPercent(static_cast<double>(stats.decided_exact) / total, 1)});
   }
   table.Print(std::cout);
   std::printf(

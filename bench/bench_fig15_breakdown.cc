@@ -33,9 +33,9 @@ Breakdown Run(const Trajectory& s, Index xi) {
   }
   Breakdown b;
   const double total = static_cast<double>(stats.total_subsets);
-  b.cell = stats.pruned_by_cell / total;
-  b.cross = stats.pruned_by_cross / total;
-  b.band = stats.pruned_by_band / total;
+  b.cell = static_cast<double>(stats.pruned_by_cell) / total;
+  b.cross = static_cast<double>(stats.pruned_by_cross) / total;
+  b.band = static_cast<double>(stats.pruned_by_band) / total;
   b.dfd = 1.0 - b.cell - b.cross - b.band;
   return b;
 }
@@ -74,10 +74,10 @@ int Main(int argc, char** argv) {
           MakeBenchTrajectory(DatasetKind::kGeoLifeLike,
                               static_cast<Index>(n), config, r),
           static_cast<Index>(config.xi));
-      acc.cell += b.cell / config.repeats;
-      acc.cross += b.cross / config.repeats;
-      acc.band += b.band / config.repeats;
-      acc.dfd += b.dfd / config.repeats;
+      acc.cell += b.cell / static_cast<double>(config.repeats);
+      acc.cross += b.cross / static_cast<double>(config.repeats);
+      acc.band += b.band / static_cast<double>(config.repeats);
+      acc.dfd += b.dfd / static_cast<double>(config.repeats);
     }
     rows_n.push_back(acc);
   }
@@ -93,10 +93,10 @@ int Main(int argc, char** argv) {
           MakeBenchTrajectory(DatasetKind::kGeoLifeLike,
                               static_cast<Index>(config.n), config, r),
           static_cast<Index>(xi));
-      acc.cell += b.cell / config.repeats;
-      acc.cross += b.cross / config.repeats;
-      acc.band += b.band / config.repeats;
-      acc.dfd += b.dfd / config.repeats;
+      acc.cell += b.cell / static_cast<double>(config.repeats);
+      acc.cross += b.cross / static_cast<double>(config.repeats);
+      acc.band += b.band / static_cast<double>(config.repeats);
+      acc.dfd += b.dfd / static_cast<double>(config.repeats);
     }
     rows_xi.push_back(acc);
   }

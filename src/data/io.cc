@@ -53,6 +53,17 @@ bool ParseDouble(const std::string& s, double* out) {
   return !s.empty() && ParseDoubleC(s, out);
 }
 
+/// Slurps `path` into `*content`; the shared front half of every
+/// Read* wrapper around its *FromString parser.
+Status SlurpFile(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return Status::Ok();
+}
+
 }  // namespace
 
 CsvRow ParseCsvPointRow(const std::string& line, double* lat, double* lon,
@@ -115,8 +126,14 @@ Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
 }
 
 StatusOr<Trajectory> ReadCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string content;
+  FM_RETURN_IF_ERROR(SlurpFile(path, &content));
+  return ReadCsvFromString(content, path);
+}
+
+StatusOr<Trajectory> ReadCsvFromString(const std::string& content,
+                                       const std::string& origin) {
+  std::istringstream in(content);
   std::vector<Point> points;
   std::vector<double> timestamps;
   std::string line;
@@ -135,11 +152,11 @@ StatusOr<Trajectory> ReadCsv(const std::string& path) {
         if (line_no == 1) continue;  // header row
         return Status::InvalidArgument("malformed CSV row " +
                                        std::to_string(line_no) + " in " +
-                                       path);
+                                       origin);
       case CsvRow::kMalformedTimestamp:
         return Status::InvalidArgument("malformed timestamp on row " +
                                        std::to_string(line_no) + " in " +
-                                       path);
+                                       origin);
       case CsvRow::kPoint:
         break;
     }
@@ -149,18 +166,24 @@ StatusOr<Trajectory> ReadCsv(const std::string& path) {
       saw_timestamps = true;
     } else if (saw_timestamps) {
       return Status::InvalidArgument("row " + std::to_string(line_no) +
-                                     " is missing a timestamp in " + path);
+                                     " is missing a timestamp in " + origin);
     }
   }
   if (points.empty()) {
-    return Status::InvalidArgument("no data rows in " + path);
+    return Status::InvalidArgument("no data rows in " + origin);
   }
   return Trajectory::Create(std::move(points), std::move(timestamps));
 }
 
 StatusOr<Trajectory> ReadPlt(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string content;
+  FM_RETURN_IF_ERROR(SlurpFile(path, &content));
+  return ReadPltFromString(content, path);
+}
+
+StatusOr<Trajectory> ReadPltFromString(const std::string& content,
+                                       const std::string& origin) {
+  std::istringstream in(content);
   std::vector<Point> points;
   std::vector<double> timestamps;
   std::string line;
@@ -177,13 +200,13 @@ StatusOr<Trajectory> ReadPlt(const std::string& path) {
     if (fields.size() < 5 || !ParseDouble(fields[0], &lat) ||
         !ParseDouble(fields[1], &lon) || !ParseDouble(fields[4], &days)) {
       return Status::InvalidArgument("malformed PLT row " +
-                                     std::to_string(line_no) + " in " + path);
+                                     std::to_string(line_no) + " in " + origin);
     }
     points.push_back(LatLon(lat, lon));
     timestamps.push_back(days * kSecondsPerDay);
   }
   if (points.empty()) {
-    return Status::InvalidArgument("no data rows in " + path);
+    return Status::InvalidArgument("no data rows in " + origin);
   }
   return Trajectory::Create(std::move(points), std::move(timestamps));
 }
@@ -254,38 +277,39 @@ std::size_t FindJsonKey(const std::string& s, const std::string& key) {
 }  // namespace
 
 StatusOr<Trajectory> ReadGeoJson(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string content = buffer.str();
+  std::string content;
+  FM_RETURN_IF_ERROR(SlurpFile(path, &content));
+  return ReadGeoJsonFromString(content, path);
+}
 
+StatusOr<Trajectory> ReadGeoJsonFromString(const std::string& content,
+                                           const std::string& origin) {
   std::size_t pos = FindJsonKey(content, "coordinates");
   if (pos == std::string::npos) {
-    return Status::InvalidArgument("no \"coordinates\" member in " + path);
+    return Status::InvalidArgument("no \"coordinates\" member in " + origin);
   }
   SkipJsonWs(content, &pos);
   if (pos >= content.size() || content[pos] != '[') {
     return Status::InvalidArgument("\"coordinates\" is not an array in " +
-                                   path);
+                                   origin);
   }
   ++pos;  // into the LineString's position list
 
   std::vector<Point> points;
   SkipJsonWs(content, &pos);
   if (pos < content.size() && content[pos] == ']') {
-    return Status::InvalidArgument("empty \"coordinates\" in " + path);
+    return Status::InvalidArgument("empty \"coordinates\" in " + origin);
   }
   while (true) {
     SkipJsonWs(content, &pos);
     if (pos >= content.size()) {
       return Status::InvalidArgument("unterminated \"coordinates\" in " +
-                                     path);
+                                     origin);
     }
     if (content[pos] != '[') {
       return Status::InvalidArgument(
           "expected a [lon, lat] position at offset " + std::to_string(pos) +
-          " in " + path);
+          " in " + origin);
     }
     std::vector<double> position;
     std::size_t probe = pos;
@@ -295,25 +319,25 @@ StatusOr<Trajectory> ReadGeoJson(const std::string& path) {
       return Status::InvalidArgument(
           "only LineString geometries are supported (nested coordinate "
           "arrays at offset " +
-          std::to_string(pos) + " in " + path + ")");
+          std::to_string(pos) + " in " + origin + ")");
     }
     pos = probe;
     if (position.size() < 2 || position.size() > 3) {
       return Status::InvalidArgument(
           "GeoJSON positions must be [lon, lat] or [lon, lat, alt] in " +
-          path);
+          origin);
     }
     // RFC 7946: positions are longitude first.
     points.push_back(LatLon(position[1], position[0]));
     SkipJsonWs(content, &pos);
     if (pos >= content.size()) {
       return Status::InvalidArgument("unterminated \"coordinates\" in " +
-                                     path);
+                                     origin);
     }
     if (content[pos] == ']') break;  // end of the position list
     if (content[pos] != ',') {
       return Status::InvalidArgument("malformed \"coordinates\" near offset " +
-                                     std::to_string(pos) + " in " + path);
+                                     std::to_string(pos) + " in " + origin);
     }
     ++pos;
   }
@@ -325,7 +349,7 @@ StatusOr<Trajectory> ReadGeoJson(const std::string& path) {
         timestamps.size() != points.size()) {
       return Status::InvalidArgument(
           "\"times\" must be a number array matching the position count in " +
-          path);
+          origin);
     }
   }
   return Trajectory::Create(std::move(points), std::move(timestamps));

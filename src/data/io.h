@@ -18,6 +18,13 @@ Status WriteCsv(const Trajectory& trajectory, const std::string& path);
 /// their LF twins, and parsing is locale-independent.
 StatusOr<Trajectory> ReadCsv(const std::string& path);
 
+/// ReadCsv on in-memory bytes instead of a file. `origin` labels error
+/// messages (ReadCsv passes the path). This is the byte-level entry the
+/// fuzz harnesses drive (tests/fuzz/fuzz_csv.cc); keeping it public
+/// also serves callers whose documents never touch a filesystem.
+StatusOr<Trajectory> ReadCsvFromString(const std::string& content,
+                                       const std::string& origin = "<memory>");
+
 /// Classification of one CSV line by ParseCsvPointRow.
 enum class CsvRow {
   kBlank,               ///< Empty (possibly just "\r") or whitespace-only.
@@ -51,6 +58,10 @@ CsvRow ParseFleetCsvRow(const std::string& line, std::size_t* stream,
 /// corpus when it is available locally.
 StatusOr<Trajectory> ReadPlt(const std::string& path);
 
+/// ReadPlt on in-memory bytes (see ReadCsvFromString).
+StatusOr<Trajectory> ReadPltFromString(const std::string& content,
+                                       const std::string& origin = "<memory>");
+
 /// Writes the GeoLife PLT format (preamble + rows), so emulated datasets
 /// can be fed to existing GeoLife tooling.
 Status WritePlt(const Trajectory& trajectory, const std::string& path);
@@ -66,6 +77,10 @@ Status WritePlt(const Trajectory& trajectory, const std::string& path);
 /// without a parsable LineString `"coordinates"` member (including
 /// MultiLineString/Polygon nesting, which is not supported).
 StatusOr<Trajectory> ReadGeoJson(const std::string& path);
+
+/// ReadGeoJson on in-memory bytes (see ReadCsvFromString).
+StatusOr<Trajectory> ReadGeoJsonFromString(
+    const std::string& content, const std::string& origin = "<memory>");
 
 /// Writes a GeoJSON Feature with a LineString geometry. Timestamps (when
 /// present) go to `properties.times`, which ReadGeoJson restores — so

@@ -20,6 +20,7 @@ Status Errno(const std::string& op, const std::string& path) {
 }  // namespace
 
 PosixFs::~PosixFs() {
+  MutexLock lock(mu_);
   for (const auto& [path, fd] : append_fds_) ::close(fd);
 }
 
@@ -55,7 +56,10 @@ StatusOr<std::string> PosixFs::ReadFile(const std::string& path) {
 }
 
 Status PosixFs::WriteFile(const std::string& path, std::string_view data) {
-  CloseCached(path);
+  {
+    MutexLock lock(mu_);
+    CloseCached(path);
+  }
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Errno("open", path);
   std::size_t written = 0;
@@ -76,13 +80,16 @@ Status PosixFs::WriteFile(const std::string& path, std::string_view data) {
 
 Status PosixFs::Append(const std::string& path, std::string_view data) {
   int fd = -1;
-  const auto it = append_fds_.find(path);
-  if (it != append_fds_.end()) {
-    fd = it->second;
-  } else {
-    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd < 0) return Errno("open", path);
-    append_fds_.emplace(path, fd);
+  {
+    MutexLock lock(mu_);
+    const auto it = append_fds_.find(path);
+    if (it != append_fds_.end()) {
+      fd = it->second;
+    } else {
+      fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd < 0) return Errno("open", path);
+      append_fds_.emplace(path, fd);
+    }
   }
   std::size_t written = 0;
   while (written < data.size()) {
@@ -98,9 +105,14 @@ Status PosixFs::Append(const std::string& path, std::string_view data) {
 }
 
 Status PosixFs::Sync(const std::string& path) {
-  const auto it = append_fds_.find(path);
-  if (it != append_fds_.end()) {
-    if (::fsync(it->second) != 0) return Errno("fsync", path);
+  int cached = -1;
+  {
+    MutexLock lock(mu_);
+    const auto it = append_fds_.find(path);
+    if (it != append_fds_.end()) cached = it->second;
+  }
+  if (cached >= 0) {
+    if (::fsync(cached) != 0) return Errno("fsync", path);
     return Status::Ok();
   }
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -115,14 +127,20 @@ Status PosixFs::Sync(const std::string& path) {
 }
 
 Status PosixFs::Rename(const std::string& from, const std::string& to) {
-  CloseCached(from);
-  CloseCached(to);
+  {
+    MutexLock lock(mu_);
+    CloseCached(from);
+    CloseCached(to);
+  }
   if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
   return Status::Ok();
 }
 
 Status PosixFs::Remove(const std::string& path) {
-  CloseCached(path);
+  {
+    MutexLock lock(mu_);
+    CloseCached(path);
+  }
   if (::unlink(path.c_str()) != 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + path);
     return Errno("unlink", path);

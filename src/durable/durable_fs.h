@@ -29,7 +29,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace frechet_motif {
 
@@ -72,6 +74,12 @@ class DurableFs {
 /// The real filesystem. Append targets keep an open O_APPEND
 /// descriptor, released on Rename/Remove of the path and in the
 /// destructor; Sync fsyncs the cached descriptor when present.
+///
+/// The descriptor cache is guarded by a mutex (annotated for Clang's
+/// thread-safety analysis), so one PosixFs may be shared across
+/// threads that touch *different* paths. Calls against the same path
+/// still need external ordering — the store's commit protocol depends
+/// on append/sync/rename sequencing no lock can provide.
 class PosixFs final : public DurableFs {
  public:
   PosixFs() = default;
@@ -91,10 +99,11 @@ class PosixFs final : public DurableFs {
   Status CreateDir(const std::string& dir) override;
 
  private:
-  void CloseCached(const std::string& path);
+  void CloseCached(const std::string& path) REQUIRES(mu_);
 
+  Mutex mu_;
   /// Open O_APPEND descriptors, one per actively appended file.
-  std::map<std::string, int> append_fds_;
+  std::map<std::string, int> append_fds_ GUARDED_BY(mu_);
 };
 
 }  // namespace frechet_motif

@@ -33,7 +33,11 @@ struct ServeLoopOptions {
   /// Thread-safe drain trigger for callers that run the loop on a
   /// worker thread (tests, embedders). A `sig_atomic_t` is only safe
   /// against signal handlers on the same thread; cross-thread stops
-  /// must use this one.
+  /// must use this one. This flag is the loop's *only* cross-thread
+  /// state (the server core is single-threaded by contract), which is
+  /// why it is a std::atomic rather than a GUARDED_BY field — there is
+  /// no mutex here for Clang's thread-safety analysis to track, and
+  /// the relaxed load below is deliberately race-free on its own.
   const std::atomic<bool>* stop_atomic = nullptr;
 
   /// poll(2) timeout — the upper bound on drain-trigger and timeout

@@ -111,6 +111,13 @@ Status MotifFleetEngine::RunManyParallel(const std::vector<std::size_t>& order,
   // one whole window at a time. Each search runs serially inside its lane
   // (the pool is occupied by the fan-out itself and is not re-entrant)
   // and touches only its own window's state, so lanes share nothing.
+  //
+  // Synchronization here is the RunOnAllLanes barrier, not a lock:
+  // lanes write disjoint `updates` slots, and the merge below starts
+  // only after every lane has returned (ThreadPool joins on its
+  // GUARDED_BY state, see util/thread_pool.h). Clang's thread-safety
+  // analysis has no barrier concept, so this invariant stays enforced
+  // dynamically by the TSan leg over tests/fleet_drain_test.cc.
   std::vector<std::optional<StatusOr<StreamUpdate>>> updates(budget);
   pool_->RunOnAllLanes([&](int lane) {
     std::int64_t begin = 0;

@@ -192,8 +192,12 @@ class BinaryReader {
     std::uint64_t size = 0;
     FM_RETURN_IF_ERROR(GetU64(&size));
     // 8 bytes per element must still be available — guards against a
-    // corrupt length causing a giant allocation.
-    FM_RETURN_IF_ERROR(Need(size * 8));
+    // corrupt length causing a giant allocation. Compare by division:
+    // `Need(size * 8)` would wrap for size >= 2^61 and wave a bogus
+    // length through to a throwing resize() (found by fuzz_snapshot).
+    if (size > remaining() / 8) {
+      return Status::DataLoss("encoded data truncated");
+    }
     v->resize(static_cast<std::size_t>(size));
     for (double& d : *v) FM_RETURN_IF_ERROR(GetDouble(&d));
     return Status::Ok();
@@ -202,7 +206,10 @@ class BinaryReader {
   Status GetI32Vector(std::vector<std::int32_t>* v) {
     std::uint64_t size = 0;
     FM_RETURN_IF_ERROR(GetU64(&size));
-    FM_RETURN_IF_ERROR(Need(size * 4));
+    // Division, not `Need(size * 4)`: see GetDoubleVector.
+    if (size > remaining() / 4) {
+      return Status::DataLoss("encoded data truncated");
+    }
     v->resize(static_cast<std::size_t>(size));
     for (std::int32_t& x : *v) FM_RETURN_IF_ERROR(GetI32(&x));
     return Status::Ok();

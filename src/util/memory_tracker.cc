@@ -1,5 +1,9 @@
 #include "util/memory_tracker.h"
 
+// fmotif-lint-file: allow(locale-format) — FormatBytes renders display
+// text ("1.5 MiB"), not data-plane numbers; see the contract note in
+// util/numeric.h.
+
 #include <array>
 #include <cstdio>
 

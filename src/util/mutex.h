@@ -1,0 +1,95 @@
+#ifndef FRECHET_MOTIF_UTIL_MUTEX_H_
+#define FRECHET_MOTIF_UTIL_MUTEX_H_
+
+/// Annotated locking primitives for Clang's thread-safety analysis.
+///
+/// The analysis (see util/thread_annotations.h) only tracks locks whose
+/// types are annotated as capabilities, and libstdc++'s `std::mutex`
+/// is not — so project code locks through these thin wrappers instead.
+/// They add nothing at runtime: `Mutex` is exactly a `std::mutex`,
+/// `MutexLock` a scope guard, `CondVar` a `std::condition_variable_any`
+/// waiting on the `Mutex` directly.
+///
+/// Idiom (the wait loop stays in the locked scope, so the predicate's
+/// guarded reads are visible to the analysis — no lambda escapes it):
+///
+///   Mutex mu_;
+///   CondVar cv_;
+///   int work_ GUARDED_BY(mu_);
+///
+///   void Consume() {
+///     MutexLock lock(mu_);
+///     while (work_ == 0) cv_.Wait(mu_);
+///     --work_;
+///   }
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace frechet_motif {
+
+/// An annotated `std::mutex`. Lock through `MutexLock` in new code;
+/// the raw Lock/Unlock pair exists for the rare split acquire/release.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings so `CondVar` (a condition_variable_any)
+  /// can wait on the Mutex itself — annotated identically.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scope lock over `Mutex`, visible to the analysis as a scoped
+/// capability: the constructor acquires, the destructor releases, and
+/// guarded fields are accessible for exactly the guard's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a `Mutex`. `Wait` atomically releases
+/// and reacquires the lock, which the analysis cannot see through —
+/// `REQUIRES(mu)` pins the caller-side contract (held on entry, held
+/// again on return), and the implementation opts out of analysis for
+/// the unlock/relock handoff inside `std::condition_variable_any`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — always wait in
+  /// a `while (!predicate)` loop inside the locked scope).
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace frechet_motif
+
+#endif  // FRECHET_MOTIF_UTIL_MUTEX_H_

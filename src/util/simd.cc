@@ -36,6 +36,10 @@ SimdLevel EnvCapOnce() {
   if (env == nullptr || *env == '\0') return SimdLevel::kAvx512;
   SimdLevel level = SimdLevel::kAvx512;
   if (!ParseSimdLevel(env, &level)) {
+    // One-shot env-var diagnostic from a lazy initializer; there is no
+    // Status channel this deep and silently ignoring a typo'd
+    // FMOTIF_SIMD would be worse.
+    // fmotif-lint: allow(stderr)
     std::fprintf(stderr,
                  "[simd] unknown FMOTIF_SIMD value \"%s\" ignored "
                  "(expected scalar, sse2, avx2 or avx512)\n",

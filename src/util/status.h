@@ -36,7 +36,13 @@ const char* StatusCodeToString(StatusCode code);
 /// Usage:
 ///   Status s = DoWork();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a
+/// compile-time warning (an error under the CI warning flags) at every
+/// call site, because a dropped Status is a swallowed error. Functions
+/// that intentionally discard one must say so: `(void)DoWork();` plus
+/// a comment explaining why the failure is unactionable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -107,8 +113,11 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///   StatusOr<Trajectory> t = LoadCsv(path);
 ///   if (!t.ok()) return t.status();
 ///   Use(t.value());
+///
+/// [[nodiscard]] for the same reason Status is: a dropped StatusOr
+/// discards an error *and* the value that was paid for.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a success value.
   StatusOr(T value)  // NOLINT(google-explicit-constructor)

@@ -1,5 +1,9 @@
 #include "util/table_printer.h"
 
+// fmotif-lint-file: allow(locale-format) — the table cells are display
+// text for human-readable stats dumps, not data-plane numbers; see the
+// contract note in util/numeric.h.
+
 #include <algorithm>
 #include <cstdio>
 

@@ -1,0 +1,100 @@
+#ifndef FRECHET_MOTIF_UTIL_THREAD_ANNOTATIONS_H_
+#define FRECHET_MOTIF_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes, wrapped in macros that
+/// vanish on every other compiler.
+///
+/// The repo's lock discipline (which fields a mutex guards, which
+/// functions require it held) used to live in comments and be enforced
+/// only dynamically, by the TSan CI leg. These macros move that
+/// contract into the type system: annotate a member `GUARDED_BY(mu_)`
+/// and a helper `REQUIRES(mu_)`, and `clang -Wthread-safety` rejects —
+/// at compile time, on every path, raced or not — any access outside
+/// the lock. The `thread-safety` CI job compiles the tree with
+/// `-Werror=thread-safety`, so an annotation violation is a build
+/// break, not a flaky race report.
+///
+/// The analysis only understands lock types that are themselves
+/// annotated as capabilities. libstdc++'s `std::mutex` is not, so the
+/// project locks through `util/mutex.h`'s annotated wrappers
+/// (`Mutex`, `MutexLock`, `CondVar`) instead of raw `std::mutex`.
+///
+/// Macro names and semantics follow the Clang documentation (and the
+/// Abseil/LLVM convention), so the annotations read the same here as
+/// in any production serving stack:
+///
+///   GUARDED_BY(mu)    field: accessed only with `mu` held.
+///   PT_GUARDED_BY(mu) pointer field: the pointee needs `mu`.
+///   REQUIRES(mu)      function: caller must hold `mu`.
+///   ACQUIRE(mu)       function: acquires `mu`, returns holding it.
+///   RELEASE(mu)       function: caller holds `mu`; returns without it.
+///   TRY_ACQUIRE(b,mu) function: acquires `mu` iff it returns `b`.
+///   EXCLUDES(mu)      function: caller must NOT hold `mu` (deadlock
+///                     guard for self-locking entry points).
+///   CAPABILITY(name)  type: is a lock (names the capability in
+///                     diagnostics, e.g. "mutex").
+///   SCOPED_CAPABILITY type: RAII object acquiring in its constructor
+///                     and releasing in its destructor.
+///   ASSERT_CAPABILITY(mu)         function: runtime-asserts `mu` held.
+///   RETURN_CAPABILITY(mu)         function: returns a reference to `mu`.
+///   NO_THREAD_SAFETY_ANALYSIS     function: opt out (use sparingly,
+///                                 with a comment saying why).
+
+#if defined(__clang__) && !defined(SWIG)
+#define FM_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) FM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY FM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) FM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) FM_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) FM_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) FM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FM_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // FRECHET_MOTIF_UTIL_THREAD_ANNOTATIONS_H_

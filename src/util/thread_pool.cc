@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -26,18 +26,18 @@ void ThreadPool::WorkerLoop(int lane) {
   while (true) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return shutting_down_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && generation_ == seen_generation) {
+        work_ready_.Wait(mutex_);
+      }
       if (shutting_down_ && generation_ == seen_generation) return;
       seen_generation = generation_;
       job = job_;
     }
     (*job)(lane);
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) work_done_.notify_one();
+      MutexLock lock(mutex_);
+      if (--outstanding_ == 0) work_done_.NotifyOne();
     }
   }
 }
@@ -48,16 +48,16 @@ void ThreadPool::RunOnAllLanes(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     outstanding_ = static_cast<int>(workers_.size());
     ++generation_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   fn(0);  // the caller is lane 0
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock, [&] { return outstanding_ == 0; });
+    MutexLock lock(mutex_);
+    while (outstanding_ != 0) work_done_.Wait(mutex_);
     job_ = nullptr;
   }
 }

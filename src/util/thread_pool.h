@@ -1,12 +1,13 @@
 #ifndef FRECHET_MOTIF_UTIL_THREAD_POOL_H_
 #define FRECHET_MOTIF_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace frechet_motif {
 
@@ -65,13 +66,18 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;  // bumped per job; workers wake on change
-  int outstanding_ = 0;           // workers still running the current job
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  /// The job being fanned out. Workers read it under the lock, then
+  /// invoke it unlocked — safe because RunOnAllLanes keeps the target
+  /// alive until every lane reports done.
+  const std::function<void(int)>* job_ GUARDED_BY(mutex_) = nullptr;
+  /// Bumped per job; workers wake on change.
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  /// Workers still running the current job.
+  int outstanding_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Resolves a requested thread count from Options: values >= 1 are taken

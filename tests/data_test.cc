@@ -362,6 +362,55 @@ TEST(IoTest, ParseCsvPointRowClassifiesLines) {
   EXPECT_EQ(99.25, ts);
 }
 
+TEST(IoTest, FromStringParsersMatchFileReaders) {
+  // The *FromString entry points are the byte-level primitives behind
+  // the file readers (and the surface the fuzz harnesses drive); both
+  // routes must produce the same trajectory.
+  const std::string csv = "lat,lon,timestamp\n1.5,2.5,0.0\n1.6,2.6,1.0\n";
+  StatusOr<Trajectory> from_string = ReadCsvFromString(csv);
+  ASSERT_TRUE(from_string.ok()) << from_string.status();
+  EXPECT_EQ(from_string.value().size(), 2);
+  EXPECT_TRUE(from_string.value().has_timestamps());
+
+  const std::string path = TempPath("from_string.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(csv.c_str(), f);
+    fclose(f);
+  }
+  StatusOr<Trajectory> from_file = ReadCsv(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  ASSERT_EQ(from_file.value().size(), from_string.value().size());
+  for (Index i = 0; i < from_file.value().size(); ++i) {
+    EXPECT_EQ(from_file.value()[i].lat(), from_string.value()[i].lat());
+    EXPECT_EQ(from_file.value()[i].lon(), from_string.value()[i].lon());
+  }
+  std::remove(path.c_str());
+
+  StatusOr<Trajectory> geojson = ReadGeoJsonFromString(
+      "{\"coordinates\":[[2.5,1.5],[2.6,1.6]]}");
+  ASSERT_TRUE(geojson.ok()) << geojson.status();
+  EXPECT_EQ(geojson.value().size(), 2);
+
+  StatusOr<Trajectory> plt = ReadPltFromString(
+      "a\nb\nc\nd\ne\nf\n1.5,2.5,0,0,39448.5,1899-12-30,12:00:00\n");
+  ASSERT_TRUE(plt.ok()) << plt.status();
+  EXPECT_EQ(plt.value().size(), 1);
+  EXPECT_TRUE(plt.value().has_timestamps());
+}
+
+TEST(IoTest, FromStringErrorsNameTheOrigin) {
+  StatusOr<Trajectory> r = ReadCsvFromString("1.0,2.0\nnot,numbers\n",
+                                             "wire-input");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("wire-input"), std::string::npos);
+  // The default origin marks the bytes as non-file input.
+  StatusOr<Trajectory> d = ReadCsvFromString("");
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("<memory>"), std::string::npos);
+}
+
 TEST(IoTest, ReadMissingFileIsIoError) {
   StatusOr<Trajectory> r = ReadCsv("/nonexistent/definitely/missing.csv");
   EXPECT_FALSE(r.ok());

@@ -119,7 +119,7 @@ TEST(DurableRecoveryFuzz, OpLevelCrashesRecoverBitExact) {
       ASSERT_EQ(s, oracle.value().AddStream().value());
     }
     for (const std::size_t s : schedule) {
-      ASSERT_TRUE(oracle.value().Push(s, data[s][cursor[s]++]).ok());
+      ASSERT_TRUE(oracle.value().Push(s, data[s][static_cast<Index>(cursor[s]++)]).ok());
     }
 
     testing_util::FaultFs fs(seed + 77 * static_cast<std::uint64_t>(round));
@@ -165,7 +165,7 @@ TEST(DurableRecoveryFuzz, OpLevelCrashesRecoverBitExact) {
           fs.CrashAfter(rng.NextInt(1, 25));
           armed = true;
         }
-        auto push = fleet.value().Push(s, data[s][index]);
+        auto push = fleet.value().Push(s, data[s][static_cast<Index>(index)]);
         if (!push.ok()) {
           ASSERT_TRUE(fs.crashed()) << push.status();
           break;
@@ -267,7 +267,7 @@ TEST(DurableRecoveryFuzz, ReorderedSegmentsSurviveKillsBetweenCalls) {
       for (; fed < until; ++fed) {
         const std::size_t s = schedule[fed];
         const std::size_t index = seen[s]++;
-        const Point& p = data[s][index];
+        const Point& p = data[s][static_cast<Index>(index)];
         const double ts = stamps[s][index];
         auto live = fleet.value().Push(s, p, ts);
         auto want = oracle.value().Push(s, p, ts);
@@ -326,9 +326,11 @@ TEST(DurableRecoveryFuzz, CorruptSnapshotFallsBackAGeneration) {
       std::vector<std::size_t> cursor(config.streams, 0);
       const std::size_t half = schedule.size() / 2;
       for (std::size_t k = 0; k < schedule.size(); ++k) {
-        if (k == half) ASSERT_TRUE(fleet.value().Checkpoint().ok());
+        if (k == half) {
+          ASSERT_TRUE(fleet.value().Checkpoint().ok());
+        }
         const std::size_t s = schedule[k];
-        const Point& p = data[s][cursor[s]++];
+        const Point& p = data[s][static_cast<Index>(cursor[s]++)];
         ASSERT_TRUE(fleet.value().Push(s, p).ok());
         ASSERT_TRUE(oracle.value().Push(s, p).ok());
         if (k >= half) ++tail_records;
@@ -380,7 +382,7 @@ TEST(DurableRecoveryFuzz, UnsyncedJournalTailLosesOnlyTheTail) {
       ASSERT_EQ(s, oracle.value().AddStream().value());
     }
     for (const std::size_t s : schedule) {
-      ASSERT_TRUE(oracle.value().Push(s, data[s][cursor[s]++]).ok());
+      ASSERT_TRUE(oracle.value().Push(s, data[s][static_cast<Index>(cursor[s]++)]).ok());
     }
 
     testing_util::FaultFs fs(seed + 13 * static_cast<std::uint64_t>(round));
@@ -401,7 +403,7 @@ TEST(DurableRecoveryFuzz, UnsyncedJournalTailLosesOnlyTheTail) {
       std::vector<std::size_t> seen(config.streams, 0);
       for (std::size_t k = 0; k < prefix; ++k) {
         const std::size_t s = schedule[k];
-        ASSERT_TRUE(fleet.value().Push(s, data[s][seen[s]++]).ok());
+        ASSERT_TRUE(fleet.value().Push(s, data[s][static_cast<Index>(seen[s]++)]).ok());
       }
     }
     fs.Restart();  // hard kill: the unsynced tail collapses
@@ -422,7 +424,7 @@ TEST(DurableRecoveryFuzz, UnsyncedJournalTailLosesOnlyTheTail) {
     for (const std::size_t s : schedule) {
       const std::size_t index = seen[s]++;
       if (index < cursor[s]) continue;
-      ASSERT_TRUE(fleet.value().Push(s, data[s][index]).ok());
+      ASSERT_TRUE(fleet.value().Push(s, data[s][static_cast<Index>(index)]).ok());
     }
     ASSERT_TRUE(fleet.value().Sync().ok());
     ExpectSameEngineState(oracle.value(), fleet.value().engine());

@@ -99,6 +99,26 @@ TEST(BinaryCodec, CorruptVectorLengthDoesNotAllocate) {
   EXPECT_EQ(StatusCode::kDataLoss, reader.GetDoubleVector(&v).code());
 }
 
+TEST(BinaryCodec, VectorLengthOverflowIsDataLoss) {
+  // Regression pinned from fuzz_snapshot (the committed input is
+  // tests/fuzz/corpus/fuzz_snapshot/overflow-u64-len): a length of
+  // 2^61 made the old `Need(size * 8)` byte-count wrap to zero, so the
+  // truncation check passed and resize(2^61) threw — violating the
+  // library's no-throw contract on corrupt input.
+  for (const std::uint64_t size :
+       {std::uint64_t{1} << 61, ~std::uint64_t{0},
+        (~std::uint64_t{0} >> 3) + 1}) {
+    BinaryWriter writer;
+    writer.PutU64(size);
+    BinaryReader dreader(writer.bytes());
+    std::vector<double> dv;
+    EXPECT_EQ(StatusCode::kDataLoss, dreader.GetDoubleVector(&dv).code());
+    BinaryReader ireader(writer.bytes());
+    std::vector<std::int32_t> iv;
+    EXPECT_EQ(StatusCode::kDataLoss, ireader.GetI32Vector(&iv).code());
+  }
+}
+
 TEST(BinaryCodec, Crc32MatchesKnownVector) {
   // The CRC-32/ISO-HDLC check value (zlib/PNG convention).
   EXPECT_EQ(0xCBF43926u, Crc32("123456789"));
@@ -202,7 +222,9 @@ TEST(StateStore, TornJournalTailIsDroppedCleanly) {
   ASSERT_GE(records.size(), 1u);
   ASSERT_LE(records.size(), 2u);
   EXPECT_EQ("durable-record", records[0]);
-  if (records.size() == 2) EXPECT_EQ("volatile-record", records[1]);
+  if (records.size() == 2) {
+    EXPECT_EQ("volatile-record", records[1]);
+  }
 }
 
 TEST(StateStore, AllSnapshotsCorruptIsDataLossNotSilentRestart) {

@@ -1,0 +1,58 @@
+/// Fuzz harness for the CSV row parsers and whole-document reader:
+/// ParseCsvPointRow, ParseFleetCsvRow (the serve tier's ingest dialect)
+/// and ReadCsvFromString. These chew bytes straight off sockets and
+/// user files, so the contract under arbitrary input is: classify or
+/// return Status — never crash, throw, hang, or read out of bounds.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/io.h"
+
+namespace {
+
+using frechet_motif::CsvRow;
+
+/// kPoint must fully populate its outputs; trap if a path skipped one.
+void CheckRow(CsvRow row, double lat, double lon, double ts, bool has_ts) {
+  if (row != CsvRow::kPoint) return;
+  // The parser wrote through every pointer; reading them back must be
+  // defined behavior (MSan/UBSan would flag an uninitialized read).
+  volatile double sink = lat + lon;
+  if (has_ts) sink = sink + ts;
+  (void)sink;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  // Line-level primitives, fed the same way the stream frontends do.
+  std::size_t start = 0;
+  while (start <= input.size()) {
+    const std::size_t nl = input.find('\n', start);
+    const std::string line =
+        nl == std::string::npos ? input.substr(start)
+                                : input.substr(start, nl - start);
+    double lat = 0.0;
+    double lon = 0.0;
+    double ts = 0.0;
+    bool has_ts = false;
+    CheckRow(frechet_motif::ParseCsvPointRow(line, &lat, &lon, &ts, &has_ts),
+             lat, lon, ts, has_ts);
+    std::size_t stream = 0;
+    CheckRow(frechet_motif::ParseFleetCsvRow(line, &stream, &lat, &lon, &ts,
+                                             &has_ts),
+             lat, lon, ts, has_ts);
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+
+  // Whole-document reader: Status is the only acceptable failure mode.
+  auto result = frechet_motif::ReadCsvFromString(input);
+  if (result.ok() && result.value().size() <= 0) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// Fuzz harness for the GeoJSON LineString reader
+/// (ReadGeoJsonFromString): hand-rolled scanning over untrusted text,
+/// so the interesting bugs are offset arithmetic past the end of the
+/// document and unterminated-array loops. Contract: Status or a
+/// non-empty trajectory, never a crash or hang.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  auto result = frechet_motif::ReadGeoJsonFromString(input);
+  // The parser rejects empty coordinate lists, so success implies at
+  // least one point, with timestamps either absent or one per point.
+  if (result.ok()) {
+    const frechet_motif::Trajectory& t = result.value();
+    if (t.size() <= 0) __builtin_trap();
+    for (frechet_motif::Index i = 0; i < t.size(); ++i) {
+      volatile double sink = t[i].lat() + t[i].lon();
+      if (t.has_timestamps()) sink = sink + t.timestamp(i);
+      (void)sink;
+    }
+  }
+  return 0;
+}

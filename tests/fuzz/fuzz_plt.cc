@@ -1,0 +1,22 @@
+/// Fuzz harness for the GeoLife PLT reader (ReadPltFromString): a
+/// line-oriented format with a fixed 6-line preamble and a fractional
+/// "days" timestamp column. Contract: Status or a non-empty timestamped
+/// trajectory, never a crash or hang.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  auto result = frechet_motif::ReadPltFromString(input);
+  if (result.ok()) {
+    const frechet_motif::Trajectory& t = result.value();
+    // Every accepted PLT row carries a timestamp.
+    if (t.size() <= 0 || !t.has_timestamps()) __builtin_trap();
+  }
+  return 0;
+}

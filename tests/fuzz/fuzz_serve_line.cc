@@ -1,0 +1,96 @@
+/// Fuzz harness for the serve tier's line protocol: the fuzz input is
+/// the raw byte stream a TCP peer sends, delivered through the
+/// FaultConn in-memory socket (tests/fault_socket.h) in deliberately
+/// torn chunks so the line reassembly buffer is exercised at every
+/// split point. This drives MotifServer's private HandleLine through
+/// the same OnReadable path production uses.
+///
+/// Contract under arbitrary peer bytes: the server answers with error
+/// frames, evicts, or closes — it never crashes, never wedges (every
+/// pump loop below is bounded), and Shutdown still succeeds.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault_socket.h"
+#include "geo/metric.h"
+#include "serve/motif_server.h"
+
+namespace {
+
+using frechet_motif::MotifServer;
+using frechet_motif::ServeOptions;
+using frechet_motif::testing_util::FaultConn;
+
+/// Small windows so motifs (and their report frames) appear within a
+/// few ingested rows; tight limits so the oversized/pending-overflow
+/// eviction paths are reachable from short fuzz inputs.
+ServeOptions SmallOptions() {
+  ServeOptions options;
+  options.fleet.stream.window_length = 8;
+  options.fleet.stream.slide_step = 2;
+  options.fleet.stream.min_length_xi = 2;
+  options.limits.max_connections = 2;
+  options.limits.max_line_bytes = 96;
+  options.limits.max_ingest_pending_bytes = 512;
+  options.limits.subscriber_queue_bytes = 1024;
+  options.limits.subscriber_queue_high_water_bytes = 2048;
+  return options;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bound per-input work: beyond a few KiB the harness only re-proves
+  // the same loops and the fuzzer's throughput collapses.
+  if (size > 4096) size = 4096;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  auto server_or = MotifServer::Create(SmallOptions(),
+                                       frechet_motif::Euclidean());
+  if (!server_or.ok()) __builtin_trap();  // in-memory Create cannot fail
+  MotifServer server = std::move(server_or).value();
+
+  FaultConn conn;
+  std::int64_t now = 0;
+  const MotifServer::ConnId id = server.OnAccept(conn.NewSocket(), now);
+
+  // Derive tear points from the input itself (no RNG: reproducibility
+  // is the corpus file). Each chunk is 1..16 bytes, sized by the first
+  // byte of the previous chunk.
+  std::size_t at = 0;
+  while (at < input.size() && server.Connected(id)) {
+    const std::size_t chunk =
+        1 + static_cast<std::size_t>(
+                static_cast<std::uint8_t>(input[at]) % 16);
+    conn.Feed(input.substr(at, chunk));
+    at += chunk;
+    server.OnReadable(id, ++now);
+    // Bounded pump: stalling forever here would be a server bug.
+    int guard = 0;
+    while (server.Connected(id) && conn.unread() > 0 && ++guard < 64) {
+      server.OnReadable(id, ++now);
+    }
+    if (guard >= 64) __builtin_trap();
+    server.OnWritable(id, now);
+    server.Tick(now);
+    conn.TakeOutput();  // keep the in-memory outbound buffer small
+  }
+
+  // Half-close, then drain and shut down — the teardown paths must be
+  // reachable from any protocol state the input left behind.
+  conn.FeedEof();
+  if (server.Connected(id)) server.OnReadable(id, ++now);
+  server.BeginDrain(++now);
+  int guard = 0;
+  while (!server.DrainComplete() && ++guard < 128) {
+    server.Tick(now += 100);
+    if (server.Connected(id)) server.OnWritable(id, now);
+  }
+  if (guard >= 128) __builtin_trap();
+  if (!server.Shutdown().ok()) __builtin_trap();
+  return 0;
+}

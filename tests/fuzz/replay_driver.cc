@@ -1,0 +1,91 @@
+/// Standalone corpus-replay driver for the fuzz harnesses.
+///
+/// Under Clang the harnesses link against libFuzzer (-fsanitize=fuzzer),
+/// which brings its own main(). Everywhere else — GCC builds, CI legs
+/// without a fuzzing runtime — this file supplies the entry point: each
+/// argument is a corpus file or a flat directory of them, every input is
+/// fed through LLVMFuzzerTestOneInput once, and the run fails if no
+/// input was found (an empty corpus means a wiring bug, not a clean
+/// pass). This is what the `*_corpus` CTest cases execute, so the
+/// harness code itself is compiled and exercised by every build, not
+/// just the libFuzzer one.
+///
+/// libFuzzer flags (leading '-') are ignored so the same CTest command
+/// line shape works in both modes.
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool IsDirectory(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Files under `path` (one level; corpora are flat), or `path` itself.
+std::vector<std::string> Collect(const std::string& path) {
+  std::vector<std::string> files;
+  if (!IsDirectory(path)) {
+    files.push_back(path);
+    return files;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return files;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string full = path + "/" + name;
+    if (!IsDirectory(full)) files.push_back(full);
+  }
+  ::closedir(dir);
+  std::sort(files.begin(), files.end());  // deterministic replay order
+  return files;
+}
+
+bool RunOne(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  std::printf("ok %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer flag compatibility
+    for (const std::string& file : Collect(argv[i])) {
+      if (!RunOne(file)) return 1;
+      ++replayed;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "replay: no corpus inputs found\n");
+    return 1;
+  }
+  std::printf("replayed %d inputs\n", replayed);
+  return 0;
+}

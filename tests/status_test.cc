@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <utility>
 
 namespace frechet_motif {
 namespace {
@@ -87,6 +89,51 @@ TEST(StatusOrTest, ReturnIfErrorMacroPropagates) {
     return Status::Ok();
   };
   EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, ReturnIfErrorEvaluatesExpressionOnce) {
+  // A double evaluation here would double-apply side effects at every
+  // FM_RETURN_IF_ERROR call site in the library.
+  int calls = 0;
+  auto counted = [&] {
+    ++calls;
+    return Status::Ok();
+  };
+  auto wrapper = [&]() -> Status {
+    FM_RETURN_IF_ERROR(counted());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(wrapper().ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(StatusOrTest, StatusAccessorIsOkWhenHoldingValue) {
+  StatusOr<int> v = 3;
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOk);
+}
+
+TEST(StatusOrTest, ValueOrReturnsFallbackOnError) {
+  StatusOr<int> e = Status::NotFound("gone");
+  EXPECT_EQ(e.value_or(9), 9);
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.status().message(), "gone");
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOutThroughRvalueValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(42);
+  ASSERT_TRUE(v.ok());
+  const std::unique_ptr<int> out = std::move(v).value();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(StatusOrTest, ErrorStateKeepsFullMessageAcrossCopies) {
+  const StatusOr<int> e = Status::DataLoss("snap-000007: bad crc");
+  const StatusOr<int> copy = e;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status(), e.status());
+  EXPECT_EQ(copy.status().ToString(), "DataLoss: snap-000007: bad crc");
 }
 
 }  // namespace

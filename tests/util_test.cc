@@ -204,6 +204,63 @@ TEST(FlagsTest, BoolValueSpellings) {
   EXPECT_TRUE(flags.GetBool("d", true));  // unknown spelling -> default
 }
 
+TEST(FlagsTest, RejectsEmptyFlagName) {
+  const char* argv[] = {"prog", "--=x"};
+  Flags flags;
+  const Status s = flags.Parse(2, argv);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, LastDuplicateWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, EmptyValueIsPresentButFallsBackPerType) {
+  const char* argv[] = {"prog", "--name="};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name", "d"), "");
+  EXPECT_EQ(flags.GetInt("name", 7), 7);
+  EXPECT_TRUE(flags.GetBool("name", true));
+  EXPECT_FALSE(flags.GetBool("name", false));
+}
+
+TEST(FlagsTest, TrailingGarbageNumbersFallBack) {
+  const char* argv[] = {"prog", "--n=12abc", "--eps=1.5x"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(flags.GetInt("n", -1), -1);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", -1.0), -1.0);
+}
+
+TEST(FlagsTest, IntListSkipsMalformedAndEmptyEntries) {
+  const char* argv[] = {"prog", "--xs=1,zz,3,", "--ys=,,"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  const std::vector<std::int64_t> xs = flags.GetIntList("xs", {});
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], 1);
+  EXPECT_EQ(xs[1], 3);
+  // Nothing parsable at all -> the default, not an empty list.
+  const std::vector<std::int64_t> ys = flags.GetIntList("ys", {42});
+  ASSERT_EQ(ys.size(), 1u);
+  EXPECT_EQ(ys[0], 42);
+}
+
+TEST(FlagsTest, BarePresenceReadsAsTrueString) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetString("verbose", ""), "true");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
 // ------------------------------------------------------------ table printer
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the project compile database.
+
+Usage:
+    python3 tools/run_clang_tidy.py -p build [paths...] [-j N] [--fix]
+
+`-p` names a build directory configured with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo root CMakeLists turns this
+on by default, so any configured build tree works). `paths` filter the
+translation units by prefix, default: src tools bench examples — tests
+are excluded because gtest's macro expansion trips checks we do not
+own. Findings are printed as the compiler would; exit status is 1 when
+any TU produced one (the .clang-tidy profile sets WarningsAsErrors, so
+clang-tidy itself reports them as errors). This is what the CI `lint`
+job runs; locally it needs a clang-tidy on PATH (or --binary).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ("src", "tools", "bench", "examples")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build directory holding compile_commands.json")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="repo-relative path prefixes to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 1)
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggested fixes (runs serially: "
+                             "parallel fixers race on shared headers)")
+    parser.add_argument("--binary", default=None,
+                        help="clang-tidy executable (default: newest "
+                             "clang-tidy[-N] on PATH)")
+    args = parser.parse_args()
+
+    root = Path(__file__).resolve().parent.parent
+    build = Path(args.build_dir)
+    if not build.is_absolute():
+        build = root / build
+    db_path = build / "compile_commands.json"
+    if not db_path.exists():
+        print(f"error: {db_path} not found — configure the build dir with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo default) first",
+              file=sys.stderr)
+        return 2
+
+    binary = args.binary or find_clang_tidy()
+    if binary is None:
+        print("error: no clang-tidy on PATH (try --binary)", file=sys.stderr)
+        return 2
+
+    with open(db_path) as f:
+        database = json.load(f)
+    prefixes = tuple(str((root / p).resolve()) + os.sep for p in args.paths)
+    files = sorted({
+        str(Path(entry["directory"], entry["file"]).resolve())
+        for entry in database
+    })
+    files = [f for f in files if f.startswith(prefixes)]
+    if not files:
+        print("error: no translation units matched "
+              f"{args.paths} in {db_path}", file=sys.stderr)
+        return 2
+
+    cmd_base = [binary, "-p", str(build), "--quiet"]
+    if args.fix:
+        cmd_base.append("--fix")
+        args.jobs = 1
+
+    print(f"clang-tidy ({binary}) over {len(files)} TUs, "
+          f"{args.jobs} jobs", flush=True)
+    failed = []
+
+    def run_one(path):
+        proc = subprocess.run(cmd_base + [path], capture_output=True,
+                              text=True)
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, out, err in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if code != 0 or "warning:" in out or "error:" in out:
+                failed.append(rel)
+                print(f"--- {rel}")
+                if out.strip():
+                    print(out.strip())
+                # clang-tidy writes config/database problems to stderr;
+                # suppressed-warning chatter is filtered by --quiet.
+                if code != 0 and err.strip():
+                    print(err.strip(), file=sys.stderr)
+            else:
+                print(f"ok  {rel}", flush=True)
+
+    if failed:
+        print(f"\nclang-tidy: findings in {len(failed)} TU(s):",
+              file=sys.stderr)
+        for rel in failed:
+            print(f"  {rel}", file=sys.stderr)
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+def find_clang_tidy():
+    """Newest clang-tidy on PATH: bare name first, then versioned."""
+    if shutil.which("clang-tidy"):
+        return "clang-tidy"
+    for version in range(25, 13, -1):
+        name = f"clang-tidy-{version}"
+        if shutil.which(name):
+            return name
+    return None
+
+
+if __name__ == "__main__":
+    sys.exit(main())
