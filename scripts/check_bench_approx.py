@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a bench_approx_sweep JSON artifact (BENCH_approx.json).
+
+The sweep measures the (1+eps) approximate-search knob on a near-tie
+workload: for each eps it records DP-cell counts and achieved-distance
+ratios for a batch leg (FindMotif) and a streaming leg
+(StreamingMotifMonitor). This script re-checks the invariants the bench
+itself enforces at run time, so the *committed* artifact cannot rot:
+
+  1. every achieved-distance ratio is within the advertised (1+eps)
+     bound (the streaming leg records its worst ratio across slides);
+  2. the eps = 0 row of each leg is bit-identical to the exact baseline
+     (bit_identical_to_exact == 1) and has ratio exactly 1;
+  3. DP cells are non-increasing as eps grows — a larger tolerance must
+     never do more work on the recorded workload;
+  4. with --min-stream-reduction R, the streaming leg at --at-eps (default
+     0.05) must cut DP cells by at least R vs the exact run — the
+     acceptance bar for the committed artifact (skip it for smoke runs,
+     whose tiny workload makes the reduction noisy).
+
+Usage:
+  scripts/check_bench_approx.py BENCH_approx.json \
+      [--min-stream-reduction 0.30] [--at-eps 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+# Headroom for the decimal JSON round-trip of the ratio; the bench
+# enforced the exact bound on the original doubles.
+RATIO_SLACK = 1e-9
+
+
+def leg_rows(doc, name):
+    rows = [k for k in doc["kernels"] if k["name"] == name]
+    if len(rows) < 2:
+        raise SystemExit(f"{name}: expected >= 2 eps rows, found {len(rows)}")
+    rows.sort(key=lambda k: k["approx_eps"])
+    if rows[0]["approx_eps"] != 0.0:
+        raise SystemExit(f"{name}: no eps = 0 baseline row")
+    return rows
+
+
+def check_leg(rows, ratio_key):
+    name = rows[0]["name"]
+    previous_cells = None
+    for row in rows:
+        eps = row["approx_eps"]
+        ratio = row[ratio_key]
+        if not 1.0 - RATIO_SLACK <= ratio <= (1.0 + eps) * (1.0 + RATIO_SLACK):
+            raise SystemExit(
+                f"{name} eps={eps}: {ratio_key} {ratio!r} outside [1, 1+eps]")
+        if eps == 0.0:
+            if row["bit_identical_to_exact"] != 1.0:
+                raise SystemExit(f"{name}: eps = 0 row is not bit-identical "
+                                 "to the exact baseline")
+            if ratio != 1.0:
+                raise SystemExit(f"{name}: eps = 0 ratio {ratio!r} != 1")
+        if previous_cells is not None and row["dfd_cells"] > previous_cells:
+            raise SystemExit(
+                f"{name} eps={eps}: dfd_cells {row['dfd_cells']:.0f} exceeds "
+                f"the previous eps level's {previous_cells:.0f}")
+        previous_cells = row["dfd_cells"]
+        print(f"ok: {name} eps={eps:<5g} cells={row['dfd_cells']:<12.0f} "
+              f"{ratio_key}={ratio:.6f}")
+
+
+def check_reduction(rows, at_eps, minimum):
+    row = next((r for r in rows if r["approx_eps"] == at_eps), None)
+    if row is None:
+        raise SystemExit(f"stream_search: no eps = {at_eps} row to gate on")
+    reduction = 1.0 - row["cells_vs_exact"]
+    if reduction < minimum:
+        raise SystemExit(
+            f"stream_search eps={at_eps}: DP-cell reduction "
+            f"{100 * reduction:.1f}% below the required "
+            f"{100 * minimum:.1f}%")
+    print(f"ok: stream_search eps={at_eps} cuts DP cells by "
+          f"{100 * reduction:.1f}% (>= {100 * minimum:.1f}% required)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--min-stream-reduction", type=float, default=None,
+                        help="required fractional DP-cell reduction of the "
+                             "streaming leg at --at-eps (e.g. 0.30)")
+    parser.add_argument("--at-eps", type=float, default=0.05)
+    args = parser.parse_args()
+
+    with open(args.json_path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "approx_sweep":
+        raise SystemExit(f"{args.json_path}: not an approx_sweep artifact")
+
+    batch = leg_rows(doc, "batch_search")
+    stream = leg_rows(doc, "stream_search")
+    check_leg(batch, "distance_ratio")
+    check_leg(stream, "max_distance_ratio")
+    if args.min_stream_reduction is not None:
+        check_reduction(stream, args.at_eps, args.min_stream_reduction)
+    print(f"ok: {args.json_path} approx-sweep invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

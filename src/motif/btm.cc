@@ -170,6 +170,9 @@ StatusOr<MotifResult> BtmMotif(const DistanceProvider& dist,
   const Index n = dist.rows();
   const Index m = dist.cols();
   FM_RETURN_IF_ERROR(ValidateMotifInput(options.motif, n, m));
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument("approximation_epsilon must be >= 0");
+  }
 
   if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
 

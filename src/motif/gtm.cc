@@ -24,9 +24,16 @@ struct GroupEntry {
 /// One pruning round at the current τ: filters `pairs` down to the
 /// survivors, tightening the threshold with GUB_DFD along the way
 /// (Algorithm 3 lines 3-13).
+///
+/// `lb_scale` = 1+ε implements the approximate mode: lower-bound prunes
+/// fire at lb·(1+ε) > threshold, and a GUB tightening contributes
+/// gub·(1+ε) so the candidate witnessing the upper bound (dF <= gub, see
+/// Grouping::DfdBounds) can never be ε-pruned — its containing pair's
+/// glb <= gub keeps glb·(1+ε) <= gub·(1+ε) <= threshold at every round,
+/// which preserves both found-ness and the (1+ε) result guarantee.
 std::vector<std::pair<Index, Index>> PruneGroupPairs(
     const Grouping& grouping, const std::vector<std::pair<Index, Index>>& pairs,
-    SearchState* state, MotifStats* stats) {
+    double lb_scale, SearchState* state, MotifStats* stats) {
   std::vector<GroupEntry> entries;
   entries.reserve(pairs.size());
   for (const auto& [u, v] : pairs) {
@@ -42,7 +49,7 @@ std::vector<std::pair<Index, Index>> PruneGroupPairs(
   for (std::size_t k = 0; k < entries.size(); ++k) {
     const GroupEntry& e = entries[k];
     if (stats != nullptr) ++stats->group_pairs_total;
-    if (e.lb > state->threshold) {
+    if (e.lb * lb_scale > state->threshold) {
       // Sorted queue: every remaining pattern bound is at least as large.
       if (stats != nullptr) {
         stats->group_pairs_pruned_pattern +=
@@ -55,11 +62,11 @@ std::vector<std::pair<Index, Index>> PruneGroupPairs(
     double glb = 0.0;
     double gub = 0.0;
     grouping.DfdBounds(e.u, e.v, state->threshold, &glb, &gub);
-    if (gub < state->threshold) {
-      state->threshold = gub;
+    if (gub * lb_scale < state->threshold) {
+      state->threshold = gub * lb_scale;
       if (stats != nullptr) ++stats->gub_tightenings;
     }
-    if (glb > state->threshold) {
+    if (glb * lb_scale > state->threshold) {
       if (stats != nullptr) ++stats->group_pairs_pruned_dfd_bound;
       continue;
     }
@@ -78,6 +85,10 @@ StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
   if (options.group_size_tau < 1) {
     return Status::InvalidArgument("group_size_tau must be >= 1");
   }
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument("approximation_epsilon must be >= 0");
+  }
+  const double lb_scale = 1.0 + options.approximation_epsilon;
 
   Timer timer;
   if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
@@ -122,7 +133,7 @@ StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
       have_pairs = true;
     }
     const std::vector<std::pair<Index, Index>> survivors =
-        PruneGroupPairs(grouping, pairs, &state, stats);
+        PruneGroupPairs(grouping, pairs, lb_scale, &state, stats);
 
     // Halve τ: each survivor splits into the child pairs whose point spans
     // intersect the parent's (Algorithm 3 line 14). For odd τ the child
@@ -172,7 +183,7 @@ StatusOr<MotifResult> GtmMotif(const DistanceProvider& dist,
   }
   RunSubsetQueue(dist, motif, &entries, &rb, options.use_end_cross,
                  /*sort_entries=*/true, &state, stats, /*caps=*/nullptr,
-                 /*lb_scale=*/1.0, pool);
+                 lb_scale, pool);
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
 
   MotifResult result;

@@ -29,6 +29,18 @@ struct GtmOptions {
 
   /// Enables end-cell cross pruning in the final point-level phase.
   bool use_end_cross = true;
+
+  /// Approximation knob (the paper's Section 7 future-work direction),
+  /// with the same contract as BtmOptions: every lower-bound prune —
+  /// group pattern bounds, GLB_DFD, and the point-level subset queue —
+  /// fires as soon as lb·(1+ε) exceeds the threshold, and the returned
+  /// distance is guaranteed to be at most (1+ε) times the optimum. A
+  /// GUB_DFD tightening contributes gub·(1+ε) instead of gub, which is
+  /// what keeps the guarantee: the candidate witnessing the upper bound
+  /// satisfies every scaled prune (its bounds never exceed gub), so a
+  /// result no worse than gub is always found. 0 (default) keeps GTM
+  /// exact and bit-identical to today's output. Must be >= 0.
+  double approximation_epsilon = 0.0;
 };
 
 /// GTM (Algorithm 3): multi-level grouping. Each round groups the

@@ -31,6 +31,13 @@ StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
   if (options.group_size_tau < 1) {
     return Status::InvalidArgument("group_size_tau must be >= 1");
   }
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument("approximation_epsilon must be >= 0");
+  }
+  // (1+ε) scale on every lower-bound prune; GUB tightenings contribute
+  // gub·(1+ε) so the upper bound's witness stays unprunable (see
+  // GtmOptions::approximation_epsilon).
+  const double lb_scale = 1.0 + options.approximation_epsilon;
   const MotifOptions& motif = options.motif;
 
   Timer timer;
@@ -81,7 +88,7 @@ StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
   for (std::size_t k = 0; k < entries.size(); ++k) {
     const GroupEntry& e = entries[k];
     if (stats != nullptr) ++stats->group_pairs_total;
-    if (e.lb > state.threshold) {
+    if (e.lb * lb_scale > state.threshold) {
       if (stats != nullptr) {
         stats->group_pairs_pruned_pattern +=
             static_cast<std::int64_t>(entries.size() - k);
@@ -93,11 +100,11 @@ StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
     double glb = 0.0;
     double gub = 0.0;
     grouping.DfdBounds(e.u, e.v, state.threshold, &glb, &gub);
-    if (gub < state.threshold) {
-      state.threshold = gub;
+    if (gub * lb_scale < state.threshold) {
+      state.threshold = gub * lb_scale;
       if (stats != nullptr) ++stats->gub_tightenings;
     }
-    if (glb > state.threshold) {
+    if (glb * lb_scale > state.threshold) {
       if (stats != nullptr) ++stats->group_pairs_pruned_dfd_bound;
       continue;
     }
@@ -123,7 +130,7 @@ StatusOr<MotifResult> GtmStarMotif(const DistanceProvider& dist,
     }
     RunSubsetQueue(dist, motif, &block, &rb, options.use_end_cross,
                    /*sort_entries=*/true, &state, stats, &caps,
-                   /*lb_scale=*/1.0, pool);
+                   lb_scale, pool);
   }
   if (stats != nullptr) stats->search_seconds += timer.ElapsedSeconds();
 

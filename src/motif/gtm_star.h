@@ -26,6 +26,13 @@ struct GtmStarOptions {
 
   /// Enables end-cell cross pruning in the point-level phase.
   bool use_end_cross = true;
+
+  /// Approximation knob with the same contract as GtmOptions: lower-bound
+  /// prunes (pattern, GLB_DFD, per-block subset queue) fire at
+  /// lb·(1+ε) > threshold, GUB tightenings contribute gub·(1+ε), and the
+  /// returned distance is at most (1+ε) times the optimum. 0 (default)
+  /// keeps GTM* exact and bit-identical. Must be >= 0.
+  double approximation_epsilon = 0.0;
 };
 
 /// GTM*: the space-efficient variant. Incorporates the paper's three ideas:

@@ -32,6 +32,9 @@ MotifOptions MakeMotifOptions(const FindMotifOptions& options,
 StatusOr<MotifResult> FindMotif(const Trajectory& s, const GroundMetric& metric,
                                 const FindMotifOptions& options,
                                 MotifStats* stats) {
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument("approximation_epsilon must be >= 0");
+  }
   const MotifOptions motif =
       MakeMotifOptions(options, MotifVariant::kSingleTrajectory);
   switch (options.algorithm) {
@@ -40,18 +43,21 @@ StatusOr<MotifResult> FindMotif(const Trajectory& s, const GroundMetric& metric,
     case MotifAlgorithm::kBtm: {
       BtmOptions btm;
       btm.motif = motif;
+      btm.approximation_epsilon = options.approximation_epsilon;
       return BtmMotif(s, metric, btm, stats);
     }
     case MotifAlgorithm::kGtm: {
       GtmOptions gtm;
       gtm.motif = motif;
       gtm.group_size_tau = options.group_size_tau;
+      gtm.approximation_epsilon = options.approximation_epsilon;
       return GtmMotif(s, metric, gtm, stats);
     }
     case MotifAlgorithm::kGtmStar: {
       GtmStarOptions star;
       star.motif = motif;
       star.group_size_tau = options.group_size_tau;
+      star.approximation_epsilon = options.approximation_epsilon;
       return GtmStarMotif(s, metric, star, stats);
     }
   }
@@ -62,6 +68,9 @@ StatusOr<MotifResult> FindMotif(const Trajectory& s, const Trajectory& t,
                                 const GroundMetric& metric,
                                 const FindMotifOptions& options,
                                 MotifStats* stats) {
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument("approximation_epsilon must be >= 0");
+  }
   const MotifOptions motif =
       MakeMotifOptions(options, MotifVariant::kCrossTrajectory);
   switch (options.algorithm) {
@@ -70,18 +79,21 @@ StatusOr<MotifResult> FindMotif(const Trajectory& s, const Trajectory& t,
     case MotifAlgorithm::kBtm: {
       BtmOptions btm;
       btm.motif = motif;
+      btm.approximation_epsilon = options.approximation_epsilon;
       return BtmMotif(s, t, metric, btm, stats);
     }
     case MotifAlgorithm::kGtm: {
       GtmOptions gtm;
       gtm.motif = motif;
       gtm.group_size_tau = options.group_size_tau;
+      gtm.approximation_epsilon = options.approximation_epsilon;
       return GtmMotif(s, t, metric, gtm, stats);
     }
     case MotifAlgorithm::kGtmStar: {
       GtmStarOptions star;
       star.motif = motif;
       star.group_size_tau = options.group_size_tau;
+      star.approximation_epsilon = options.approximation_epsilon;
       return GtmStarMotif(s, t, metric, star, stats);
     }
   }

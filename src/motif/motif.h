@@ -47,11 +47,20 @@ struct FindMotifOptions {
   /// serial path, 0 means "all hardware threads". Results are bit-identical
   /// for every setting.
   int threads = 1;
+
+  /// Approximation tolerance ε, forwarded to BTM / GTM / GTM*: the
+  /// reported motif distance is at most (1+ε) times the exact optimum,
+  /// in exchange for more aggressive bound pruning. 0 (default) keeps
+  /// every algorithm exact and bit-identical to its ε-less behaviour.
+  /// BruteDP ignores this knob (it evaluates every subset and is always
+  /// exact). Must be >= 0.
+  double approximation_epsilon = 0.0;
 };
 
 /// Finds the motif of `s` (Problem 1): the pair of non-overlapping
 /// subtrajectories, each spanning more than ξ index steps, with the
-/// smallest discrete Fréchet distance. Exact for every algorithm choice.
+/// smallest discrete Fréchet distance. Exact for every algorithm choice
+/// when approximation_epsilon == 0; otherwise within (1+ε) of optimal.
 ///
 /// `stats` may be null.
 StatusOr<MotifResult> FindMotif(const Trajectory& s, const GroundMetric& metric,

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <vector>
 
 #include "motif/relaxed_bounds.h"
 #include "motif/subset_search.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace frechet_motif {
@@ -42,23 +44,42 @@ StatusOr<std::vector<MotifResult>> TopKMotifs(const DistanceProvider& dist,
   if (options.min_start_separation < 1) {
     return Status::InvalidArgument("min_start_separation must be >= 1");
   }
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument("approximation_epsilon must be >= 0");
+  }
+  const double lb_scale = 1.0 + options.approximation_epsilon;
 
   Timer timer;
   if (stats != nullptr) stats->memory.Add(dist.MemoryBytes());
-  const RelaxedBounds rb = RelaxedBounds::Build(dist, options.motif);
+
+  // Worker pool for the bounds build and the subset-bound sweep; absent
+  // (null) on the default threads=1 serial path. The evaluation loop
+  // below stays serial — its heap threshold evolves with every subset.
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  const int threads = ResolveThreadCount(options.motif.threads);
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
+  const RelaxedBounds rb = RelaxedBounds::Build(dist, options.motif, pool);
 
   // Candidate subsets in ascending combined-lower-bound order, as in BTM.
   std::vector<SubsetEntry> entries;
   entries.reserve(
       static_cast<std::size_t>(CountValidSubsets(options.motif, n, m)));
   ForEachValidSubset(options.motif, n, m, [&](Index i, Index j) {
-    const double lb = std::max({dist.Distance(i, j), rb.StartCross(i, j),
-                                rb.BandRow(j), rb.BandCol(i)});
-    entries.push_back(SubsetEntry{lb, i, j});
+    entries.push_back(SubsetEntry{0.0, i, j});
+  });
+  FillSubsetBounds(&entries, pool, [&](Index i, Index j) {
+    return std::max({dist.Distance(i, j), rb.StartCross(i, j), rb.BandRow(j),
+                     rb.BandCol(i)});
   });
   std::sort(entries.begin(), entries.end(),
             [](const SubsetEntry& a, const SubsetEntry& b) {
-              return a.lb < b.lb;
+              if (a.lb != b.lb) return a.lb < b.lb;
+              if (a.i != b.i) return a.i < b.i;
+              return a.j < b.j;
             });
   if (stats != nullptr) {
     stats->total_subsets = static_cast<std::int64_t>(entries.size());
@@ -84,28 +105,30 @@ StatusOr<std::vector<MotifResult>> TopKMotifs(const DistanceProvider& dist,
                                                            : best_k.top();
   };
 
-  std::vector<PoolEntry> pool;
+  std::vector<PoolEntry> candidate_pool;
   FrechetScratch scratch;
   for (const SubsetEntry& e : entries) {
-    if (e.lb > prune_threshold()) break;  // sorted: the rest are larger
+    // Sorted: once the scaled bound exceeds the running k-th best, the
+    // rest of the queue can only do worse (by at most a (1+ε) factor).
+    if (e.lb * lb_scale > prune_threshold()) break;
     SearchState local;
     local.threshold = prune_threshold();
     EvaluateSubset(dist, options.motif, e.i, e.j, &rb,
                    /*use_end_cross=*/true, EndpointCaps{}, &local, stats,
                    &scratch);
     if (!local.found) continue;  // whole subset above the threshold
-    pool.push_back(PoolEntry{local.best_distance, local.best});
+    candidate_pool.push_back(PoolEntry{local.best_distance, local.best});
     best_k.push(local.best_distance);
     if (static_cast<int>(best_k.size()) > heap_capacity) best_k.pop();
   }
 
   // Greedy selection in ascending distance order, honouring separation.
-  std::sort(pool.begin(), pool.end(),
+  std::sort(candidate_pool.begin(), candidate_pool.end(),
             [](const PoolEntry& a, const PoolEntry& b) {
               return a.distance < b.distance;
             });
   std::vector<MotifResult> results;
-  for (const PoolEntry& entry : pool) {
+  for (const PoolEntry& entry : candidate_pool) {
     if (static_cast<int>(results.size()) >= options.k) break;
     bool conflicts = false;
     for (const MotifResult& chosen : results) {

@@ -30,6 +30,14 @@ struct TopKOptions {
   /// keeps the search exact; larger values spread the results over the
   /// trajectory but make the selection a greedy heuristic (see TopKMotifs).
   Index min_start_separation = 1;
+
+  /// Approximation knob with the per-rank contract: a candidate subset is
+  /// skipped once its lower bound times (1+ε) exceeds the running k-th
+  /// best subset optimum, and (with min_start_separation == 1) the r-th
+  /// reported distance is guaranteed to be at most (1+ε) times the exact
+  /// r-th smallest subset optimum, for every rank r. 0 (default) keeps
+  /// the search exact and bit-identical. Must be >= 0.
+  double approximation_epsilon = 0.0;
 };
 
 /// Finds the k most similar subtrajectory pairs, at most one per candidate

@@ -107,6 +107,8 @@ std::string SerializeReportFrame(const FleetStreamUpdate& update) {
   w.Bool(u.seeded);
   w.Key("carried");
   w.Bool(u.carried);
+  w.Key("approx_eps");
+  w.Double(u.approximation_epsilon);
   w.Key("found");
   w.Bool(u.motif.found);
   w.Key("distance_m");

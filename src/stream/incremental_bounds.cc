@@ -44,7 +44,9 @@ void IncrementalRelaxedBounds::Reset(const RingDistanceMatrix& dg,
                                      Index min_length_xi) {
   (void)min_length_xi;  // bands are derived in Snapshot()
   const Index w = dg.rows();
-  window_ = w;
+  cross_ = false;
+  rows_ = w;
+  cols_ = w;
   rmin_.assign(w, kInf);
   rmin_full_.assign(w, kInf);
   cmin_.assign(w, kInf);
@@ -71,7 +73,7 @@ void IncrementalRelaxedBounds::Reset(const RingDistanceMatrix& dg,
 void IncrementalRelaxedBounds::Slide(const RingDistanceMatrix& dg,
                                      Index min_length_xi, Index shift) {
   const Index w = dg.rows();
-  if (w != window_ || shift >= w) {
+  if (cross_ || w != rows_ || shift >= w) {
     Reset(dg, min_length_xi);
     return;
   }
@@ -176,13 +178,126 @@ void IncrementalRelaxedBounds::Slide(const RingDistanceMatrix& dg,
   cmin_full_arg_.swap(cmin_full_arg);
 }
 
+void IncrementalRelaxedBounds::ResetCross(const RingDistanceMatrix& dg) {
+  cross_ = true;
+  rows_ = dg.rows();
+  cols_ = dg.cols();
+  // The restricted arrays coincide with the full ones in cross mode
+  // (Build uses the unrestricted index ranges); Snapshot() duplicates
+  // the full arrays into the restricted slots.
+  rmin_.clear();
+  cmin_.clear();
+  cmin_start_.clear();
+  rmin_arg_.clear();
+  rmin_full_.assign(cols_, kInf);
+  cmin_full_.assign(rows_, kInf);
+  rmin_full_arg_.assign(cols_, -1);
+  cmin_full_arg_.assign(rows_, -1);
+
+  for (Index j = 0; j + 1 <= cols_ - 1; ++j) {
+    ColumnMin(dg, j + 1, 0, rows_ - 1, &rmin_full_[j], &rmin_full_arg_[j]);
+  }
+  for (Index i = 0; i + 1 <= rows_ - 1; ++i) {
+    RowMin(dg, i + 1, 0, cols_ - 1, &cmin_full_[i], &cmin_full_arg_[i]);
+  }
+}
+
+void IncrementalRelaxedBounds::SlideCross(const RingDistanceMatrix& dg,
+                                          Index shift_row, Index shift_col) {
+  const Index rows = dg.rows();
+  const Index cols = dg.cols();
+  if (!cross_ || rows != rows_ || cols != cols_ || shift_row >= rows ||
+      shift_col >= cols) {
+    ResetCross(dg);
+    return;
+  }
+  const Index new_row_lo = rows - shift_row;  // first fresh logical row
+  const Index new_col_lo = cols - shift_col;  // first fresh logical column
+
+  std::vector<double> rmin_full(cols, kInf), cmin_full(rows, kInf);
+  std::vector<Index> rmin_full_arg(cols, -1), cmin_full_arg(rows, -1);
+
+  // ---- RminFull[j]: minimum of column j+1 over all rows. The column
+  // axis slid by shift_col (is the entry still in the window?) while the
+  // minimized range slid by shift_row (did the achiever survive?). ----
+  for (Index j = 0; j + 1 <= cols - 1; ++j) {
+    if (j + 1 < new_col_lo) {
+      const Index oj = j + shift_col;
+      double old_part = kInf;
+      Index old_arg = -1;
+      if (rmin_full_arg_[oj] >= shift_row) {
+        old_part = rmin_full_[oj];
+        old_arg = rmin_full_arg_[oj] - shift_row;
+      } else {
+        ++rescans_;
+        ColumnMin(dg, j + 1, 0, new_row_lo - 1, &old_part, &old_arg);
+      }
+      double fresh_part = kInf;
+      Index fresh_arg = -1;
+      ColumnMin(dg, j + 1, new_row_lo, rows - 1, &fresh_part, &fresh_arg);
+      if (fresh_part < old_part) {
+        rmin_full[j] = fresh_part;
+        rmin_full_arg[j] = fresh_arg;
+      } else {
+        rmin_full[j] = old_part;
+        rmin_full_arg[j] = old_arg;
+      }
+    } else {
+      ColumnMin(dg, j + 1, 0, rows - 1, &rmin_full[j], &rmin_full_arg[j]);
+    }
+  }
+
+  // ---- CminFull[i]: minimum of row i+1 over all columns; the mirror
+  // image (rows decide survival, columns decide the achiever). ----
+  for (Index i = 0; i + 1 <= rows - 1; ++i) {
+    if (i + 1 < new_row_lo) {
+      const Index oi = i + shift_row;
+      double old_part = kInf;
+      Index old_arg = -1;
+      if (cmin_full_arg_[oi] >= shift_col) {
+        old_part = cmin_full_[oi];
+        old_arg = cmin_full_arg_[oi] - shift_col;
+      } else {
+        ++rescans_;
+        RowMin(dg, i + 1, 0, new_col_lo - 1, &old_part, &old_arg);
+      }
+      double fresh_part = kInf;
+      Index fresh_arg = -1;
+      RowMin(dg, i + 1, new_col_lo, cols - 1, &fresh_part, &fresh_arg);
+      if (fresh_part < old_part) {
+        cmin_full[i] = fresh_part;
+        cmin_full_arg[i] = fresh_arg;
+      } else {
+        cmin_full[i] = old_part;
+        cmin_full_arg[i] = old_arg;
+      }
+    } else {
+      RowMin(dg, i + 1, 0, cols - 1, &cmin_full[i], &cmin_full_arg[i]);
+    }
+  }
+
+  rmin_full_.swap(rmin_full);
+  cmin_full_.swap(cmin_full);
+  rmin_full_arg_.swap(rmin_full_arg);
+  cmin_full_arg_.swap(cmin_full_arg);
+}
+
 RelaxedBounds IncrementalRelaxedBounds::Snapshot(Index min_length_xi) const {
+  if (cross_) {
+    // Build's cross variant leaves every index range unrestricted, so the
+    // restricted slots are copies of the full arrays.
+    return RelaxedBounds::FromComponents(rmin_full_, cmin_full_, cmin_full_,
+                                         rmin_full_, cmin_full_,
+                                         min_length_xi);
+  }
   return RelaxedBounds::FromComponents(rmin_, cmin_, cmin_start_, rmin_full_,
                                        cmin_full_, min_length_xi);
 }
 
 void IncrementalRelaxedBounds::SaveTo(BinaryWriter* writer) const {
-  writer->PutI32(window_);
+  writer->PutBool(cross_);
+  writer->PutI32(rows_);
+  writer->PutI32(cols_);
   writer->PutI64(rescans_);
   writer->PutDoubleVector(rmin_);
   writer->PutDoubleVector(rmin_full_);
@@ -195,7 +310,9 @@ void IncrementalRelaxedBounds::SaveTo(BinaryWriter* writer) const {
 }
 
 Status IncrementalRelaxedBounds::LoadFrom(BinaryReader* reader) {
-  FM_RETURN_IF_ERROR(reader->GetI32(&window_));
+  FM_RETURN_IF_ERROR(reader->GetBool(&cross_));
+  FM_RETURN_IF_ERROR(reader->GetI32(&rows_));
+  FM_RETURN_IF_ERROR(reader->GetI32(&cols_));
   FM_RETURN_IF_ERROR(reader->GetI64(&rescans_));
   FM_RETURN_IF_ERROR(reader->GetDoubleVector(&rmin_));
   FM_RETURN_IF_ERROR(reader->GetDoubleVector(&rmin_full_));
@@ -205,11 +322,22 @@ Status IncrementalRelaxedBounds::LoadFrom(BinaryReader* reader) {
   FM_RETURN_IF_ERROR(reader->GetI32Vector(&rmin_arg_));
   FM_RETURN_IF_ERROR(reader->GetI32Vector(&rmin_full_arg_));
   FM_RETURN_IF_ERROR(reader->GetI32Vector(&cmin_full_arg_));
-  const std::size_t w = static_cast<std::size_t>(window_);
-  if (window_ < 0 || rmin_.size() != w || rmin_full_.size() != w ||
-      cmin_.size() != w || cmin_start_.size() != w || cmin_full_.size() != w ||
-      rmin_arg_.size() != w || rmin_full_arg_.size() != w ||
-      cmin_full_arg_.size() != w) {
+  if (rows_ < 0 || cols_ < 0) {
+    return Status::DataLoss("incremental-bounds snapshot has negative sizes");
+  }
+  const std::size_t rows = static_cast<std::size_t>(rows_);
+  const std::size_t cols = static_cast<std::size_t>(cols_);
+  const bool sizes_ok =
+      cross_ ? (rmin_.empty() && cmin_.empty() && cmin_start_.empty() &&
+                rmin_arg_.empty() && rmin_full_.size() == cols &&
+                rmin_full_arg_.size() == cols && cmin_full_.size() == rows &&
+                cmin_full_arg_.size() == rows)
+             : (rows == cols && rmin_.size() == rows &&
+                rmin_full_.size() == rows && cmin_.size() == rows &&
+                cmin_start_.size() == rows && cmin_full_.size() == rows &&
+                rmin_arg_.size() == rows && rmin_full_arg_.size() == rows &&
+                cmin_full_arg_.size() == rows);
+  if (!sizes_ok) {
     return Status::DataLoss(
         "incremental-bounds snapshot has inconsistent array sizes");
   }

@@ -12,9 +12,11 @@
 
 namespace frechet_motif {
 
-/// Incremental maintenance of the RelaxedBounds component arrays for the
-/// single-trajectory problem over a sliding window, backed by a square
-/// RingDistanceMatrix.
+/// Incremental maintenance of the RelaxedBounds component arrays over a
+/// sliding window, backed by a RingDistanceMatrix. Both problem variants
+/// are supported: the single-trajectory square window (Reset/Slide) and
+/// the cross-trajectory window pair (ResetCross/SlideCross), which slides
+/// the two axes independently.
 ///
 /// The five component arrays (see motif/relaxed_bounds.h) are prefix or
 /// suffix minima of matrix rows/columns. When the window slides by `s`,
@@ -31,6 +33,13 @@ namespace frechet_motif {
 ///    achiever survives the shift the value carries over verbatim, and
 ///    only when it was evicted is the (rare) O(W) rescan paid.
 ///
+/// In cross mode the restricted arrays coincide with the unrestricted
+/// ones (RelaxedBounds::Build uses the full index ranges there), so only
+/// `RminFull` (per column, evicted from the row side) and `CminFull`
+/// (per row, evicted from the column side) are maintained — both of the
+/// prefix-containing kind, with the achiever-carry rule above applied
+/// against the *opposing* axis's shift.
+///
 /// Values are *bit-identical* to a fresh RelaxedBounds::Build over the
 /// same window: a minimum of a set of doubles does not depend on the
 /// reduction order, and every carried value is justified by a surviving
@@ -45,13 +54,26 @@ class IncrementalRelaxedBounds {
  public:
   IncrementalRelaxedBounds() = default;
 
-  /// Cold build over the full window (dg.rows() == dg.cols()).
+  /// Cold build over the full single-trajectory window
+  /// (dg.rows() == dg.cols()).
   void Reset(const RingDistanceMatrix& dg, Index min_length_xi);
 
-  /// Advances the window by `shift` evicted/appended points. The ring must
-  /// already hold the post-slide window, at the same size as the last
-  /// Reset/Slide. A shift of >= the window size degenerates to Reset.
+  /// Advances the single-trajectory window by `shift` evicted/appended
+  /// points. The ring must already hold the post-slide window, at the
+  /// same size as the last Reset/Slide. A shift of >= the window size
+  /// (or a mode/size change) degenerates to Reset.
   void Slide(const RingDistanceMatrix& dg, Index min_length_xi, Index shift);
+
+  /// Cold build over a cross-trajectory window pair (rows = first
+  /// trajectory's window, cols = second's; need not be equal).
+  void ResetCross(const RingDistanceMatrix& dg);
+
+  /// Advances the cross window pair: `shift_row` points evicted/appended
+  /// on the first trajectory, `shift_col` on the second — the two sides
+  /// slide independently. Degenerates to ResetCross when either shift
+  /// reaches its axis length or the ring dimensions changed.
+  void SlideCross(const RingDistanceMatrix& dg, Index shift_row,
+                  Index shift_col);
 
   /// Assembles the RelaxedBounds (including the derived band arrays) the
   /// search consumes. O(W) copies.
@@ -60,19 +82,21 @@ class IncrementalRelaxedBounds {
   /// Number of achiever-evicted rescans paid so far (engine statistics).
   std::int64_t rescans() const { return rescans_; }
 
-  /// Serializes the complete maintenance state — the five component
-  /// arrays, the achiever indices, and the rescan counter — so a
-  /// restored instance continues bit-identically: values carry over
-  /// verbatim, and future carry-vs-rescan decisions (which feed the
-  /// `bound_rescans` engine counter) depend on the achievers, which are
-  /// restored exactly rather than recomputed.
+  /// Serializes the complete maintenance state — the mode and window
+  /// dimensions, the component arrays, the achiever indices, and the
+  /// rescan counter — so a restored instance continues bit-identically:
+  /// values carry over verbatim, and future carry-vs-rescan decisions
+  /// (which feed the `bound_rescans` engine counter) depend on the
+  /// achievers, which are restored exactly rather than recomputed.
   void SaveTo(BinaryWriter* writer) const;
 
   /// Restores the state written by SaveTo, replacing this instance's.
   Status LoadFrom(BinaryReader* reader);
 
  private:
-  Index window_ = 0;
+  bool cross_ = false;
+  Index rows_ = 0;
+  Index cols_ = 0;
 
   std::vector<double> rmin_;
   std::vector<double> rmin_full_;
@@ -81,7 +105,8 @@ class IncrementalRelaxedBounds {
   std::vector<double> cmin_full_;
 
   /// Logical row index achieving rmin_[j] / rmin_full_[j] (-1 when the
-  /// range is empty), and column index achieving cmin_full_[i].
+  /// range is empty), and column index achieving cmin_full_[i]. In cross
+  /// mode only the full-range achievers are maintained.
   std::vector<Index> rmin_arg_;
   std::vector<Index> rmin_full_arg_;
   std::vector<Index> cmin_full_arg_;

@@ -34,18 +34,51 @@ StatusOr<MotifFleetEngine> MotifFleetEngine::Create(
   return engine;
 }
 
-StatusOr<std::size_t> MotifFleetEngine::AddStream() {
+StatusOr<std::size_t> MotifFleetEngine::AddMember(
+    const StreamOptions& stream_options, bool cross) {
   StatusOr<WindowState> state =
-      WindowState::Create(options_.stream, *metric_, /*cross=*/false);
+      WindowState::Create(stream_options, *metric_, cross);
   if (!state.ok()) return state.status();
+  const std::size_t member = windows_.size();
+  const std::size_t primary = stream_map_.size();
   windows_.push_back(std::move(state).value());
+  member_options_.push_back(stream_options);
+  member_primary_.push_back(primary);
+  stream_map_.push_back(StreamRef{member, 0});
   frontends_.emplace_back(options_.reorder_capacity);
-  const std::size_t id = scheduler_.Register();
-  return id;
+  if (cross) {
+    stream_map_.push_back(StreamRef{member, 1});
+    frontends_.emplace_back(options_.reorder_capacity);
+  }
+  scheduler_.Register();
+  return member;
+}
+
+StatusOr<std::size_t> MotifFleetEngine::AddStream() {
+  return AddStream(options_.stream);
+}
+
+StatusOr<std::size_t> MotifFleetEngine::AddStream(
+    const StreamOptions& stream_options) {
+  StatusOr<std::size_t> member = AddMember(stream_options, /*cross=*/false);
+  if (!member.ok()) return member.status();
+  return member_primary_[member.value()];
+}
+
+StatusOr<std::pair<std::size_t, std::size_t>> MotifFleetEngine::AddCrossPair() {
+  return AddCrossPair(options_.stream);
+}
+
+StatusOr<std::pair<std::size_t, std::size_t>> MotifFleetEngine::AddCrossPair(
+    const StreamOptions& stream_options) {
+  StatusOr<std::size_t> member = AddMember(stream_options, /*cross=*/true);
+  if (!member.ok()) return member.status();
+  const std::size_t primary = member_primary_[member.value()];
+  return std::make_pair(primary, primary + 1);
 }
 
 Status MotifFleetEngine::CheckStream(std::size_t stream) const {
-  if (stream >= windows_.size()) {
+  if (stream >= stream_map_.size()) {
     return Status::InvalidArgument("unknown fleet stream id " +
                                    std::to_string(stream));
   }
@@ -55,40 +88,41 @@ Status MotifFleetEngine::CheckStream(std::size_t stream) const {
 Status MotifFleetEngine::Deliver(std::size_t stream, const Point& p,
                                  const double* timestamp,
                                  FleetReport* report) {
+  const StreamRef ref = stream_map_[stream];
   // Parity guard (unbudgeted mode only): a due window must be searched
   // before it slides any further, so its search sees exactly the window
   // an independent monitor's would have.
-  if (options_.max_searches_per_drain == 0 && scheduler_.IsDue(stream)) {
-    FM_RETURN_IF_ERROR(RunOne(stream, report));
+  if (options_.max_searches_per_drain == 0 && scheduler_.IsDue(ref.member)) {
+    FM_RETURN_IF_ERROR(RunOne(ref.member, report));
   }
-  FM_RETURN_IF_ERROR(windows_[stream].Append(0, p, timestamp));
-  scheduler_.NoteAppend(stream);
-  if (windows_[stream].SearchDue()) scheduler_.MarkDue(stream);
+  FM_RETURN_IF_ERROR(windows_[ref.member].Append(ref.side, p, timestamp));
+  scheduler_.NoteAppend(ref.member);
+  if (windows_[ref.member].SearchDue()) scheduler_.MarkDue(ref.member);
   return Status::Ok();
 }
 
-Status MotifFleetEngine::RunOne(std::size_t stream, FleetReport* report) {
+Status MotifFleetEngine::RunOne(std::size_t member, FleetReport* report) {
   const int threads = ResolveThreadCount(options_.stream.threads);
   if (threads > 1 && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
-  WindowState& window = windows_[stream];
+  WindowState& window = windows_[member];
   // A deferred search covers every slide that accumulated while it
   // waited; count the merged ones.
   if (window.searched_once()) {
     const Index pending =
-        window.appended_since_search() / options_.stream.slide_step;
+        window.appended_since_search() / member_options_[member].slide_step;
     if (pending > 1) coalesced_slides_ += pending - 1;
   }
   StatusOr<StreamUpdate> update =
       window.RunSearch(threads > 1 ? pool_.get() : nullptr);
   if (!update.ok()) return update.status();
-  scheduler_.NoteSearched(stream);
+  scheduler_.NoteSearched(member);
   if (join_.has_value()) {
-    FM_RETURN_IF_ERROR(join_->Update(stream, window.WindowTrajectory()));
+    FM_RETURN_IF_ERROR(join_->Update(member, window.WindowTrajectory()));
   }
   report->updates.push_back(
-      FleetStreamUpdate{stream, std::move(update).value()});
+      FleetStreamUpdate{member_primary_[member], std::move(update).value()});
   return Status::Ok();
 }
 
@@ -104,7 +138,7 @@ Status MotifFleetEngine::RunManyParallel(const std::vector<std::size_t>& order,
     const WindowState& window = windows_[order[k]];
     if (window.searched_once()) {
       pending[k] =
-          window.appended_since_search() / options_.stream.slide_step;
+          window.appended_since_search() / member_options_[order[k]].slide_step;
     }
   }
   // Compute phase: lane k searches its static chunk of the drain order,
@@ -141,8 +175,8 @@ Status MotifFleetEngine::RunManyParallel(const std::vector<std::size_t>& order,
       FM_RETURN_IF_ERROR(
           join_->Update(order[k], windows_[order[k]].WindowTrajectory()));
     }
-    report->updates.push_back(
-        FleetStreamUpdate{order[k], std::move(update).value()});
+    report->updates.push_back(FleetStreamUpdate{member_primary_[order[k]],
+                                                std::move(update).value()});
   }
   return Status::Ok();
 }
@@ -250,8 +284,10 @@ namespace {
 /// Fleet-manifest version; bump on layout change. The durable layer
 /// wraps this blob in its own versioned, checksummed container — this
 /// inner tag is a cheap defense against a manifest reaching Restore
-/// through some other path.
-constexpr std::uint32_t kFleetManifestVersion = 1;
+/// through some other path. v2: heterogeneous members (per-member
+/// StreamOptions echo, cross pairs, per-stream-id frontends) and the
+/// approximation-ε options field.
+constexpr std::uint32_t kFleetManifestVersion = 2;
 
 }  // namespace
 
@@ -264,14 +300,27 @@ Status MotifFleetEngine::Snapshot(std::string* out) const {
   writer.PutI32(options_.stream.window_length);
   writer.PutI32(options_.stream.slide_step);
   writer.PutI32(options_.stream.min_length_xi);
+  writer.PutDouble(options_.stream.approximation_epsilon);
   writer.PutDouble(options_.join_epsilon);
   writer.PutI32(options_.reorder_capacity);
   writer.PutI32(options_.max_searches_per_drain);
 
+  // Members: each with its own options echo (so Restore can rebuild a
+  // heterogeneous fleet) followed by its window state. The stream-id
+  // map is derived, not stored — ids were allocated in member order,
+  // one per single member, two per cross member.
   writer.PutU64(windows_.size());
-  for (std::size_t id = 0; id < windows_.size(); ++id) {
-    windows_[id].SaveTo(&writer);
-    frontends_[id].SaveTo(&writer);
+  for (std::size_t m = 0; m < windows_.size(); ++m) {
+    writer.PutBool(windows_[m].cross());
+    writer.PutI32(member_options_[m].window_length);
+    writer.PutI32(member_options_[m].slide_step);
+    writer.PutI32(member_options_[m].min_length_xi);
+    writer.PutDouble(member_options_[m].approximation_epsilon);
+    windows_[m].SaveTo(&writer);
+  }
+  writer.PutU64(frontends_.size());
+  for (const IngestFrontend& frontend : frontends_) {
+    frontend.SaveTo(&writer);
   }
   scheduler_.SaveTo(&writer);
   writer.PutI64(coalesced_slides_);
@@ -294,12 +343,14 @@ StatusOr<MotifFleetEngine> MotifFleetEngine::Restore(
   Index window_length = 0;
   Index slide_step = 0;
   Index xi = 0;
+  double approx_eps = 0.0;
   double join_epsilon = 0.0;
   Index reorder_capacity = 0;
   std::int32_t max_searches = 0;
   FM_RETURN_IF_ERROR(reader.GetI32(&window_length));
   FM_RETURN_IF_ERROR(reader.GetI32(&slide_step));
   FM_RETURN_IF_ERROR(reader.GetI32(&xi));
+  FM_RETURN_IF_ERROR(reader.GetDouble(&approx_eps));
   FM_RETURN_IF_ERROR(reader.GetDouble(&join_epsilon));
   FM_RETURN_IF_ERROR(reader.GetI32(&reorder_capacity));
   FM_RETURN_IF_ERROR(reader.GetI32(&max_searches));
@@ -308,6 +359,7 @@ StatusOr<MotifFleetEngine> MotifFleetEngine::Restore(
   if (window_length != options.stream.window_length ||
       slide_step != options.stream.slide_step ||
       xi != options.stream.min_length_xi ||
+      approx_eps != options.stream.approximation_epsilon ||
       join_epsilon != options.join_epsilon ||
       join_enabled_saved != join_enabled_now ||
       reorder_capacity != options.reorder_capacity ||
@@ -320,23 +372,45 @@ StatusOr<MotifFleetEngine> MotifFleetEngine::Restore(
   if (!created.ok()) return created.status();
   MotifFleetEngine engine = std::move(created).value();
 
-  std::uint64_t streams = 0;
-  FM_RETURN_IF_ERROR(reader.GetU64(&streams));
-  for (std::uint64_t id = 0; id < streams; ++id) {
+  std::uint64_t members = 0;
+  FM_RETURN_IF_ERROR(reader.GetU64(&members));
+  for (std::uint64_t m = 0; m < members; ++m) {
+    bool cross = false;
+    StreamOptions member_options = options.stream;  // threads: runtime choice
+    FM_RETURN_IF_ERROR(reader.GetBool(&cross));
+    FM_RETURN_IF_ERROR(reader.GetI32(&member_options.window_length));
+    FM_RETURN_IF_ERROR(reader.GetI32(&member_options.slide_step));
+    FM_RETURN_IF_ERROR(reader.GetI32(&member_options.min_length_xi));
+    FM_RETURN_IF_ERROR(
+        reader.GetDouble(&member_options.approximation_epsilon));
     StatusOr<WindowState> window =
-        WindowState::RestoreFrom(&reader, options.stream, metric);
+        WindowState::RestoreFrom(&reader, member_options, metric);
     if (!window.ok()) return window.status();
-    if (window.value().cross()) {
-      return Status::DataLoss("fleet manifest holds a cross-mode window");
+    if (window.value().cross() != cross) {
+      return Status::DataLoss(
+          "fleet manifest member mode contradicts its window state");
     }
+    const std::size_t member = engine.windows_.size();
+    engine.member_primary_.push_back(engine.stream_map_.size());
+    engine.stream_map_.push_back(StreamRef{member, 0});
+    if (cross) engine.stream_map_.push_back(StreamRef{member, 1});
     engine.windows_.push_back(std::move(window).value());
+    engine.member_options_.push_back(member_options);
+  }
+  std::uint64_t frontend_count = 0;
+  FM_RETURN_IF_ERROR(reader.GetU64(&frontend_count));
+  if (frontend_count != engine.stream_map_.size()) {
+    return Status::DataLoss(
+        "fleet manifest frontends do not cover its stream ids");
+  }
+  for (std::uint64_t id = 0; id < frontend_count; ++id) {
     engine.frontends_.emplace_back(options.reorder_capacity);
     FM_RETURN_IF_ERROR(engine.frontends_.back().LoadFrom(&reader));
   }
   FM_RETURN_IF_ERROR(engine.scheduler_.LoadFrom(&reader));
   if (engine.scheduler_.size() != engine.windows_.size()) {
     return Status::DataLoss(
-        "fleet manifest scheduler does not cover its streams");
+        "fleet manifest scheduler does not cover its members");
   }
   FM_RETURN_IF_ERROR(reader.GetI64(&engine.coalesced_slides_));
   bool join_present = false;
@@ -354,7 +428,7 @@ StatusOr<MotifFleetEngine> MotifFleetEngine::Restore(
 
 FleetStats MotifFleetEngine::stats() const {
   FleetStats stats;
-  stats.streams = static_cast<std::int64_t>(windows_.size());
+  stats.streams = static_cast<std::int64_t>(stream_map_.size());
   for (const WindowState& window : windows_) {
     const StreamEngineStats& e = window.engine_stats();
     stats.points_ingested += e.points_ingested;

@@ -12,10 +12,14 @@
 /// other streams. `MotifFleetEngine` instead composes the reusable
 /// streaming components:
 ///
-///  * a `WindowState` per stream (ring matrix + incremental bounds +
-///    carried threshold — stream/window_state.h);
-///  * an `IngestFrontend` per stream (timestamps, and the watermark
-///    reorder buffer for out-of-order feeds — stream/ingest_frontend.h);
+///  * a `WindowState` per **member** (ring matrix + incremental bounds +
+///    carried threshold — stream/window_state.h). A member is either a
+///    single-trajectory stream or a cross-trajectory window *pair*, and
+///    each member may carry its own StreamOptions (window length, slide
+///    step, ξ, approximation ε) — the fleet can be fully heterogeneous;
+///  * an `IngestFrontend` per stream id (timestamps, and the watermark
+///    reorder buffer for out-of-order feeds — stream/ingest_frontend.h).
+///    A cross member exposes two stream ids, one per side;
 ///  * one `SearchScheduler` ordering due re-searches by dirty-cell count
 ///    and staleness (stream/search_scheduler.h);
 ///  * one lazily created `ThreadPool` shared by every search. A drain
@@ -64,6 +68,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "geo/metric.h"
@@ -78,8 +83,12 @@ namespace frechet_motif {
 
 /// Configuration of a MotifFleetEngine.
 struct FleetOptions {
-  /// Per-stream window configuration, shared by every stream (window
-  /// length W, slide step, ξ, search threads).
+  /// Default per-stream window configuration (window length W, slide
+  /// step, ξ, approximation ε). Members added with the plain AddStream()
+  /// / AddCrossPair() overloads use it; the explicit-options overloads
+  /// let every member carry its own geometry and tolerance — the fleet
+  /// may be fully heterogeneous. The `threads` field doubles as the
+  /// engine-level worker-pool size shared by every search.
   StreamOptions stream;
 
   /// ε (meters) for the cross-fleet window join; negative disables it.
@@ -111,7 +120,10 @@ struct FleetArrival {
   double timestamp = 0.0;
 };
 
-/// One per-slide report of one stream.
+/// One per-slide report of one member, keyed by the member's primary
+/// stream id (its only id for a single-trajectory member; the side-0 id
+/// for a cross pair — the update's candidate then spans both windows,
+/// second-window indices in `update.motif.best.j/je`).
 struct FleetStreamUpdate {
   std::size_t stream = 0;
   StreamUpdate update;
@@ -160,10 +172,39 @@ class MotifFleetEngine {
   MotifFleetEngine(MotifFleetEngine&&) = default;
   MotifFleetEngine& operator=(MotifFleetEngine&&) = default;
 
-  /// Adds one (single-trajectory) stream; ids are dense, starting at 0.
+  /// Adds one single-trajectory stream with the fleet's default
+  /// StreamOptions; ids are dense, starting at 0. While only this
+  /// overload is used, stream ids and member indices coincide — the
+  /// original homogeneous-fleet behavior.
   StatusOr<std::size_t> AddStream();
 
-  std::size_t stream_count() const { return windows_.size(); }
+  /// Adds one single-trajectory stream with its own window configuration
+  /// (heterogeneous fleets: members may differ in window length, slide
+  /// step, ξ and approximation ε). The `threads` field of per-member
+  /// options is ignored — the engine-level pool (sized by
+  /// FleetOptions::stream.threads) is shared by every search.
+  StatusOr<std::size_t> AddStream(const StreamOptions& stream_options);
+
+  /// Adds one cross-trajectory member: a window *pair* searched for the
+  /// best motif between the two trajectories, drained by the same
+  /// scheduler as the single-trajectory members. Returns the two dense
+  /// stream ids created — first (side 0) and second (side 1); arrivals
+  /// are routed per side through their own ingest frontends. Reports for
+  /// this member carry the side-0 id as their `stream`.
+  StatusOr<std::pair<std::size_t, std::size_t>> AddCrossPair();
+  StatusOr<std::pair<std::size_t, std::size_t>> AddCrossPair(
+      const StreamOptions& stream_options);
+
+  /// Number of addressable streams (a cross member contributes two).
+  std::size_t stream_count() const { return stream_map_.size(); }
+
+  /// Number of members (windows) — the scheduler's and join's key space.
+  std::size_t member_count() const { return windows_.size(); }
+
+  /// The window configuration of the member owning `stream`.
+  const StreamOptions& stream_options(std::size_t stream) const {
+    return member_options_[stream_map_[stream].member];
+  }
 
   /// Ingests a batch through one arrival loop: appends every point (via
   /// its stream's frontend), then drains due searches per the scheduling
@@ -195,20 +236,28 @@ class MotifFleetEngine {
   /// tests/durable_recovery_fuzz_test.cc.
   StatusOr<FleetReport> ReplayReleased(const std::vector<FleetArrival>& batch);
 
-  /// True when `stream` has a search due but not yet run (only possible
-  /// between calls under a search budget).
+  /// True when `stream`'s member has a search due but not yet run (only
+  /// possible between calls under a search budget).
   bool SearchPending(std::size_t stream) const {
-    return scheduler_.IsDue(stream);
+    return scheduler_.IsDue(stream_map_[stream].member);
   }
 
+  /// The window contents feeding `stream` — the member's second window
+  /// for a cross pair's side-1 id.
   Trajectory WindowTrajectory(std::size_t stream) const {
-    return windows_[stream].WindowTrajectory();
+    const StreamRef& ref = stream_map_[stream];
+    return ref.side == 0 ? windows_[ref.member].WindowTrajectory()
+                         : windows_[ref.member].SecondWindowTrajectory();
   }
   Index window_size(std::size_t stream) const {
-    return windows_[stream].window_size();
+    const StreamRef& ref = stream_map_[stream];
+    return ref.side == 0 ? windows_[ref.member].window_size()
+                         : windows_[ref.member].second_window_size();
   }
+  /// Engine counters of the member owning `stream` (a cross pair's two
+  /// ids share one window state, hence one counter set).
   const StreamEngineStats& stream_stats(std::size_t stream) const {
-    return windows_[stream].engine_stats();
+    return windows_[stream_map_[stream].member].engine_stats();
   }
   const IngestStats& ingest_stats(std::size_t stream) const {
     return frontends_[stream].stats();
@@ -257,17 +306,31 @@ class MotifFleetEngine {
                                             std::string_view snapshot);
 
  private:
+  /// One addressable stream: which member's window it feeds, and on
+  /// which side (side 1 only for a cross member's second trajectory).
+  struct StreamRef {
+    std::size_t member = 0;
+    int side = 0;
+  };
+
   MotifFleetEngine(const FleetOptions& options, const GroundMetric& metric);
 
   Status CheckStream(std::size_t stream) const;
+
+  /// Shared tail of the AddStream/AddCrossPair overloads: creates the
+  /// window, registers it with the scheduler, and allocates its one or
+  /// two stream ids. Returns the member index.
+  StatusOr<std::size_t> AddMember(const StreamOptions& stream_options,
+                                  bool cross);
 
   /// Appends one released (post-frontend) point, bookkeeping the
   /// scheduler; runs the parity-guard search first when required.
   Status Deliver(std::size_t stream, const Point& p, const double* timestamp,
                  FleetReport* report);
 
-  /// Runs `stream`'s search now and appends its report.
-  Status RunOne(std::size_t stream, FleetReport* report);
+  /// Runs `member`'s search now and appends its report (keyed by the
+  /// member's side-0 stream id).
+  Status RunOne(std::size_t member, FleetReport* report);
 
   /// Drain-phase fan-out: runs the searches of the first `budget` windows
   /// of `order` concurrently — one whole window per pool lane (windows
@@ -287,7 +350,16 @@ class MotifFleetEngine {
   FleetOptions options_;
   const GroundMetric* metric_;
 
+  /// Members (one WindowState each — a cross member's state holds the
+  /// window pair), with each member's own options and its side-0
+  /// ("primary") stream id. The scheduler and the join are keyed by
+  /// member index; `stream_map_` resolves a public stream id to its
+  /// member and side. Frontends are per stream id — each side of a
+  /// cross pair reorders and watermarks independently.
   std::vector<WindowState> windows_;
+  std::vector<StreamOptions> member_options_;
+  std::vector<std::size_t> member_primary_;
+  std::vector<StreamRef> stream_map_;
   std::vector<IngestFrontend> frontends_;
   SearchScheduler scheduler_;
   std::optional<IncrementalDfdJoin> join_;

@@ -23,6 +23,10 @@ StatusOr<WindowState> WindowState::Create(const StreamOptions& options,
   if (options.slide_step < 1) {
     return Status::InvalidArgument("StreamOptions::slide_step must be >= 1");
   }
+  if (options.approximation_epsilon < 0.0) {
+    return Status::InvalidArgument(
+        "StreamOptions::approximation_epsilon must be >= 0");
+  }
   MotifOptions motif;
   motif.min_length_xi = options.min_length_xi;
   motif.variant = cross ? MotifVariant::kCrossTrajectory
@@ -162,12 +166,16 @@ StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
   update.window_start = pushed_first_ - n;
   update.window_start_second = cross_ ? pushed_second_ - m : 0;
   update.window_points = n;
+  update.approximation_epsilon = options_.approximation_epsilon;
 
   Timer timer;
 
-  // Bounds: maintained incrementally for the single-trajectory window;
-  // rebuilt from the (incrementally maintained) ring for cross windows —
-  // either way no ground distance is recomputed.
+  // Bounds: maintained incrementally in both modes — the single window
+  // slides one axis, the cross window pair slides its two axes
+  // independently (IncrementalRelaxedBounds carries each minimum across
+  // the slide unless its achiever was evicted). No ground distance is
+  // recomputed and no per-slide Build is paid; the snapshot is
+  // bit-identical to a fresh Build over the same ring.
   RelaxedBounds rb;
   if (!cross_) {
     if (!searched_once_) {
@@ -175,11 +183,16 @@ StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
     } else {
       bounds_.Slide(ring_, xi, appended_since_search_first_);
     }
-    rb = bounds_.Snapshot(xi);
-    engine_stats_.bound_rescans = bounds_.rescans();
   } else {
-    rb = RelaxedBounds::Build(ring_, motif, pool);
+    if (!searched_once_) {
+      bounds_.ResetCross(ring_);
+    } else {
+      bounds_.SlideCross(ring_, appended_since_search_first_,
+                         appended_since_search_second_);
+    }
   }
+  rb = bounds_.Snapshot(xi);
+  engine_stats_.bound_rescans = bounds_.rescans();
 
   // Threshold carry: sound iff the previous best pair is still inside the
   // window after the slide (its distance is then achievable, so pruning
@@ -229,6 +242,14 @@ StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
   // order (the bound prunes only strictly-above-threshold subsets, so
   // every threshold-achiever survives into the queue); when nothing
   // precedes the previous pair, the slide falls back to it, shifted.
+  // (1+ε) pruning: every lower-bound comparison against the threshold is
+  // scaled by lb_scale. Soundness per window: an evaluated candidate's
+  // distance is exact, and a pruned candidate has d > T/(1+ε) where T is
+  // either an exactly-achievable in-window distance (the carry) or the
+  // running best — so the reported distance is at most (1+ε) times the
+  // window optimum, and the guarantee does not compound across slides.
+  const double lb_scale = 1.0 + options_.approximation_epsilon;
+
   if (update.seeded) {
     constexpr double kInf = std::numeric_limits<double>::infinity();
     const double threshold = update.seed_threshold;
@@ -261,7 +282,7 @@ StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
       }
       entries.erase(std::remove_if(entries.begin(), entries.end(),
                                    [&](const SubsetEntry& e) {
-                                     return g[e.j] > threshold;
+                                     return g[e.j] * lb_scale > threshold;
                                    }),
                     entries.end());
     } else {
@@ -291,7 +312,8 @@ StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
       entries.erase(
           std::remove_if(entries.begin(), entries.end(),
                          [&](const SubsetEntry& e) {
-                           return std::min(dirty_col[e.i], dirty_row[e.j]) >
+                           return std::min(dirty_col[e.i], dirty_row[e.j]) *
+                                      lb_scale >
                                   threshold;
                          }),
           entries.end());
@@ -311,7 +333,7 @@ StatusOr<StreamUpdate> WindowState::RunSearch(ThreadPool* pool) {
   state.threshold = update.seed_threshold;
   RunSubsetQueue(ring_, motif, &entries, &rb, /*use_end_cross=*/true,
                  /*sort_entries=*/true, &state, &update.stats,
-                 /*caps=*/nullptr, /*lb_scale=*/1.0, pool);
+                 /*caps=*/nullptr, lb_scale, pool);
   update.stats.search_seconds += timer.ElapsedSeconds();
 
   // Resolve the seeded search against the previous optimum under the
@@ -429,6 +451,7 @@ void WindowState::SaveTo(BinaryWriter* writer) const {
   writer->PutI32(options_.window_length);
   writer->PutI32(options_.slide_step);
   writer->PutI32(options_.min_length_xi);
+  writer->PutDouble(options_.approximation_epsilon);
 
   SavePointDeque(writer, window_);
   SavePointDeque(writer, second_window_);
@@ -477,15 +500,18 @@ StatusOr<WindowState> WindowState::RestoreFrom(BinaryReader* reader,
   Index window_length = 0;
   Index slide_step = 0;
   Index xi = 0;
+  double epsilon = 0.0;
   FM_RETURN_IF_ERROR(reader->GetBool(&cross));
   FM_RETURN_IF_ERROR(reader->GetI32(&window_length));
   FM_RETURN_IF_ERROR(reader->GetI32(&slide_step));
   FM_RETURN_IF_ERROR(reader->GetI32(&xi));
+  FM_RETURN_IF_ERROR(reader->GetDouble(&epsilon));
   if (window_length != options.window_length ||
-      slide_step != options.slide_step || xi != options.min_length_xi) {
+      slide_step != options.slide_step || xi != options.min_length_xi ||
+      epsilon != options.approximation_epsilon) {
     return Status::FailedPrecondition(
         "window snapshot was taken under different stream options "
-        "(window length / slide step / xi)");
+        "(window length / slide step / xi / approximation epsilon)");
   }
 
   StatusOr<WindowState> created = Create(options, metric, cross);

@@ -65,14 +65,26 @@ struct StreamOptions {
   /// every setting).
   int threads = 1;
 
+  /// Approximation tolerance ε for the per-slide search: every reported
+  /// window distance is at most (1+ε) times that window's exact optimum.
+  /// The guarantee is per window and does not compound across slides —
+  /// the carried threshold is always an exactly-achievable distance of an
+  /// in-window candidate, so each search independently prunes against
+  /// bounds scaled by (1+ε) of a valid value. 0 (default) keeps the
+  /// stream exact and bit-identical to the from-scratch baseline.
+  /// Must be >= 0.
+  double approximation_epsilon = 0.0;
+
   /// The from-scratch FindMotif configuration every streaming answer is
-  /// bit-identical to: the relaxed bounding search (MotifAlgorithm::kBtm)
-  /// with this ξ and thread count.
+  /// bit-identical to (at approximation_epsilon == 0; within (1+ε)
+  /// otherwise): the relaxed bounding search (MotifAlgorithm::kBtm) with
+  /// this ξ, thread count and ε.
   FindMotifOptions BaselineOptions() const {
     FindMotifOptions o;
     o.algorithm = MotifAlgorithm::kBtm;
     o.min_length_xi = min_length_xi;
     o.threads = threads;
+    o.approximation_epsilon = approximation_epsilon;
     return o;
   }
 };
@@ -102,6 +114,11 @@ struct StreamUpdate {
   /// from-scratch answer (ties included — see the tie-stability contract
   /// in streaming_motif_monitor.h).
   bool carried = false;
+
+  /// The approximation tolerance the search ran with
+  /// (StreamOptions::approximation_epsilon; 0 = exact). Echoed so every
+  /// report frame names the guarantee its distance carries.
+  double approximation_epsilon = 0.0;
 
   /// The window's motif, in window-relative indices.
   MotifResult motif;
@@ -178,10 +195,9 @@ class WindowState {
   const StreamOptions& options() const { return options_; }
   const StreamEngineStats& engine_stats() const { return engine_stats_; }
 
-  /// Test hook (single-trajectory mode): the relaxed-bound arrays the
-  /// next search would use, for equality checks against a fresh
-  /// RelaxedBounds::Build over the window. Only meaningful after at
-  /// least one search.
+  /// Test hook (both modes): the relaxed-bound arrays the next search
+  /// would use, for equality checks against a fresh RelaxedBounds::Build
+  /// over the window. Only meaningful after at least one search.
   RelaxedBounds CurrentBounds() const;
 
   /// Serializes the complete window state — ring matrix contents,

@@ -525,5 +525,185 @@ TEST(FleetEngine, StatsAggregateAcrossStreams) {
             fleet.value().stream_stats(1).dfd_cells_computed);
 }
 
+// --- heterogeneous fleets ----------------------------------------------------
+
+TEST(FleetEngine, CrossPairOccupiesTwoConsecutiveStreamIds) {
+  const HaversineMetric metric;
+  FleetOptions options;
+  options.stream = SmallStreamOptions();
+  auto fleet = MotifFleetEngine::Create(options, metric);
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_EQ(0u, fleet.value().AddStream().value());
+  const auto pair = fleet.value().AddCrossPair();
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  EXPECT_EQ(1u, pair.value().first);
+  EXPECT_EQ(2u, pair.value().second);
+  ASSERT_EQ(3u, fleet.value().AddStream().value());
+  EXPECT_EQ(4u, fleet.value().stream_count());
+  EXPECT_EQ(3u, fleet.value().member_count());
+}
+
+TEST(FleetEngine, PerMemberOptionsAreHonoured) {
+  const HaversineMetric metric;
+  FleetOptions options;
+  options.stream = SmallStreamOptions();
+  auto fleet = MotifFleetEngine::Create(options, metric);
+  ASSERT_TRUE(fleet.ok());
+
+  StreamOptions relaxed = options.stream;
+  relaxed.approximation_epsilon = 0.25;
+  ASSERT_EQ(0u, fleet.value().AddStream().value());
+  ASSERT_EQ(1u, fleet.value().AddStream(relaxed).value());
+  const auto pair = fleet.value().AddCrossPair(relaxed);
+  ASSERT_TRUE(pair.ok()) << pair.status();
+
+  EXPECT_EQ(0.0, fleet.value().stream_options(0).approximation_epsilon);
+  EXPECT_EQ(0.25, fleet.value().stream_options(1).approximation_epsilon);
+  EXPECT_EQ(0.25, fleet.value().stream_options(2).approximation_epsilon);
+  EXPECT_EQ(0.25, fleet.value().stream_options(3).approximation_epsilon);
+
+  // An invalid per-member configuration is rejected at Add time.
+  StreamOptions bad = options.stream;
+  bad.approximation_epsilon = -0.1;
+  EXPECT_FALSE(fleet.value().AddStream(bad).ok());
+  EXPECT_FALSE(fleet.value().AddCrossPair(bad).ok());
+}
+
+TEST(FleetEngine, HeterogeneousMembersMatchIndependentMonitors) {
+  // One exact single stream, one ε-relaxed single stream, and one cross
+  // pair behind the same scheduler — every member's reports must be
+  // bit-identical to an independent monitor with that member's options.
+  const HaversineMetric metric;
+  const StreamOptions base = SmallStreamOptions();
+  StreamOptions relaxed = base;
+  relaxed.approximation_epsilon = 0.1;
+
+  const Trajectory t0 = GeoWalk(200, 41);
+  const Trajectory t1 = GeoWalk(200, 42);
+  const Trajectory ta = GeoWalk(200, 43);
+  const Trajectory tb = GeoWalk(200, 44);
+
+  auto exact_monitor = StreamingMotifMonitor::Create(base, metric);
+  auto relaxed_monitor = StreamingMotifMonitor::Create(relaxed, metric);
+  auto cross_monitor = StreamingMotifMonitor::CreateCross(base, metric);
+  ASSERT_TRUE(exact_monitor.ok());
+  ASSERT_TRUE(relaxed_monitor.ok());
+  ASSERT_TRUE(cross_monitor.ok());
+
+  FleetOptions options;
+  options.stream = base;
+  auto fleet = MotifFleetEngine::Create(options, metric);
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_EQ(0u, fleet.value().AddStream().value());
+  ASSERT_EQ(1u, fleet.value().AddStream(relaxed).value());
+  const auto pair = fleet.value().AddCrossPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_EQ(2u, pair.value().first);
+  ASSERT_EQ(3u, pair.value().second);
+
+  // Per-stream expected updates, keyed by primary stream id.
+  std::vector<std::vector<StreamUpdate>> expected(3);
+  std::vector<std::vector<StreamUpdate>> actual(3);
+  const auto collect = [](StatusOr<std::optional<StreamUpdate>> u,
+                          std::vector<StreamUpdate>* into) {
+    ASSERT_TRUE(u.ok()) << u.status();
+    if (u.value().has_value()) into->push_back(*u.value());
+  };
+  for (Index k = 0; k < 200; ++k) {
+    collect(exact_monitor.value().Push(t0[k]), &expected[0]);
+    collect(relaxed_monitor.value().Push(t1[k]), &expected[1]);
+    collect(cross_monitor.value().Push(ta[k]), &expected[2]);
+    collect(cross_monitor.value().PushSecond(tb[k]), &expected[2]);
+
+    std::vector<FleetArrival> batch;
+    batch.push_back(FleetArrival{0, t0[k], false, 0.0});
+    batch.push_back(FleetArrival{1, t1[k], false, 0.0});
+    batch.push_back(FleetArrival{2, ta[k], false, 0.0});
+    batch.push_back(FleetArrival{3, tb[k], false, 0.0});
+    auto report = fleet.value().Ingest(batch);
+    ASSERT_TRUE(report.ok()) << report.status();
+    for (const FleetStreamUpdate& fu : report.value().updates) {
+      ASSERT_LT(fu.stream, 3u);  // cross reports carry the side-0 id
+      actual[fu.stream].push_back(fu.update);
+    }
+  }
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(expected[s].size(), actual[s].size()) << "stream " << s;
+    for (std::size_t k = 0; k < expected[s].size(); ++k) {
+      SCOPED_TRACE(::testing::Message() << "stream " << s << " update " << k);
+      ExpectUpdateEq(expected[s][k], actual[s][k]);
+      EXPECT_EQ(expected[s][k].approximation_epsilon,
+                actual[s][k].approximation_epsilon);
+    }
+  }
+  // Side-aware window accessors expose both cross windows.
+  EXPECT_EQ(cross_monitor.value().WindowTrajectory().points(),
+            fleet.value().WindowTrajectory(2).points());
+  EXPECT_EQ(cross_monitor.value().SecondWindowTrajectory().points(),
+            fleet.value().WindowTrajectory(3).points());
+}
+
+TEST(FleetEngine, HeterogeneousSnapshotRestoreContinuesBitIdentically) {
+  const HaversineMetric metric;
+  const StreamOptions base = SmallStreamOptions();
+  StreamOptions relaxed = base;
+  relaxed.approximation_epsilon = 0.05;
+
+  const Trajectory t0 = GeoWalk(220, 51);
+  const Trajectory ta = GeoWalk(220, 52);
+  const Trajectory tb = GeoWalk(220, 53);
+
+  FleetOptions options;
+  options.stream = base;
+  auto fleet = MotifFleetEngine::Create(options, metric);
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_EQ(0u, fleet.value().AddStream(relaxed).value());
+  ASSERT_TRUE(fleet.value().AddCrossPair().ok());
+
+  const auto push_round = [&](MotifFleetEngine* engine, Index k,
+                              std::vector<FleetStreamUpdate>* into) {
+    std::vector<FleetArrival> batch;
+    batch.push_back(FleetArrival{0, t0[k], false, 0.0});
+    batch.push_back(FleetArrival{1, ta[k], false, 0.0});
+    batch.push_back(FleetArrival{2, tb[k], false, 0.0});
+    auto report = engine->Ingest(batch);
+    ASSERT_TRUE(report.ok()) << report.status();
+    for (const FleetStreamUpdate& fu : report.value().updates) {
+      into->push_back(fu);
+    }
+  };
+
+  std::vector<FleetStreamUpdate> reference;
+  for (Index k = 0; k < 120; ++k) {
+    push_round(&fleet.value(), k, &reference);
+  }
+
+  std::string snapshot;
+  ASSERT_TRUE(fleet.value().Snapshot(&snapshot).ok());
+  auto restored = MotifFleetEngine::Restore(options, metric, snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(3u, restored.value().stream_count());
+  EXPECT_EQ(2u, restored.value().member_count());
+  EXPECT_EQ(0.05,
+            restored.value().stream_options(0).approximation_epsilon);
+
+  // Both engines continue in lockstep; every future report must agree
+  // bit for bit.
+  std::vector<FleetStreamUpdate> original_tail;
+  std::vector<FleetStreamUpdate> restored_tail;
+  for (Index k = 120; k < 220; ++k) {
+    push_round(&fleet.value(), k, &original_tail);
+    push_round(&restored.value(), k, &restored_tail);
+  }
+  ASSERT_EQ(original_tail.size(), restored_tail.size());
+  ASSERT_FALSE(original_tail.empty());
+  for (std::size_t k = 0; k < original_tail.size(); ++k) {
+    SCOPED_TRACE(::testing::Message() << "tail update " << k);
+    EXPECT_EQ(original_tail[k].stream, restored_tail[k].stream);
+    ExpectUpdateEq(original_tail[k].update, restored_tail[k].update);
+  }
+}
+
 }  // namespace
 }  // namespace frechet_motif

@@ -8,10 +8,12 @@
 #include <optional>
 #include <vector>
 
+#include "core/distance_matrix.h"
 #include "data/datasets.h"
 #include "geo/metric.h"
 #include "gtest/gtest.h"
 #include "motif/motif.h"
+#include "motif/relaxed_bounds.h"
 #include "similarity/frechet.h"
 #include "stream/streaming_motif_monitor.h"
 #include "test_util.h"
@@ -166,6 +168,87 @@ TEST(StreamParityFuzz, RandomCrossInterleavings) {
           << (push.value()->carried ? "carried slide" : "fresh slide");
     }
     EXPECT_GT(slides, 0);
+  }
+}
+
+TEST(StreamParityFuzz, CrossBoundsMatchFreshBuildUnderTwoSidedSchedules) {
+  // The cross-mode incremental bound maintenance (SlideCross with two
+  // independent shifts): random two-sided append schedules — including
+  // heavily one-sided ones, so slides see (shift_row, 0), (0, shift_col)
+  // and everything between — with the bound arrays the next search uses
+  // compared against a fresh RelaxedBounds::Build over the identical
+  // window pair after every slide. Equality is exact (==), not
+  // approximate: a running min over doubles does not depend on the
+  // reduction order, so carry + rescan must reproduce Build bit for bit.
+  const std::uint64_t seed = testing_util::FuzzSeed(20260812);
+  const int rounds = testing_util::FuzzRounds(4);
+  Rng rng(seed);
+  const EuclideanMetric metric;
+  for (int round = 0; round < rounds; ++round) {
+    const Index xi = static_cast<Index>(rng.NextInt(5, 14));
+    StreamOptions options;
+    options.min_length_xi = xi;
+    options.window_length = static_cast<Index>(rng.NextInt(xi + 6, 60));
+    options.slide_step =
+        static_cast<Index>(rng.NextInt(1, options.window_length));
+    // Per-round bias of the side coin: round 0 feeds mostly side 0,
+    // round 1 mostly side 1, later rounds are balanced.
+    const int side0_percent =
+        round == 0 ? 85 : (round == 1 ? 15 : static_cast<int>(
+                                                 rng.NextInt(30, 70)));
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << seed << " round " << round
+                 << ": W=" << options.window_length
+                 << " slide=" << options.slide_step << " xi=" << xi
+                 << " side0%=" << side0_percent);
+
+    const Index points = 220;
+    const Trajectory a =
+        testing_util::MakePlanarWalk(points, seed + 8000 + round);
+    const Trajectory b =
+        testing_util::MakePlanarWalk(points, seed + 9000 + round);
+
+    auto monitor = StreamingMotifMonitor::CreateCross(options, metric);
+    ASSERT_TRUE(monitor.ok()) << monitor.status();
+    MotifOptions motif;
+    motif.variant = MotifVariant::kCrossTrajectory;
+    motif.min_length_xi = xi;
+
+    Index ka = 0;
+    Index kb = 0;
+    int checked = 0;
+    while (ka < a.size() || kb < b.size()) {
+      const bool push_first =
+          kb >= b.size() ||
+          (ka < a.size() &&
+           rng.NextInt(1, 100) <= static_cast<std::int64_t>(side0_percent));
+      auto push = push_first ? monitor.value().Push(a[ka++])
+                             : monitor.value().PushSecond(b[kb++]);
+      ASSERT_TRUE(push.ok()) << push.status();
+      if (!push.value().has_value()) continue;
+
+      const Trajectory wa = monitor.value().WindowTrajectory();
+      const Trajectory wb = monitor.value().SecondWindowTrajectory();
+      const DistanceMatrix dg = DistanceMatrix::Build(wa, wb, metric).value();
+      const RelaxedBounds fresh = RelaxedBounds::Build(dg, motif);
+      const RelaxedBounds maintained = monitor.value().CurrentBounds();
+      for (Index j = 0; j < wb.size(); ++j) {
+        ASSERT_EQ(fresh.Rmin(j), maintained.Rmin(j)) << "Rmin " << j;
+        ASSERT_EQ(fresh.RminFull(j), maintained.RminFull(j))
+            << "RminFull " << j;
+        ASSERT_EQ(fresh.BandRow(j), maintained.BandRow(j)) << "BandRow " << j;
+      }
+      for (Index i = 0; i < wa.size(); ++i) {
+        ASSERT_EQ(fresh.Cmin(i), maintained.Cmin(i)) << "Cmin " << i;
+        ASSERT_EQ(fresh.CminStart(i), maintained.CminStart(i))
+            << "CminStart " << i;
+        ASSERT_EQ(fresh.CminFull(i), maintained.CminFull(i))
+            << "CminFull " << i;
+        ASSERT_EQ(fresh.BandCol(i), maintained.BandCol(i)) << "BandCol " << i;
+      }
+      ++checked;
+    }
+    EXPECT_GT(checked, 0);
   }
 }
 

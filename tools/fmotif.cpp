@@ -12,8 +12,10 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <utility>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -102,7 +104,7 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
     std::fprintf(
         stream,
         "usage: fmotif %s [--xi=100] [--algorithm=gtm|gtm_star|btm|brute]\n"
-        "       [--tau=32] [--json] [--threads=N]\n"
+        "       [--tau=32] [--approx-eps=0] [--json] [--threads=N]\n"
         "\n"
         "Finds the pair of non-overlapping subtrajectories (one file) or "
         "the best\n"
@@ -110,16 +112,21 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "index\n"
         "steps, with the smallest discrete Fréchet distance. All "
         "algorithms are\n"
-        "exact; they differ in pruning power (gtm is the paper's "
-        "fastest).\n",
+        "exact at --approx-eps=0 (the default); they differ in pruning "
+        "power (gtm\n"
+        "is the paper's fastest). --approx-eps=E trades accuracy for "
+        "speed: the\n"
+        "reported distance is at most (1+E) times the optimum (brute "
+        "ignores E).\n",
         command == "motif" ? "motif <file>" : "cross <fileA> <fileB>");
   } else if (command == "stream") {
     std::fprintf(
         stream,
         "usage: fmotif stream <file|-> [--window=512] [--slide=32] "
         "[--xi=100]\n"
-        "       [--state-dir=DIR] [--checkpoint=N] [--json] "
-        "[--threads=N]\n"
+        "       [--approx-eps=0] [--state-dir=DIR] [--checkpoint=N] "
+        "[--json]\n"
+        "       [--threads=N]\n"
         "\n"
         "Feeds a trajectory point stream through the incremental "
         "sliding-window\n"
@@ -133,7 +140,10 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "exactly\n"
         "what a from-scratch `fmotif motif --algorithm=btm` would report "
         "on the\n"
-        "same window.\n"
+        "same window. --approx-eps=E relaxes each per-window answer to at "
+        "most\n"
+        "(1+E) times that window's optimum (never compounding across "
+        "slides).\n"
         "\n"
         "CSV input is consumed line by line; pass `-` to tail stdin (e.g.\n"
         "`tail -f live.csv | fmotif stream -`). GeoJSON/PLT files are "
@@ -154,8 +164,9 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         stream,
         "usage: fmotif fleet <file>... | - [--window=512] [--slide=32] "
         "[--xi=100]\n"
-        "       [--eps=M] [--reorder=K] [--budget=K] [--state-dir=DIR]\n"
-        "       [--checkpoint=N] [--json] [--threads=N]\n"
+        "       [--approx-eps=0] [--members=SPEC] [--eps=M] [--reorder=K]\n"
+        "       [--budget=K] [--state-dir=DIR] [--checkpoint=N] [--json]\n"
+        "       [--threads=N]\n"
         "\n"
         "Maintains one sliding-window motif per input stream behind a "
         "single\n"
@@ -178,6 +189,18 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
         "watermark are dropped and counted). --budget=K caps searches per\n"
         "drain — a backlogged window coalesces its pending slides.\n"
         "\n"
+        "--members=SPEC declares a heterogeneous fleet up front: a comma-\n"
+        "separated list of member specs, `s` (one sliding window) or `x` "
+        "(one\n"
+        "cross-trajectory window pair, consuming the next two stream "
+        "ids),\n"
+        "each optionally suffixed `:E` to override --approx-eps for that\n"
+        "member — e.g. --members=s,x:0.05,s:0.1. Rows (or files) feed "
+        "stream\n"
+        "ids in declaration order; ids past the declared set add default\n"
+        "streams on the fly. Requires the in-memory engine (no "
+        "--state-dir).\n"
+        "\n"
         "--state-dir=DIR journals every released batch and rotates "
         "snapshots\n"
         "(every --checkpoint=N records); a restart recovers the fleet "
@@ -189,9 +212,10 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
     std::fprintf(
         stream,
         "usage: fmotif serve [--port=0] [--bind=127.0.0.1] [--window=512]\n"
-        "       [--slide=32] [--xi=100] [--eps=M] [--reorder=K] "
-        "[--budget=K]\n"
-        "       [--state-dir=DIR] [--checkpoint=N] [--max-conns=64]\n"
+        "       [--slide=32] [--xi=100] [--approx-eps=0] [--eps=M] "
+        "[--reorder=K]\n"
+        "       [--budget=K] [--state-dir=DIR] [--checkpoint=N] "
+        "[--max-conns=64]\n"
         "       [--idle-timeout-ms=MS] [--max-runtime-ms=MS] [--json]\n"
         "       [--threads=N]\n"
         "\n"
@@ -227,11 +251,14 @@ int CommandUsage(std::FILE* stream, const std::string& command) {
     std::fprintf(
         stream,
         "usage: fmotif topk <file> [--k=5] [--xi=100] [--separation=xi]\n"
-        "       [--json] [--threads=N]\n"
+        "       [--approx-eps=0] [--json] [--threads=N]\n"
         "\n"
         "The k best motifs, at most one per candidate subset, pairwise\n"
         "separated by at least --separation in start-cell Chebyshev "
         "distance.\n"
+        "--approx-eps=E relaxes every rank: the i-th reported distance is "
+        "at\n"
+        "most (1+E) times the i-th exact one.\n"
         "(`fmotif motif <file> --topk=N` is kept as a legacy alias.)\n");
   } else if (command == "join") {
     std::fprintf(
@@ -340,6 +367,13 @@ const fm::GroundMetric& Metric(const fm::Flags& flags) {
 
 int Threads(const fm::Flags& flags) {
   return static_cast<int>(flags.GetInt("threads", 1));
+}
+
+/// Shared --approx-eps handling for every motif-reporting command. 0 (the
+/// default) keeps the search exact; E > 0 allows the reported distance to
+/// exceed the optimum by a factor of at most (1+E).
+double ApproxEps(const fm::Flags& flags) {
+  return flags.GetDouble("approx-eps", 0.0);
 }
 
 // The long-running commands (stream, fleet) convert SIGINT/SIGTERM into a
@@ -501,6 +535,7 @@ int RunMotif(const fm::Flags& flags) {
   options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
   options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
   options.threads = Threads(flags);
+  options.approximation_epsilon = ApproxEps(flags);
   fm::MotifStats stats;
   fm::StatusOr<fm::MotifResult> r =
       FindMotif(t.value(), Metric(flags), options, &stats);
@@ -523,6 +558,8 @@ int RunMotif(const fm::Flags& flags) {
     w.Int(options.group_size_tau);
     w.Key("algorithm");
     w.String(AlgorithmName(options.algorithm));
+    w.Key("approx_eps");
+    w.Double(options.approximation_epsilon);
     w.Key("metric");
     w.String(Metric(flags).Name());
     w.Key("threads");
@@ -552,6 +589,8 @@ void PrintStreamUpdateJson(const fm::StreamUpdate& u) {
   w.Bool(u.seeded);
   w.Key("carried");
   w.Bool(u.carried);
+  w.Key("approx_eps");
+  w.Double(u.approximation_epsilon);
   w.Key("result");
   w.BeginObject();
   w.Key("found");
@@ -601,6 +640,7 @@ int RunStream(const fm::Flags& flags) {
       static_cast<fm::Index>(flags.GetInt("slide", options.slide_step));
   options.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
   options.threads = Threads(flags);
+  options.approximation_epsilon = ApproxEps(flags);
 
   // --state-dir routes the single stream through a one-stream
   // DurableFleet (journal + snapshots + recovery); otherwise the plain
@@ -746,6 +786,8 @@ int RunStream(const fm::Flags& flags) {
     w.Int(options.slide_step);
     w.Key("xi");
     w.Int(options.min_length_xi);
+    w.Key("approx_eps");
+    w.Double(options.approximation_epsilon);
     w.Key("metric");
     w.String(Metric(flags).Name());
     w.Key("threads");
@@ -819,6 +861,8 @@ void PrintFleetUpdateJson(const fm::FleetStreamUpdate& fu) {
   w.Bool(u.seeded);
   w.Key("carried");
   w.Bool(u.carried);
+  w.Key("approx_eps");
+  w.Double(u.approximation_epsilon);
   w.Key("result");
   w.BeginObject();
   w.Key("found");
@@ -898,6 +942,58 @@ fm::CsvRow ParseFleetRow(const std::string& line, std::size_t* stream,
   return fm::ParseFleetCsvRow(line, stream, lat, lon, ts, has_ts);
 }
 
+/// One --members token: `s` (single sliding window) or `x` (cross-trajectory
+/// window pair), optionally suffixed `:eps` to override --approx-eps for
+/// that member alone.
+struct FleetMemberSpec {
+  bool cross = false;
+  bool has_eps = false;
+  double eps = 0.0;
+};
+
+fm::StatusOr<std::vector<FleetMemberSpec>> ParseFleetMembers(
+    const std::string& spec) {
+  std::vector<FleetMemberSpec> members;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    if (token.empty()) {
+      return fm::Status::InvalidArgument("--members: empty member spec");
+    }
+    FleetMemberSpec m;
+    if (token[0] == 'x') {
+      m.cross = true;
+    } else if (token[0] != 's') {
+      return fm::Status::InvalidArgument(
+          "--members: member spec must start with 's' or 'x': \"" + token +
+          "\"");
+    }
+    if (token.size() > 1) {
+      if (token[1] != ':' || token.size() == 2) {
+        return fm::Status::InvalidArgument(
+            "--members: expected s[:eps] or x[:eps], got \"" + token + "\"");
+      }
+      const std::string eps_text = token.substr(2);
+      char* end = nullptr;
+      m.eps = std::strtod(eps_text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(m.eps >= 0.0)) {
+        return fm::Status::InvalidArgument(
+            "--members: malformed eps in \"" + token + "\"");
+      }
+      m.has_eps = true;
+    }
+    members.push_back(m);
+    if (comma == spec.size()) break;
+    pos = comma + 1;
+  }
+  if (members.empty()) {
+    return fm::Status::InvalidArgument("--members: no member specs");
+  }
+  return members;
+}
+
 int RunFleet(const fm::Flags& flags) {
   if (flags.positional().size() < 2) return CommandUsage(stderr, "fleet");
   const bool json = flags.GetBool("json", false);
@@ -913,6 +1009,7 @@ int RunFleet(const fm::Flags& flags) {
   options.stream.min_length_xi =
       static_cast<fm::Index>(flags.GetInt("xi", 100));
   options.stream.threads = Threads(flags);
+  options.stream.approximation_epsilon = ApproxEps(flags);
   if (flags.Has("eps")) options.join_epsilon = flags.GetDouble("eps", 250.0);
   options.reorder_capacity =
       static_cast<fm::Index>(flags.GetInt("reorder", 0));
@@ -948,6 +1045,33 @@ int RunFleet(const fm::Flags& flags) {
     return durable.has_value() ? durable->Ingest(batch)
                                : plain->Ingest(batch);
   };
+
+  // --members pre-registers a heterogeneous fleet (per-member ε, cross
+  // pairs). The durable journal only replays default single-stream
+  // AddStream records, so the flag requires the in-memory engine.
+  const std::string members_spec = flags.GetString("members", "");
+  if (!members_spec.empty()) {
+    if (durable.has_value()) {
+      return Fail(fm::Status::InvalidArgument(
+          "--members requires the in-memory engine (drop --state-dir)"));
+    }
+    fm::StatusOr<std::vector<FleetMemberSpec>> members =
+        ParseFleetMembers(members_spec);
+    if (!members.ok()) return Fail(members.status());
+    for (const FleetMemberSpec& m : members.value()) {
+      fm::StreamOptions member_options = options.stream;
+      if (m.has_eps) member_options.approximation_epsilon = m.eps;
+      if (m.cross) {
+        const fm::StatusOr<std::pair<std::size_t, std::size_t>> added =
+            plain->AddCrossPair(member_options);
+        if (!added.ok()) return Fail(added.status());
+      } else {
+        const fm::StatusOr<std::size_t> added =
+            plain->AddStream(member_options);
+        if (!added.ok()) return Fail(added.status());
+      }
+    }
+  }
 
   std::int64_t slides = 0;
   if (from_stdin) {
@@ -1068,6 +1192,8 @@ int RunFleet(const fm::Flags& flags) {
     w.Int(options.stream.slide_step);
     w.Key("xi");
     w.Int(options.stream.min_length_xi);
+    w.Key("approx_eps");
+    w.Double(options.stream.approximation_epsilon);
     w.Key("eps_m");
     w.Double(options.join_epsilon);
     w.Key("reorder");
@@ -1081,6 +1207,8 @@ int RunFleet(const fm::Flags& flags) {
     w.EndObject();
     w.Key("streams");
     w.Int(stats.streams);
+    w.Key("members");
+    w.Int(static_cast<std::int64_t>(view.member_count()));
     w.Key("points_ingested");
     w.Int(stats.points_ingested);
     w.Key("slides");
@@ -1157,6 +1285,7 @@ int RunServe(const fm::Flags& flags) {
   options.fleet.stream.min_length_xi =
       static_cast<fm::Index>(flags.GetInt("xi", 100));
   options.fleet.stream.threads = Threads(flags);
+  options.fleet.stream.approximation_epsilon = ApproxEps(flags);
   if (flags.Has("eps")) {
     options.fleet.join_epsilon = flags.GetDouble("eps", 250.0);
   }
@@ -1212,6 +1341,8 @@ int RunServe(const fm::Flags& flags) {
     w.Int(options.fleet.stream.slide_step);
     w.Key("xi");
     w.Int(options.fleet.stream.min_length_xi);
+    w.Key("approx_eps");
+    w.Double(options.fleet.stream.approximation_epsilon);
     w.Key("eps_m");
     w.Double(options.fleet.join_epsilon);
     w.Key("reorder");
@@ -1302,6 +1433,7 @@ int RunTopK(const fm::Flags& flags) {
   options.k = static_cast<int>(flags.GetInt("k", flags.GetInt("topk", 5)));
   options.motif.min_length_xi = static_cast<fm::Index>(flags.GetInt("xi", 100));
   options.motif.threads = Threads(flags);
+  options.approximation_epsilon = ApproxEps(flags);
   options.min_start_separation = static_cast<fm::Index>(
       flags.GetInt("separation", options.motif.min_length_xi));
   fm::MotifStats stats;
@@ -1326,6 +1458,8 @@ int RunTopK(const fm::Flags& flags) {
     w.Int(options.motif.min_length_xi);
     w.Key("separation");
     w.Int(options.min_start_separation);
+    w.Key("approx_eps");
+    w.Double(options.approximation_epsilon);
     w.Key("metric");
     w.String(Metric(flags).Name());
     w.Key("threads");
@@ -1362,6 +1496,7 @@ int RunCross(const fm::Flags& flags) {
   options.group_size_tau = static_cast<fm::Index>(flags.GetInt("tau", 32));
   options.algorithm = ParseAlgorithm(flags.GetString("algorithm", "gtm"));
   options.threads = Threads(flags);
+  options.approximation_epsilon = ApproxEps(flags);
   fm::MotifStats stats;
   fm::StatusOr<fm::MotifResult> r =
       FindMotif(a.value(), b.value(), Metric(flags), options, &stats);
@@ -1386,6 +1521,8 @@ int RunCross(const fm::Flags& flags) {
     w.Int(options.group_size_tau);
     w.Key("algorithm");
     w.String(AlgorithmName(options.algorithm));
+    w.Key("approx_eps");
+    w.Double(options.approximation_epsilon);
     w.Key("metric");
     w.String(Metric(flags).Name());
     w.Key("threads");
